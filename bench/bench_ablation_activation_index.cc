@@ -1,0 +1,63 @@
+// Ablation A3: activation with a per-segment epoch index (§7 future work).
+//
+// Stock ioSnap activation scans every used segment because the cleaner may have moved
+// snapshot blocks anywhere. The paper suggests precomputed metadata could narrow the
+// scan. This repo's extension keeps a per-segment epoch summary; activation skips
+// segments that provably hold no data from the snapshot's lineage. The benefit grows
+// with the amount of unrelated (post-snapshot) data on the log.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+void Row(uint64_t post_snapshot_pages) {
+  double activation_ms[2] = {0, 0};
+  uint64_t scanned[2] = {0, 0};
+  uint64_t skipped[2] = {0, 0};
+  for (int use_index = 0; use_index < 2; ++use_index) {
+    FtlConfig config = BenchConfig();
+    config.activation_segment_index = use_index == 1;
+    std::unique_ptr<Ftl> ftl = MustCreate(config);
+    SimClock clock;
+    const uint64_t lba_space = ftl->LbaCount() * 3 / 4;
+
+    PrefillRandom(ftl.get(), &clock, 8 * 1024, lba_space, 95);  // 32 MiB snapshot.
+    auto snap = ftl->CreateSnapshot("a3", clock.NowNs());
+    IOSNAP_CHECK(snap.ok());
+    clock.AdvanceTo(snap->io.CompletionNs());
+    PrefillRandom(ftl.get(), &clock, post_snapshot_pages, lba_space, 96);
+
+    uint64_t finish = clock.NowNs();
+    auto view = ftl->ActivateBlocking(snap->snap_id, clock.NowNs(), false, &finish);
+    IOSNAP_CHECK(view.ok());
+    activation_ms[use_index] = NsToMs(finish - clock.NowNs());
+    scanned[use_index] = ftl->stats().activation_segments_scanned;
+    skipped[use_index] = ftl->stats().activation_segments_skipped;
+  }
+  std::printf("%12s %14.1f %14.1f %9.1fx %10llu %10llu\n",
+              HumanBytes(post_snapshot_pages * 4096).c_str(), activation_ms[0],
+              activation_ms[1],
+              activation_ms[1] > 0 ? activation_ms[0] / activation_ms[1] : 0,
+              static_cast<unsigned long long>(scanned[1]),
+              static_cast<unsigned long long>(skipped[1]));
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader("Ablation A3: activation segment index (32 MiB snapshot + growing churn)",
+              "full scan cost grows with log size; the index keeps activation near-flat");
+  std::printf("%12s %14s %14s %9s %10s %10s\n", "churn after", "full scan(ms)",
+              "indexed (ms)", "speedup", "scanned", "skipped");
+  PrintRule();
+  for (uint64_t pages : {16 * 1024ull, 64 * 1024ull, 128 * 1024ull, 256 * 1024ull}) {
+    Row(pages);
+  }
+  PrintRule();
+  std::printf("(the skip is conservative: a segment is read unless its epoch summary\n"
+              " proves it holds no lineage data)\n");
+  return 0;
+}

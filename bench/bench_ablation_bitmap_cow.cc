@@ -1,0 +1,53 @@
+// Ablation A4: CoW validity bitmaps vs the paper's rejected naive design.
+//
+// §5.4.1: "A naive design would be to copy the validity bitmap at snapshot creation ...
+// clearly, such a system would be highly inefficient." This ablation quantifies it:
+// snapshot-create latency and validity-map memory as snapshots accumulate, CoW vs naive.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+void Run(bool naive) {
+  FtlConfig config = BenchConfigSmall();
+  config.naive_validity_copy = naive;
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  // Sequential prefill: LBA order == physical order, so the hot region below stays
+  // physically clustered and the CoW design touches few chunks.
+  const uint64_t lba_space = 64 * 1024;
+  Prefill(ftl.get(), &clock, lba_space);  // 256 MiB on the log.
+
+  std::printf("%-6s", naive ? "naive" : "CoW");
+  Rng rng(98);
+  for (int i = 0; i < 5; ++i) {
+    auto snap = ftl->CreateSnapshot("a4", clock.NowNs());
+    IOSNAP_CHECK(snap.ok());
+    clock.AdvanceTo(snap->io.CompletionNs());
+    // Localized churn between snapshots (a hot region touching only a couple of
+    // validity chunks): the CoW design copies just those, the naive design copies all.
+    for (int w = 0; w < 1024; ++w) {
+      auto io = ftl->Write(rng.NextBelow(lba_space / 32), {}, clock.NowNs());
+      IOSNAP_CHECK(io.ok());
+      clock.AdvanceTo(io->CompletionNs());
+    }
+    std::printf("  create %7.0f us / mem %8s", NsToUs(snap->io.LatencyNs()),
+                HumanBytes(ftl->validity().MemoryBytes()).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader("Ablation A4: CoW validity bitmaps vs naive full copies (5 snapshots)",
+              "naive creates get slower and memory multiplies; CoW stays flat");
+  Run(false);
+  Run(true);
+  PrintRule();
+  std::printf("(paper: naive would need e.g. 512 MB of bitmap per snapshot on 2 TB)\n");
+  return 0;
+}

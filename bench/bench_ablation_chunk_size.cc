@@ -1,0 +1,60 @@
+// Ablation A2: validity-bitmap chunk granularity.
+//
+// The CoW validity design (§5.4.1) trades chunk size against two costs: small chunks
+// mean many chunk objects (table overhead, more merge visits); large chunks mean each
+// post-snapshot first-touch copies more bytes (bigger Fig 7 latency spikes). This sweep
+// runs the Fig 7 scenario at several chunk sizes and reports CoW copies/bytes, the
+// worst-case post-create write latency, and validity-map memory.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+void Row(uint64_t chunk_bits) {
+  FtlConfig config = BenchConfigSmall();
+  config.validity_chunk_bits = chunk_bits;
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  const uint64_t lba_space = ftl->LbaCount() * 3 / 4;
+  PrefillRandom(ftl.get(), &clock, 48 * 1024, lba_space, 91);
+
+  auto snap = ftl->CreateSnapshot("a2", clock.NowNs());
+  IOSNAP_CHECK(snap.ok());
+  clock.AdvanceTo(snap->io.CompletionNs());
+
+  Rng rng(92);
+  OnlineStats latency;
+  for (int i = 0; i < 8192; ++i) {
+    auto io = ftl->Write(rng.NextBelow(lba_space), {}, clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+    latency.Add(NsToUs(io->LatencyNs()));
+  }
+
+  const FtlStats& stats = ftl->stats();
+  std::printf("%10llu %12llu %12s %14.1f %14.1f %12s\n",
+              static_cast<unsigned long long>(chunk_bits),
+              static_cast<unsigned long long>(stats.validity_cow_events),
+              HumanBytes(stats.validity_cow_bytes).c_str(), latency.mean(), latency.max(),
+              HumanBytes(ftl->validity().MemoryBytes()).c_str());
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader("Ablation A2: validity chunk size vs CoW cost (Fig 7 scenario)",
+              "small chunks: many cheap copies; large chunks: few expensive copies"
+              " (bigger worst-case write latency)");
+  std::printf("%10s %12s %12s %14s %14s %12s\n", "chunk bits", "cow events", "cow bytes",
+              "mean lat (us)", "max lat (us)", "map memory");
+  PrintRule();
+  for (uint64_t bits : {1024ull, 4096ull, 8192ull, 32768ull, 131072ull}) {
+    Row(bits);
+  }
+  PrintRule();
+  std::printf("(paper uses 4 KiB bitmap pages = 32768 bits per chunk)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared helpers for the paper-reproduction benchmarks.
+//
+// Every benchmark binary regenerates one table or figure from the ioSnap paper's
+// evaluation (§6) on the simulated device, printing the same rows/series the paper
+// reports. Absolute numbers differ from the paper's Fusion-io testbed (see DESIGN.md's
+// substitution table); the *shapes* — which system wins, by what factor, where the
+// crossovers sit — are the reproduction target.
+//
+// Scaling: the paper's device is 1.2 TB; the default bench device is 3 GiB (x410 smaller)
+// so that runs complete in seconds of wall time. Per-experiment data volumes are scaled
+// by the same factor and noted in each binary's output and in EXPERIMENTS.md.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/sim_clock.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/core/ftl.h"
+#include "src/workload/runner.h"
+#include "src/workload/workload.h"
+
+namespace iosnap {
+
+// Default bench device: 3 GiB, 4 KiB pages, 4 MiB segments, 16 channels, header-only.
+inline FtlConfig BenchConfig() {
+  FtlConfig config;
+  config.nand.page_size_bytes = 4 * kKiB;
+  config.nand.pages_per_segment = 1024;
+  config.nand.num_segments = 768;
+  config.nand.num_channels = 16;
+  config.nand.store_data = false;
+  config.overprovision = 0.25;
+  config.validity_chunk_bits = 8192;
+  config.gc_reserve_segments = 4;
+  config.gc_low_free_segments = 16;
+  config.gc_high_free_segments = 32;
+  return config;
+}
+
+// A smaller 1 GiB device for latency-timeline experiments.
+inline FtlConfig BenchConfigSmall() {
+  FtlConfig config = BenchConfig();
+  config.nand.num_segments = 256;
+  return config;
+}
+
+inline std::unique_ptr<Ftl> MustCreate(const FtlConfig& config) {
+  auto ftl_or = Ftl::Create(config);
+  IOSNAP_CHECK(ftl_or.ok());
+  return std::move(ftl_or).value();
+}
+
+// Sequentially prefills `pages` pages starting at LBA 0 and drains the device.
+inline void Prefill(Ftl* ftl, SimClock* clock, uint64_t pages, uint64_t queue_depth = 16) {
+  FtlTarget target(ftl);
+  Runner runner(&target, clock, ftl->config().nand.page_size_bytes);
+  SequentialWorkload fill(IoKind::kWrite, 0, pages);
+  RunOptions options;
+  options.queue_depth = queue_depth;
+  auto result = runner.Run(&fill, pages, options);
+  IOSNAP_CHECK(result.ok());
+  clock->AdvanceTo(result->drain_end_ns);
+}
+
+// Randomly prefills `pages` writes over [0, lba_space) and drains.
+inline void PrefillRandom(Ftl* ftl, SimClock* clock, uint64_t pages, uint64_t lba_space,
+                          uint64_t seed) {
+  FtlTarget target(ftl);
+  Runner runner(&target, clock, ftl->config().nand.page_size_bytes);
+  RandomWorkload fill(IoKind::kWrite, lba_space, seed);
+  RunOptions options;
+  options.queue_depth = 16;
+  auto result = runner.Run(&fill, pages, options);
+  IOSNAP_CHECK(result.ok());
+  clock->AdvanceTo(result->drain_end_ns);
+}
+
+// Pretty-printing helpers.
+inline void PrintHeader(const std::string& title, const std::string& paper_expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(bytes) / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.0fM", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.0fK", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+// Mean +- sample stddev over repeated measurements.
+struct Measurement {
+  OnlineStats stats;
+  void Add(double x) { stats.Add(x); }
+  std::string Format(const char* unit) const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%9.2f +- %-7.2f %s", stats.mean(), stats.stddev(),
+                  unit);
+    return buf;
+  }
+};
+
+}  // namespace iosnap
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,153 @@
+// Figure 11: Foreground write latency around snapshot creation — ioSnap vs a
+// disk-optimized CoW snapshot design (Btrfs-like baseline).
+//
+// Both systems run on the same simulated flash device. After a sequential prefill, a
+// random-write workload runs while a snapshot is created every 5 virtual seconds. The
+// paper compares each system's *deviation from its own baseline* (the architectures are
+// too different for absolute comparison): Btrfs writes degrade up to 3x around each
+// create (commit flush + post-snapshot metadata CoW); ioSnap stays within ~5%.
+//
+// Scaling: paper prefills 8 GB on 1.2 TB; we prefill 512 MiB on 3 GiB (baseline FTL
+// device) and the CowStore volume proportionally.
+
+#include "bench/bench_common.h"
+#include "src/baseline/cow_store.h"
+#include "src/baseline/cow_target.h"
+
+namespace iosnap {
+namespace {
+
+constexpr uint64_t kSnapshotPeriodNs = SecToNs(5);
+constexpr uint64_t kRunNs = SecToNs(26);
+constexpr uint64_t kPrefillPages = 128 * 1024;  // 512 MiB.
+
+struct SeriesResult {
+  OnlineStats base;     // Latency before the first snapshot.
+  OnlineStats overall;
+  double worst_window_ratio = 0;  // max bucket mean / baseline mean.
+  Timeline timeline;
+};
+
+// Shared driver: run random writes, calling `snap` every 5 virtual seconds.
+template <typename WriteFn, typename SnapFn>
+SeriesResult Drive(SimClock* clock, uint64_t lba_space, WriteFn&& do_write,
+                   SnapFn&& do_snapshot) {
+  SeriesResult out;
+  Rng rng(61);
+  const uint64_t t0 = clock->NowNs();
+  uint64_t next_snap = t0 + kSnapshotPeriodNs;
+  while (clock->NowNs() - t0 < kRunNs) {
+    if (clock->NowNs() >= next_snap) {
+      do_snapshot();
+      next_snap += kSnapshotPeriodNs;
+    }
+    const uint64_t now = clock->NowNs();
+    const uint64_t latency = do_write(rng.NextBelow(lba_space));
+    const double lat_us = NsToUs(latency);
+    out.timeline.Add(now - t0, lat_us);
+    out.overall.Add(lat_us);
+    if (now - t0 < kSnapshotPeriodNs) {
+      out.base.Add(lat_us);
+    }
+  }
+  double worst = 0;
+  for (const Timeline::Bucket& b : out.timeline.Bucketize(MsToNs(250))) {
+    worst = std::max(worst, b.mean);
+  }
+  out.worst_window_ratio = out.base.mean() > 0 ? worst / out.base.mean() : 0;
+  return out;
+}
+
+SeriesResult RunIoSnap() {
+  FtlConfig config = BenchConfig();
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  const uint64_t lba_space = ftl->LbaCount() * 3 / 4;
+  Prefill(ftl.get(), &clock, kPrefillPages);
+
+  return Drive(
+      &clock, lba_space,
+      [&](uint64_t lba) {
+        ftl->PumpBackground(clock.NowNs());
+        auto io = ftl->Write(lba, {}, clock.NowNs());
+        IOSNAP_CHECK(io.ok());
+        clock.AdvanceTo(io->CompletionNs());
+        return io->LatencyNs();
+      },
+      [&]() {
+        auto s = ftl->CreateSnapshot("fig11", clock.NowNs());
+        IOSNAP_CHECK(s.ok());
+        clock.AdvanceTo(s->io.CompletionNs());
+      });
+}
+
+SeriesResult RunBtrfsLike() {
+  FtlConfig config = BenchConfig();
+  config.snapshots_enabled = false;
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+
+  // Commit interval >> snapshot period's worth of ops: each snapshot create flushes a
+  // large dirty set, as with the paper's 30 s Btrfs transaction commit vs 5 s snapshots.
+  CowStoreOptions opts;
+  opts.node_fanout = 64;
+  opts.commit_every_ops = 4096;
+  auto store_or = CowStore::Create(ftl.get(), opts);
+  IOSNAP_CHECK(store_or.ok());
+  std::unique_ptr<CowStore> store = std::move(store_or).value();
+  const uint64_t volume = store->volume_blocks();
+  const uint64_t lba_space = volume * 3 / 4;
+
+  // Prefill through the store so the tree exists.
+  for (uint64_t i = 0; i < std::min<uint64_t>(kPrefillPages, lba_space); ++i) {
+    auto io = store->Write(i % lba_space, clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+  }
+
+  return Drive(
+      &clock, lba_space,
+      [&](uint64_t lba) {
+        ftl->PumpBackground(clock.NowNs());
+        auto io = store->Write(lba, clock.NowNs());
+        IOSNAP_CHECK(io.ok());
+        clock.AdvanceTo(io->CompletionNs());
+        return io->LatencyNs();
+      },
+      [&]() {
+        IoResult snap_io;
+        auto snap = store->CreateSnapshot(clock.NowNs(), &snap_io);
+        IOSNAP_CHECK(snap.ok());
+        clock.AdvanceTo(snap_io.CompletionNs());
+      });
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main(int argc, char** argv) {
+  using namespace iosnap;
+  const bool timelines = argc > 1 && std::string(argv[1]) == "--timeline";
+  PrintHeader("Figure 11: write latency around snapshot creates — Btrfs-like vs ioSnap",
+              "Btrfs-like degrades up to ~3x from its baseline around creates; ioSnap"
+              " deviates only a few percent");
+
+  SeriesResult btrfs = RunBtrfsLike();
+  SeriesResult iosnap_result = RunIoSnap();
+
+  std::printf("%-12s baseline %8.1f us  overall %8.1f us  worst 250ms window %.2fx\n",
+              "Btrfs-like", btrfs.base.mean(), btrfs.overall.mean(),
+              btrfs.worst_window_ratio);
+  std::printf("%-12s baseline %8.1f us  overall %8.1f us  worst 250ms window %.2fx\n",
+              "ioSnap", iosnap_result.base.mean(), iosnap_result.overall.mean(),
+              iosnap_result.worst_window_ratio);
+  if (timelines) {
+    std::printf("\nBtrfs-like timeline (250 ms buckets):\n%s",
+                btrfs.timeline.ToCsv(MsToNs(250), "t_sec", "lat_us").c_str());
+    std::printf("\nioSnap timeline (250 ms buckets):\n%s",
+                iosnap_result.timeline.ToCsv(MsToNs(250), "t_sec", "lat_us").c_str());
+  }
+  PrintRule();
+  std::printf("(paper: Btrfs up to 3x latency around each create; ioSnap ~5%% deviation)\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 12: Sustained write bandwidth as (dormant) snapshots accumulate — ioSnap vs the
+// Btrfs-like baseline.
+//
+// After a large sequential prefill, random writes run while a snapshot is created every
+// 15 virtual seconds. The paper's observation: the disk-optimized design recovers more
+// and more slowly from each create and its sustained bandwidth declines as snapshots
+// build up (metadata CoW re-churn plus pinned blocks); ioSnap's bandwidth stays flat.
+//
+// Scaling: the paper prefills 200 GB on 1.2 TB (1/6 of the device); we prefill 512 MiB
+// on 3 GiB and run ~8 snapshot periods.
+
+#include "bench/bench_common.h"
+#include "src/baseline/cow_store.h"
+
+namespace iosnap {
+namespace {
+
+constexpr uint64_t kSnapshotPeriodNs = SecToNs(15);
+constexpr uint64_t kRunNs = SecToNs(128);
+constexpr uint64_t kPrefillPages = 32 * 1024;   // 128 MiB.
+constexpr uint64_t kBucketNs = SecToNs(4);
+
+struct Series {
+  std::vector<double> mb_per_sec;  // One sample per bucket.
+  double first = 0;
+  double last = 0;
+};
+
+// The paper's 1.2 TB device absorbs every snapshot generation; at bench scale the churn
+// working set is kept small enough that ~8 pinned generations fit on the device.
+constexpr uint64_t kChurnLbas = 24 * 1024;  // 96 MiB working set.
+
+template <typename WriteFn, typename SnapFn>
+Series Drive(SimClock* clock, uint64_t lba_space, uint64_t page_bytes, WriteFn&& do_write,
+             SnapFn&& do_snapshot) {
+  Series out;
+  Rng rng(71);
+  const uint64_t t0 = clock->NowNs();
+  uint64_t next_snap = t0 + kSnapshotPeriodNs;
+  uint64_t bucket_start = t0;
+  uint64_t bucket_bytes = 0;
+  while (clock->NowNs() - t0 < kRunNs) {
+    if (clock->NowNs() >= next_snap) {
+      do_snapshot();
+      next_snap += kSnapshotPeriodNs;
+    }
+    if (!do_write(rng.NextBelow(lba_space))) {
+      std::printf("(device filled after %.0f s — stopping this series)\n",
+                  NsToSec(clock->NowNs() - t0));
+      break;
+    }
+    bucket_bytes += page_bytes;
+    while (clock->NowNs() >= bucket_start + kBucketNs) {
+      out.mb_per_sec.push_back(MbPerSec(bucket_bytes, kBucketNs));
+      bucket_bytes = 0;
+      bucket_start += kBucketNs;
+    }
+  }
+  if (!out.mb_per_sec.empty()) {
+    // Average the first and last quarter of the run to expose the trend.
+    const size_t q = std::max<size_t>(1, out.mb_per_sec.size() / 4);
+    double first_sum = 0;
+    double last_sum = 0;
+    for (size_t i = 0; i < q; ++i) {
+      first_sum += out.mb_per_sec[i];
+      last_sum += out.mb_per_sec[out.mb_per_sec.size() - 1 - i];
+    }
+    out.first = first_sum / static_cast<double>(q);
+    out.last = last_sum / static_cast<double>(q);
+  }
+  return out;
+}
+
+Series RunIoSnap() {
+  FtlConfig config = BenchConfig();
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  Prefill(ftl.get(), &clock, kPrefillPages);
+  return Drive(
+      &clock, kChurnLbas, config.nand.page_size_bytes,
+      [&](uint64_t lba) {
+        ftl->PumpBackground(clock.NowNs());
+        auto io = ftl->Write(lba, {}, clock.NowNs());
+        if (!io.ok()) {
+          return false;
+        }
+        clock.AdvanceTo(io->CompletionNs());
+        return true;
+      },
+      [&]() {
+        auto s = ftl->CreateSnapshot("fig12", clock.NowNs());
+        IOSNAP_CHECK(s.ok());
+        clock.AdvanceTo(s->io.CompletionNs());
+      });
+}
+
+Series RunBtrfsLike() {
+  FtlConfig config = BenchConfig();
+  config.snapshots_enabled = false;
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  CowStoreOptions opts;
+  opts.node_fanout = 64;
+  opts.commit_every_ops = 512;
+  auto store_or = CowStore::Create(ftl.get(), opts);
+  IOSNAP_CHECK(store_or.ok());
+  std::unique_ptr<CowStore> store = std::move(store_or).value();
+  for (uint64_t i = 0; i < kPrefillPages; ++i) {
+    auto io = store->Write(i % store->volume_blocks(), clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+  }
+  return Drive(
+      &clock, kChurnLbas, config.nand.page_size_bytes,
+      [&](uint64_t lba) {
+        ftl->PumpBackground(clock.NowNs());
+        auto io = store->Write(lba, clock.NowNs());
+        if (!io.ok()) {
+          return false;
+        }
+        clock.AdvanceTo(io->CompletionNs());
+        return true;
+      },
+      [&]() {
+        IoResult snap_io;
+        auto snap = store->CreateSnapshot(clock.NowNs(), &snap_io);
+        IOSNAP_CHECK(snap.ok());
+        clock.AdvanceTo(snap_io.CompletionNs());
+      });
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader("Figure 12: sustained write bandwidth with a snapshot every 15 s",
+              "Btrfs-like bandwidth sags as snapshots accumulate; ioSnap stays flat");
+
+  Series btrfs = RunBtrfsLike();
+  Series iosnap_series = RunIoSnap();
+
+  std::printf("t_sec,btrfs_like_mb_s,iosnap_mb_s\n");
+  const size_t n = std::max(btrfs.mb_per_sec.size(), iosnap_series.mb_per_sec.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double b = i < btrfs.mb_per_sec.size() ? btrfs.mb_per_sec[i] : 0;
+    const double s = i < iosnap_series.mb_per_sec.size() ? iosnap_series.mb_per_sec[i] : 0;
+    std::printf("%zu,%.1f,%.1f\n", i * (kBucketNs / kNsPerSec), b, s);
+  }
+  PrintRule();
+  std::printf("Btrfs-like: first-quarter %.1f MB/s -> last-quarter %.1f MB/s (%.0f%%)\n",
+              btrfs.first, btrfs.last,
+              btrfs.first > 0 ? 100.0 * btrfs.last / btrfs.first : 0);
+  std::printf("ioSnap:     first-quarter %.1f MB/s -> last-quarter %.1f MB/s (%.0f%%)\n",
+              iosnap_series.first, iosnap_series.last,
+              iosnap_series.first > 0 ? 100.0 * iosnap_series.last / iosnap_series.first
+                                      : 0);
+  std::printf("(paper: Btrfs declines steadily; ioSnap delivers consistent bandwidth)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 7: Impact of snapshot creation on subsequent write latency.
+//
+// Worst-case configuration per the paper: 512-byte sectors. Random prefill populates the
+// validity bitmaps; a snapshot marks every chunk copy-on-write; the first post-snapshot
+// overwrite of each chunk pays the CoW copy, producing a brief latency spike that decays
+// as chunks are copied. The figure shows (a) write latency over time and (b) CoW events
+// over time, across two snapshot/overwrite rounds.
+//
+// Scaling: the paper prefills 3 GB on a 1.2 TB device and overwrites 8 MB per round; we
+// prefill 150 MiB on a 512 MiB device (same ~x8 ratio of blocks per validity chunk, the
+// chunk stays at the paper's 4 KiB) and overwrite 8 MiB per round, unscaled.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+constexpr uint64_t kPageBytes = 512;
+constexpr uint64_t kPrefillPages = 300000;   // ~150 MiB of 512 B blocks.
+constexpr uint64_t kOverwritesPerRound = 16384;  // 8 MiB per round.
+
+FtlConfig Fig7Config() {
+  FtlConfig config = BenchConfig();
+  config.nand.page_size_bytes = kPageBytes;
+  config.nand.pages_per_segment = 2048;
+  config.nand.num_segments = 512;         // 512 MiB device of 512 B pages.
+  config.nand.bus_ns_per_page = 400;      // Smaller transfer unit.
+  config.validity_chunk_bits = 32768;     // 4 KiB chunks, as in the paper.
+  return config;
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader(
+      "Figure 7: write latency and validity-bitmap CoW after snapshot creation",
+      "latency spikes briefly (~3x) right after each create, then returns to baseline;"
+      " CoW copies cluster in the same window");
+
+  FtlConfig config = Fig7Config();
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  const uint64_t lba_space = ftl->LbaCount() * 3 / 4;
+  PrefillRandom(ftl.get(), &clock, kPrefillPages, lba_space, 11);
+
+  Timeline latency;
+  Timeline cow_events;
+  Rng rng(12);
+  const uint64_t t0 = clock.NowNs();
+
+  uint64_t last_cow = ftl->stats().validity_cow_events;
+  std::vector<uint64_t> per_round_cow;
+  std::vector<uint64_t> per_round_bytes;
+
+  for (int round = 0; round < 2; ++round) {
+    const uint64_t cow_before = ftl->stats().validity_cow_events;
+    const uint64_t bytes_before = ftl->stats().validity_cow_bytes;
+    auto create = ftl->CreateSnapshot("fig7", clock.NowNs());
+    IOSNAP_CHECK(create.ok());
+    clock.AdvanceTo(create->io.CompletionNs());
+
+    for (uint64_t i = 0; i < kOverwritesPerRound; ++i) {
+      const uint64_t now = clock.NowNs();
+      auto io = ftl->Write(rng.NextBelow(lba_space), {}, now);
+      IOSNAP_CHECK(io.ok());
+      clock.AdvanceTo(io->CompletionNs());
+      latency.Add(now - t0, NsToUs(io->LatencyNs()));
+      const uint64_t cow_now = ftl->stats().validity_cow_events;
+      if (cow_now != last_cow) {
+        cow_events.Add(now - t0, static_cast<double>(cow_now - last_cow));
+        last_cow = cow_now;
+      }
+      ftl->PumpBackground(clock.NowNs());
+    }
+    per_round_cow.push_back(ftl->stats().validity_cow_events - cow_before);
+    per_round_bytes.push_back(ftl->stats().validity_cow_bytes - bytes_before);
+  }
+
+  std::printf("\n(a) write latency over time (5 ms buckets)\n");
+  std::printf("%s", latency.ToCsv(MsToNs(5), "t_sec", "latency_us").c_str());
+  std::printf("\n(b) validity-bitmap CoW events over time (5 ms buckets)\n");
+  std::printf("%s", cow_events.ToCsv(MsToNs(5), "t_sec", "cow_copies").c_str());
+
+  PrintRule();
+  for (size_t round = 0; round < per_round_cow.size(); ++round) {
+    std::printf("round %zu: %llu chunk copies, %s of bitmap copied\n", round + 1,
+                static_cast<unsigned long long>(per_round_cow[round]),
+                HumanBytes(per_round_bytes[round]).c_str());
+  }
+  std::printf("(paper: 196 copies / 784 KB per snapshot on a device ~8x larger;\n"
+              " latency 100 -> 350 us for ~50 ms after each create)\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Wall-clock microbenchmarks (google-benchmark) of the host-side data structures on the
+// FTL's critical path: the B+tree forward map, the bitmap primitives, and the per-epoch
+// CoW validity map. These are the only benchmarks in the suite that measure real CPU
+// time — everything device-related runs on the virtual clock.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/bitmap.h"
+#include "src/common/rng.h"
+#include "src/ftl/btree.h"
+#include "src/ftl/validity_map.h"
+
+namespace iosnap {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree tree;
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < n; ++i) {
+      tree.Insert(rng.NextBelow(1u << 30), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  BPlusTree tree;
+  Rng rng(2);
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t k = rng.NextBelow(1u << 30);
+    keys.push_back(k);
+    tree.Insert(k, i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BPlusTreeBulkLoad(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (uint64_t i = 0; i < n; ++i) {
+    pairs.emplace_back(i * 3, i);
+  }
+  for (auto _ : state) {
+    BPlusTree tree = BPlusTree::BulkLoad(pairs);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BPlusTreeBulkLoad)->Arg(1 << 16);
+
+void BM_BitmapCountRange(benchmark::State& state) {
+  Bitmap bitmap(1 << 20);
+  Rng rng(3);
+  for (int i = 0; i < (1 << 18); ++i) {
+    bitmap.Set(rng.NextBelow(1 << 20));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitmap.CountOnesInRange(1000, (1 << 20) - 1000));
+  }
+}
+BENCHMARK(BM_BitmapCountRange);
+
+void BM_ValidityMergeRange(benchmark::State& state) {
+  const auto epochs = static_cast<uint32_t>(state.range(0));
+  ValidityMap vm(1 << 20, 8192);
+  vm.CreateEpoch(0);
+  Rng rng(4);
+  for (int i = 0; i < (1 << 16); ++i) {
+    vm.SetValid(0, rng.NextBelow(1 << 20));
+  }
+  std::vector<uint32_t> all = {0};
+  for (uint32_t e = 1; e < epochs; ++e) {
+    vm.ForkEpoch(e, e - 1);
+    for (int i = 0; i < 1024; ++i) {
+      vm.SetValid(e, rng.NextBelow(1 << 20));
+    }
+    all.push_back(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.CountValidInRange(all, 0, 1 << 14));
+  }
+}
+BENCHMARK(BM_ValidityMergeRange)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ValidityCowFork(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ValidityMap vm(1 << 20, 8192);
+    vm.CreateEpoch(0);
+    Rng rng(5);
+    for (int i = 0; i < (1 << 14); ++i) {
+      vm.SetValid(0, rng.NextBelow(1 << 20));
+    }
+    state.ResumeTiming();
+    vm.ForkEpoch(1, 0);  // The snapshot-create critical-path cost.
+    benchmark::DoNotOptimize(vm.HasEpoch(1));
+  }
+}
+BENCHMARK(BM_ValidityCowFork);
+
+}  // namespace
+}  // namespace iosnap
+
+BENCHMARK_MAIN();

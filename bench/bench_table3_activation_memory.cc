@@ -1,0 +1,69 @@
+// Table 3: Memory overheads of snapshot activation.
+//
+// Five snapshots, each preceded by a fixed volume of random 4K writes. At every create
+// we record the active forward-map size; afterwards each snapshot is activated and its
+// freshly built map measured. The paper's two observations: memory grows with the data
+// in the snapshot, and the activated tree is *more compact* than the organically grown
+// active tree because activation bulk-loads fully packed nodes.
+//
+// Scaling: paper writes 1.6 GB per snapshot on 1.2 TB; we write 64 MiB per snapshot.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+constexpr int kSnapshots = 5;
+constexpr uint64_t kBytesPerSnapshot = 64 * kMiB;
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader("Table 3: forward-map memory at create vs after activation (MB)",
+              "activated tree is more compact than the active tree at the same state");
+
+  FtlConfig config = BenchConfig();
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+  const uint64_t pages = kBytesPerSnapshot / config.nand.page_size_bytes;
+  const uint64_t lba_space = ftl->LbaCount() * 3 / 4;
+
+  std::vector<uint32_t> snaps;
+  std::vector<uint64_t> tree_bytes_at_create;
+  for (int i = 0; i < kSnapshots; ++i) {
+    PrefillRandom(ftl.get(), &clock, pages, lba_space, 200 + static_cast<uint64_t>(i));
+    auto create = ftl->CreateSnapshot("t3", clock.NowNs());
+    IOSNAP_CHECK(create.ok());
+    clock.AdvanceTo(create->io.CompletionNs());
+    snaps.push_back(create->snap_id);
+    auto bytes = ftl->ViewMapMemoryBytes(kPrimaryView);
+    IOSNAP_CHECK(bytes.ok());
+    tree_bytes_at_create.push_back(*bytes);
+  }
+
+  std::printf("%9s %22s %22s %12s\n", "snapshot", "tree at creation (MB)",
+              "tree after activate (MB)", "entries");
+  PrintRule();
+  for (int i = 0; i < kSnapshots; ++i) {
+    uint64_t finish = clock.NowNs();
+    auto view = ftl->ActivateBlocking(snaps[static_cast<size_t>(i)], clock.NowNs(),
+                                      /*writable=*/false, &finish);
+    IOSNAP_CHECK(view.ok());
+    clock.AdvanceTo(finish);
+    auto view_bytes = ftl->ViewMapMemoryBytes(*view);
+    auto view_entries = ftl->ViewMapEntryCount(*view);
+    IOSNAP_CHECK(view_bytes.ok());
+    IOSNAP_CHECK(view_entries.ok());
+    std::printf("%9d %22.2f %22.2f %12llu\n", i + 1,
+                static_cast<double>(tree_bytes_at_create[static_cast<size_t>(i)]) / 1e6,
+                static_cast<double>(*view_bytes) / 1e6,
+                static_cast<unsigned long long>(*view_entries));
+    IOSNAP_CHECK(ftl->Deactivate(*view, clock.NowNs()).ok());
+  }
+  PrintRule();
+  std::printf("(paper, 1.6 GB/snapshot: creation 1.38..14.44 MB vs activation\n"
+              " 0.84..13.72 MB — activated tree consistently smaller)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 4: Overheads of segment cleaning with snapshots present.
+//
+// A foreground thread issues 4K random writes filling several segments while 0, 1 or 2
+// snapshots are created part-way; then the cleaner is forced over the written segments.
+// The paper reports overall cleaning time roughly flat with snapshot count, while the
+// validity-bitmap merge component grows with the number of epochs to merge.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+struct Row {
+  const char* label;
+  bool snapshots_enabled;
+  int snapshot_count;
+};
+
+void RunRow(const Row& row) {
+  FtlConfig config = BenchConfigSmall();
+  config.snapshots_enabled = row.snapshots_enabled;
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+
+  // ~5 segments of random-write churn over a working set small enough to leave plenty
+  // of invalid (and snapshot-pinned) data in the victim segments.
+  const uint64_t lba_space = config.nand.pages_per_segment * 2;
+  const uint64_t total_writes = config.nand.pages_per_segment * 5;
+  Rng rng(41);
+  for (uint64_t i = 0; i < total_writes; ++i) {
+    auto io = ftl->Write(rng.NextBelow(lba_space), {}, clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+    // Snapshots land while the early segments are still being written.
+    if (row.snapshot_count >= 1 && i == total_writes / 8) {
+      auto s = ftl->CreateSnapshot("t4-a", clock.NowNs());
+      IOSNAP_CHECK(s.ok());
+      clock.AdvanceTo(s->io.CompletionNs());
+    }
+    if (row.snapshot_count >= 2 && i == total_writes / 5) {
+      auto s = ftl->CreateSnapshot("t4-b", clock.NowNs());
+      IOSNAP_CHECK(s.ok());
+      clock.AdvanceTo(s->io.CompletionNs());
+    }
+  }
+
+  // Force-clean four victims and measure.
+  const uint64_t merge_before = ftl->stats().gc_merge_host_ns;
+  const uint64_t t_start = clock.NowNs();
+  for (int i = 0; i < 4; ++i) {
+    auto finish = ftl->ForceCleanSegment(clock.NowNs());
+    IOSNAP_CHECK(finish.ok());
+    clock.AdvanceTo(*finish);
+  }
+  const uint64_t overall_ns = clock.NowNs() - t_start;
+  const uint64_t merge_ns = ftl->stats().gc_merge_host_ns - merge_before;
+
+  const uint64_t copied = ftl->stats().gc_pages_copied;
+  std::printf("%-12s %16.2f %18.3f %14llu %17.1f\n", row.label, NsToMs(overall_ns),
+              NsToMs(merge_ns), static_cast<unsigned long long>(copied),
+              copied > 0 ? NsToUs(overall_ns / copied) : 0.0);
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main() {
+  using namespace iosnap;
+  PrintHeader("Table 4: segment-cleaning overheads vs snapshot count",
+              "overall time roughly flat; validity-merge time grows with snapshots");
+  std::printf("%-12s %16s %18s %14s %17s\n", "snapshots", "overall (ms)",
+              "validity merge(ms)", "pages copied", "us/copied page");
+  PrintRule();
+  RunRow({"Vanilla (0)", false, 0});
+  RunRow({"0", true, 0});
+  RunRow({"1", true, 1});
+  RunRow({"2", true, 2});
+  PrintRule();
+  std::printf("(paper: overall 10.4-10.8 s flat; merge 113 -> 205 ms as snapshots grow.\n"
+              " Here overall grows only with the extra snapshot data moved — which the\n"
+              " paper excludes as overhead — so the per-page cost column is the flat one.)\n");
+  return 0;
+}

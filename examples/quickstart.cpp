@@ -1,0 +1,95 @@
+// Quickstart: the ioSnap API in one page.
+//
+// Creates a simulated flash device with the ioSnap FTL, writes a few blocks, takes a
+// snapshot, diverges the active volume, then activates the snapshot and reads the
+// point-in-time data back.
+//
+// Build & run:  cmake -B build -G Ninja && ninja -C build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+#include "src/core/ftl.h"
+
+using namespace iosnap;
+
+namespace {
+
+// Writes a one-line string into a block (padded to the page size).
+uint64_t WriteString(Ftl* ftl, uint64_t lba, const std::string& text, uint64_t now) {
+  std::vector<uint8_t> page(ftl->config().nand.page_size_bytes, 0);
+  std::copy(text.begin(), text.end(), page.begin());
+  auto io = ftl->Write(lba, page, now);
+  IOSNAP_CHECK_OK(io.status());
+  return io->CompletionNs();
+}
+
+std::string ReadString(Ftl* ftl, uint32_t view, uint64_t lba, uint64_t now) {
+  std::vector<uint8_t> page;
+  auto io = ftl->ReadView(view, lba, now, &page);
+  IOSNAP_CHECK_OK(io.status());
+  return std::string(reinterpret_cast<const char*>(page.data()));
+}
+
+}  // namespace
+
+int main() {
+  // A small simulated device: 128 MiB, 4 KiB pages. `store_data = true` keeps payloads
+  // in memory so we can read our strings back.
+  FtlConfig config;
+  config.nand.page_size_bytes = 4096;
+  config.nand.pages_per_segment = 256;
+  config.nand.num_segments = 128;
+  config.nand.store_data = true;
+
+  auto ftl_or = Ftl::Create(config);
+  IOSNAP_CHECK(ftl_or.ok());
+  std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  uint64_t now = 0;
+
+  std::printf("device: %llu blocks of %llu bytes\n",
+              (unsigned long long)ftl->LbaCount(),
+              (unsigned long long)config.nand.page_size_bytes);
+
+  // 1. Write some data.
+  now = WriteString(ftl.get(), 0, "alpha v1", now);
+  now = WriteString(ftl.get(), 1, "bravo v1", now);
+
+  // 2. Take a snapshot — constant time, one note on the log (~50 us).
+  auto snap = ftl->CreateSnapshot("before-upgrade", now);
+  IOSNAP_CHECK_OK(snap.status());
+  now = snap->io.CompletionNs();
+  std::printf("snapshot %u created in %.1f us\n", snap->snap_id,
+              NsToUs(snap->io.LatencyNs()));
+
+  // 3. Diverge the live volume.
+  now = WriteString(ftl.get(), 0, "alpha v2", now);
+  auto trim = ftl->Trim(1, 1, now);
+  IOSNAP_CHECK_OK(trim.status());
+  now = trim->CompletionNs();
+
+  // 4. Activate the snapshot: a rate-limitable background scan builds its forward map.
+  uint64_t finish = now;
+  auto view = ftl->ActivateBlocking(snap->snap_id, now, /*writable=*/false, &finish);
+  IOSNAP_CHECK_OK(view.status());
+  std::printf("activation took %.2f ms\n", NsToMs(finish - now));
+  now = finish;
+
+  // 5. Read both timelines.
+  std::printf("live    block 0: \"%s\"\n", ReadString(ftl.get(), kPrimaryView, 0, now).c_str());
+  std::printf("snap    block 0: \"%s\"\n", ReadString(ftl.get(), *view, 0, now).c_str());
+  std::printf("live    block 1: %s\n",
+              ftl->IsMapped(1) ? "mapped" : "trimmed (reads zeroes)");
+  std::printf("snap    block 1: \"%s\"\n", ReadString(ftl.get(), *view, 1, now).c_str());
+
+  // 6. Clean up: deactivate the view, delete the snapshot (space reclaimed lazily by
+  //    the segment cleaner).
+  IOSNAP_CHECK_OK(ftl->Deactivate(*view, now));
+  IOSNAP_CHECK_OK(ftl->DeleteSnapshot(snap->snap_id, now).status());
+  std::printf("done. stats: %llu user writes, %llu pages programmed total\n",
+              (unsigned long long)ftl->stats().user_writes,
+              (unsigned long long)ftl->stats().total_pages_programmed);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "src/archive/archive_store.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+uint64_t ArchiveStore::StreamFinish(uint64_t bytes, uint64_t issue_ns) const {
+  const uint64_t start = std::max(issue_ns, busy_until_ns_) + config_.seek_ns;
+  const double seconds =
+      static_cast<double>(bytes) / static_cast<double>(config_.bandwidth_bytes_per_sec);
+  return start + static_cast<uint64_t>(seconds * static_cast<double>(kNsPerSec));
+}
+
+uint64_t ArchiveStore::Put(ArchiveImage image, uint64_t page_bytes, uint64_t issue_ns) {
+  uint64_t bytes = 0;
+  for (const auto& [lba, data] : image.blocks) {
+    bytes += data.empty() ? page_bytes : data.size();
+  }
+  bytes += image.deleted_lbas.size() * sizeof(uint64_t);
+  image.bytes_written = bytes;
+
+  const uint64_t finish = StreamFinish(bytes, issue_ns);
+  busy_until_ns_ = finish;
+  const uint64_t id = image.archive_id;
+  IOSNAP_CHECK(!images_.contains(id));
+  images_.emplace(id, std::move(image));
+  return finish;
+}
+
+StatusOr<const ArchiveImage*> ArchiveStore::Get(uint64_t archive_id) const {
+  auto it = images_.find(archive_id);
+  if (it == images_.end()) {
+    return NotFound("archive image " + std::to_string(archive_id) + " does not exist");
+  }
+  return &it->second;
+}
+
+StatusOr<std::map<uint64_t, std::vector<uint8_t>>> ArchiveStore::Materialize(
+    uint64_t archive_id, uint64_t page_bytes, uint64_t issue_ns,
+    uint64_t* finish_ns) const {
+  // Walk to the base, then apply deltas forward.
+  std::vector<const ArchiveImage*> chain;
+  uint64_t id = archive_id;
+  while (true) {
+    auto it = images_.find(id);
+    if (it == images_.end()) {
+      return NotFound("archive image " + std::to_string(id) +
+                      " missing from the parent chain");
+    }
+    chain.push_back(&it->second);
+    if (!it->second.parent_id.has_value()) {
+      break;
+    }
+    id = *it->second.parent_id;
+  }
+
+  std::map<uint64_t, std::vector<uint8_t>> out;
+  uint64_t bytes_read = 0;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const ArchiveImage* image = *it;
+    for (uint64_t lba : image->deleted_lbas) {
+      out.erase(lba);
+    }
+    for (const auto& [lba, data] : image->blocks) {
+      out[lba] = data;
+    }
+    bytes_read += image->bytes_written;
+  }
+  if (finish_ns != nullptr) {
+    *finish_ns = StreamFinish(bytes_read, issue_ns);
+  }
+  return out;
+}
+
+Status ArchiveStore::Delete(uint64_t archive_id) {
+  auto it = images_.find(archive_id);
+  if (it == images_.end()) {
+    return NotFound("archive image " + std::to_string(archive_id) + " does not exist");
+  }
+  // Refuse to break a parent chain.
+  for (const auto& [id, image] : images_) {
+    if (image.parent_id.has_value() && *image.parent_id == archive_id) {
+      return FailedPrecondition("archive image " + std::to_string(archive_id) +
+                                " is the parent of image " + std::to_string(id));
+    }
+  }
+  images_.erase(it);
+  return OkStatus();
+}
+
+uint64_t ArchiveStore::TotalBytesStored() const {
+  uint64_t total = 0;
+  for (const auto& [id, image] : images_) {
+    total += image.bytes_written;
+  }
+  return total;
+}
+
+}  // namespace iosnap

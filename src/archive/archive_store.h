@@ -1,0 +1,80 @@
+// Snapshot destaging to archival storage — the paper's §7 closing future-work item:
+// "keeping snapshots on flash for prolonged durations is not necessarily the best use of
+// the SSD. Thus, schemes to destage snapshots to archival disks are required."
+//
+// ArchiveStore models the archival tier: a cheap sequential device (disk/tape/object
+// store) characterized by a seek latency and a streaming bandwidth on the same virtual
+// clock as the flash device. It stores full snapshot images and incremental deltas
+// (parent-relative), both produced by the SnapshotArchiver.
+
+#ifndef SRC_ARCHIVE_ARCHIVE_STORE_H_
+#define SRC_ARCHIVE_ARCHIVE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace iosnap {
+
+struct ArchiveConfig {
+  uint64_t seek_ns = MsToNs(8);             // Per-stream positioning cost.
+  uint64_t bandwidth_bytes_per_sec = 150ull * 1000 * 1000;  // ~150 MB/s streaming.
+};
+
+// One archived image: a (sparse) block map, either self-contained or a delta on top of
+// a parent archive.
+struct ArchiveImage {
+  uint64_t archive_id = 0;
+  std::string name;
+  std::optional<uint64_t> parent_id;        // Set for incremental images.
+  // lba -> page payload (may be empty vectors when the source ran header-only).
+  std::map<uint64_t, std::vector<uint8_t>> blocks;
+  // LBAs that the delta *removes* relative to the parent (trimmed since).
+  std::vector<uint64_t> deleted_lbas;
+  uint64_t bytes_written = 0;               // Archive media footprint.
+};
+
+class ArchiveStore {
+ public:
+  explicit ArchiveStore(const ArchiveConfig& config) : config_(config) {}
+
+  const ArchiveConfig& config() const { return config_; }
+
+  // Streams `image` onto the archive media. Returns the completion time; the image
+  // becomes retrievable afterwards. `page_bytes` prices header-only payloads honestly.
+  uint64_t Put(ArchiveImage image, uint64_t page_bytes, uint64_t issue_ns);
+
+  bool Contains(uint64_t archive_id) const { return images_.contains(archive_id); }
+  StatusOr<const ArchiveImage*> Get(uint64_t archive_id) const;
+
+  // Reconstructs the full block map of an image by walking its parent chain
+  // (base -> ... -> image, applying deltas). Charges read time through *finish_ns.
+  StatusOr<std::map<uint64_t, std::vector<uint8_t>>> Materialize(uint64_t archive_id,
+                                                                 uint64_t page_bytes,
+                                                                 uint64_t issue_ns,
+                                                                 uint64_t* finish_ns) const;
+
+  Status Delete(uint64_t archive_id);
+
+  uint64_t NextId() { return next_id_++; }
+  uint64_t TotalBytesStored() const;
+  size_t ImageCount() const { return images_.size(); }
+
+ private:
+  // Virtual-time cost of streaming `bytes` starting at `issue_ns`.
+  uint64_t StreamFinish(uint64_t bytes, uint64_t issue_ns) const;
+
+  ArchiveConfig config_;
+  std::map<uint64_t, ArchiveImage> images_;
+  uint64_t next_id_ = 1;
+  uint64_t busy_until_ns_ = 0;  // The archive device handles one stream at a time.
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_ARCHIVE_ARCHIVE_STORE_H_

@@ -1,0 +1,169 @@
+#include "src/archive/snapshot_archiver.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+SnapshotArchiver::SnapshotArchiver(Ftl* ftl, ArchiveStore* store)
+    : ftl_(ftl), store_(store) {
+  IOSNAP_CHECK(ftl != nullptr);
+  IOSNAP_CHECK(store != nullptr);
+}
+
+StatusOr<SnapshotDiff> SnapshotArchiver::Diff(uint32_t base_snap_id,
+                                              uint32_t target_snap_id, uint64_t issue_ns,
+                                              uint64_t* finish_ns) {
+  uint64_t t = issue_ns;
+  ASSIGN_OR_RETURN(uint32_t base_view,
+                   ftl_->ActivateBlocking(base_snap_id, t, /*writable=*/false, &t));
+  ASSIGN_OR_RETURN(uint32_t target_view,
+                   ftl_->ActivateBlocking(target_snap_id, t, /*writable=*/false, &t));
+  ASSIGN_OR_RETURN(auto base_entries, ftl_->ViewMapEntries(base_view));
+  ASSIGN_OR_RETURN(auto target_entries, ftl_->ViewMapEntries(target_view));
+  RETURN_IF_ERROR(ftl_->Deactivate(base_view, t));
+  RETURN_IF_ERROR(ftl_->Deactivate(target_view, t));
+
+  // Both lists are LBA-sorted: one merge pass.
+  SnapshotDiff diff;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < base_entries.size() || j < target_entries.size()) {
+    if (j >= target_entries.size() ||
+        (i < base_entries.size() && base_entries[i].first < target_entries[j].first)) {
+      diff.deleted.push_back(base_entries[i].first);
+      ++i;
+    } else if (i >= base_entries.size() ||
+               target_entries[j].first < base_entries[i].first) {
+      diff.changed_or_added.push_back(target_entries[j].first);
+      ++j;
+    } else {
+      // Same LBA in both: changed iff it maps to a different physical page. A snapshot
+      // map holds exactly one valid page per LBA, so equal paddr == identical content
+      // (the cleaner moves both references together).
+      if (base_entries[i].second != target_entries[j].second) {
+        diff.changed_or_added.push_back(target_entries[j].first);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (finish_ns != nullptr) {
+    *finish_ns = t;
+  }
+  return diff;
+}
+
+StatusOr<uint64_t> SnapshotArchiver::CopyBlocks(
+    uint32_t view_id, const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+    ArchiveImage* image, uint64_t issue_ns) {
+  uint64_t t = issue_ns;
+  for (const auto& [lba, paddr] : entries) {
+    std::vector<uint8_t> data;
+    ASSIGN_OR_RETURN(IoResult io, ftl_->ReadView(view_id, lba, t, &data));
+    t = io.CompletionNs();
+    image->blocks.emplace(lba, std::move(data));
+  }
+  return t;
+}
+
+StatusOr<ArchiveResult> SnapshotArchiver::ArchiveFull(uint32_t snap_id, uint64_t issue_ns,
+                                                      bool delete_after) {
+  ASSIGN_OR_RETURN(SnapshotInfo info, ftl_->snapshot_tree().Get(snap_id));
+  uint64_t t = issue_ns;
+  ASSIGN_OR_RETURN(uint32_t view,
+                   ftl_->ActivateBlocking(snap_id, t, /*writable=*/false, &t));
+  ASSIGN_OR_RETURN(auto entries, ftl_->ViewMapEntries(view));
+
+  ArchiveImage image;
+  image.archive_id = store_->NextId();
+  image.name = info.name;
+  ASSIGN_OR_RETURN(t, CopyBlocks(view, entries, &image, t));
+  RETURN_IF_ERROR(ftl_->Deactivate(view, t));
+
+  ArchiveResult result;
+  result.archive_id = image.archive_id;
+  result.blocks = entries.size();
+  result.finish_ns = store_->Put(std::move(image), ftl_->config().nand.page_size_bytes, t);
+
+  if (delete_after) {
+    ASSIGN_OR_RETURN(IoResult del, ftl_->DeleteSnapshot(snap_id, result.finish_ns));
+    result.finish_ns = std::max(result.finish_ns, del.CompletionNs());
+  }
+  return result;
+}
+
+StatusOr<ArchiveResult> SnapshotArchiver::ArchiveIncremental(uint32_t base_snap_id,
+                                                             uint64_t base_archive_id,
+                                                             uint32_t snap_id,
+                                                             uint64_t issue_ns,
+                                                             bool delete_after) {
+  if (!store_->Contains(base_archive_id)) {
+    return NotFound("base archive image " + std::to_string(base_archive_id) +
+                    " does not exist");
+  }
+  ASSIGN_OR_RETURN(SnapshotInfo info, ftl_->snapshot_tree().Get(snap_id));
+
+  uint64_t t = issue_ns;
+  ASSIGN_OR_RETURN(SnapshotDiff diff, Diff(base_snap_id, snap_id, t, &t));
+
+  ASSIGN_OR_RETURN(uint32_t view,
+                   ftl_->ActivateBlocking(snap_id, t, /*writable=*/false, &t));
+  ArchiveImage image;
+  image.archive_id = store_->NextId();
+  image.name = info.name;
+  image.parent_id = base_archive_id;
+  image.deleted_lbas = diff.deleted;
+  for (uint64_t lba : diff.changed_or_added) {
+    std::vector<uint8_t> data;
+    ASSIGN_OR_RETURN(IoResult io, ftl_->ReadView(view, lba, t, &data));
+    t = io.CompletionNs();
+    image.blocks.emplace(lba, std::move(data));
+  }
+  RETURN_IF_ERROR(ftl_->Deactivate(view, t));
+
+  ArchiveResult result;
+  result.archive_id = image.archive_id;
+  result.blocks = diff.changed_or_added.size();
+  result.finish_ns = store_->Put(std::move(image), ftl_->config().nand.page_size_bytes, t);
+
+  if (delete_after) {
+    ASSIGN_OR_RETURN(IoResult del, ftl_->DeleteSnapshot(snap_id, result.finish_ns));
+    result.finish_ns = std::max(result.finish_ns, del.CompletionNs());
+  }
+  return result;
+}
+
+StatusOr<uint64_t> SnapshotArchiver::RestoreToPrimary(uint64_t archive_id, uint64_t extent,
+                                                      uint64_t issue_ns) {
+  uint64_t t = issue_ns;
+  ASSIGN_OR_RETURN(auto blocks, store_->Materialize(
+                                    archive_id, ftl_->config().nand.page_size_bytes,
+                                    issue_ns, &t));
+  // Trim live LBAs that are absent from the image, then write the image's blocks.
+  uint64_t run_start = 0;
+  auto flush_trim = [&](uint64_t end) -> Status {
+    if (end > run_start) {
+      ASSIGN_OR_RETURN(IoResult io, ftl_->Trim(run_start, end - run_start, t));
+      t = io.CompletionNs();
+    }
+    return OkStatus();
+  };
+  for (const auto& [lba, data] : blocks) {
+    if (lba >= extent) {
+      break;
+    }
+    RETURN_IF_ERROR(flush_trim(lba));
+    run_start = lba + 1;
+  }
+  RETURN_IF_ERROR(flush_trim(extent));
+
+  for (const auto& [lba, data] : blocks) {
+    ASSIGN_OR_RETURN(IoResult io, ftl_->Write(lba, data, t));
+    t = io.CompletionNs();
+  }
+  return t;
+}
+
+}  // namespace iosnap

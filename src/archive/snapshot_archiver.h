@@ -1,0 +1,71 @@
+// SnapshotArchiver: moves ioSnap snapshots between flash and the archival tier (§7).
+//
+// Destaging activates the snapshot (reusing the rate-limitable activation machinery),
+// streams every mapped block off flash onto the ArchiveStore, and optionally deletes the
+// snapshot so the segment cleaner reclaims its flash space. Incremental destages diff
+// two snapshots' forward maps — possible precisely because a snapshot's map lists one
+// valid physical page per LBA, so "changed since the base" is a map comparison, not a
+// content scan.
+
+#ifndef SRC_ARCHIVE_SNAPSHOT_ARCHIVER_H_
+#define SRC_ARCHIVE_SNAPSHOT_ARCHIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/archive/archive_store.h"
+#include "src/core/ftl.h"
+
+namespace iosnap {
+
+// Block-level difference between two snapshots.
+struct SnapshotDiff {
+  std::vector<uint64_t> changed_or_added;  // LBAs mapped differently in the newer one.
+  std::vector<uint64_t> deleted;           // LBAs mapped in base but not in the newer.
+};
+
+struct ArchiveResult {
+  uint64_t archive_id = 0;
+  uint64_t blocks = 0;        // Blocks streamed (delta blocks for incrementals).
+  uint64_t finish_ns = 0;
+};
+
+class SnapshotArchiver {
+ public:
+  SnapshotArchiver(Ftl* ftl, ArchiveStore* store);
+
+  // Computes the block diff between two snapshots (base older than target).
+  StatusOr<SnapshotDiff> Diff(uint32_t base_snap_id, uint32_t target_snap_id,
+                              uint64_t issue_ns, uint64_t* finish_ns);
+
+  // Full destage of a snapshot. With `delete_after`, the flash-side snapshot is removed
+  // once the image is durable, letting the cleaner reclaim its space.
+  StatusOr<ArchiveResult> ArchiveFull(uint32_t snap_id, uint64_t issue_ns,
+                                      bool delete_after = false);
+
+  // Incremental destage: streams only blocks that differ from `base_archive_id`'s source
+  // snapshot. The caller asserts that `base_archive_id` was produced from
+  // `base_snap_id` (the archiver has no flash-side record of deleted snapshots).
+  StatusOr<ArchiveResult> ArchiveIncremental(uint32_t base_snap_id,
+                                             uint64_t base_archive_id, uint32_t snap_id,
+                                             uint64_t issue_ns, bool delete_after = false);
+
+  // Restores an archived image into the live volume: every block in the materialized
+  // image is written back; LBAs absent from the image are trimmed within [0, extent).
+  // Returns the device finish time.
+  StatusOr<uint64_t> RestoreToPrimary(uint64_t archive_id, uint64_t extent,
+                                      uint64_t issue_ns);
+
+ private:
+  // Reads an activated view's blocks into an image.
+  StatusOr<uint64_t> CopyBlocks(uint32_t view_id,
+                                const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+                                ArchiveImage* image, uint64_t issue_ns);
+
+  Ftl* ftl_;
+  ArchiveStore* store_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_ARCHIVE_SNAPSHOT_ARCHIVER_H_

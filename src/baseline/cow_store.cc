@@ -1,0 +1,425 @@
+#include "src/baseline/cow_store.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+namespace {
+// Refcount-table entries per on-device table block.
+constexpr uint64_t kRefsPerBlock = 1024;
+}  // namespace
+
+struct CowStore::Node {
+  bool leaf = true;
+  uint64_t addr = 0;        // Device block holding this node.
+  uint64_t generation = 0;  // Transaction that wrote (or will write) this node.
+  bool dirty = false;
+  std::vector<uint64_t> keys;      // Leaf: block keys. Internal: min key of children[i].
+  std::vector<uint64_t> values;    // Leaf only: data block addresses.
+  std::vector<NodeRef> children;   // Internal only.
+};
+
+CowStore::CowStore(Ftl* device, const CowStoreOptions& opts)
+    : device_(device), opts_(opts), allocated_(device->LbaCount()) {}
+
+CowStore::~CowStore() = default;
+
+StatusOr<std::unique_ptr<CowStore>> CowStore::Create(Ftl* device,
+                                                     const CowStoreOptions& opts) {
+  if (device == nullptr) {
+    return InvalidArgument("cow_store: no device");
+  }
+  if (opts.node_fanout < 4) {
+    return InvalidArgument("cow_store: fanout too small");
+  }
+  std::unique_ptr<CowStore> store(new CowStore(device, opts));
+
+  const uint64_t lba_count = device->LbaCount();
+  const uint64_t num_buckets = lba_count / (kRefsPerBlock + 1) + 2;
+  if (lba_count < num_buckets + 16) {
+    return InvalidArgument("cow_store: device too small");
+  }
+  store->reftable_base_ = lba_count - num_buckets;
+  store->allocated_.Set(0);  // Superblock.
+  if (store->opts_.volume_blocks == 0) {
+    store->opts_.volume_blocks = (store->reftable_base_ - 1) / 2;
+  }
+
+  // Empty root leaf.
+  ASSIGN_OR_RETURN(uint64_t root_addr, store->AllocBlock());
+  auto root = std::make_shared<Node>();
+  root->addr = root_addr;
+  root->generation = store->current_generation_;
+  root->dirty = true;
+  store->refcounts_[root_addr] = 1;
+  store->root_ = std::move(root);
+  return store;
+}
+
+StatusOr<uint64_t> CowStore::AllocBlock() {
+  const uint64_t limit = reftable_base_;
+  for (uint64_t scanned = 0; scanned < limit; ++scanned) {
+    uint64_t candidate = alloc_cursor_;
+    alloc_cursor_ = alloc_cursor_ + 1 >= limit ? 1 : alloc_cursor_ + 1;
+    if (!allocated_.Test(candidate)) {
+      allocated_.Set(candidate);
+      ++stats_.allocated_blocks;
+      return candidate;
+    }
+  }
+  return ResourceExhausted("cow_store: volume is full");
+}
+
+void CowStore::MarkRefDirty(uint64_t addr) { dirty_ref_buckets_.insert(addr / kRefsPerBlock); }
+
+void CowStore::ReleaseBlock(uint64_t addr, const NodeRef& node) {
+  auto it = refcounts_.find(addr);
+  IOSNAP_CHECK(it != refcounts_.end() && it->second > 0);
+  MarkRefDirty(addr);
+  if (--it->second > 0) {
+    return;
+  }
+  refcounts_.erase(it);
+  allocated_.Clear(addr);
+  --stats_.allocated_blocks;
+  pending_trims_.push_back(addr);
+  if (node != nullptr) {
+    // Cascade: the last on-device reference to this node is gone, so it drops its own
+    // references to children (internal) or data blocks (leaf).
+    if (node->leaf) {
+      for (uint64_t data_addr : node->values) {
+        ReleaseBlock(data_addr, nullptr);
+      }
+    } else {
+      for (const NodeRef& child : node->children) {
+        ReleaseBlock(child->addr, child);
+      }
+    }
+  }
+}
+
+StatusOr<CowStore::NodeRef> CowStore::MakeMutable(const NodeRef& node, uint64_t* host_ns) {
+  *host_ns += opts_.host_node_visit_ns;
+  auto ref_it = refcounts_.find(node->addr);
+  IOSNAP_CHECK(ref_it != refcounts_.end());
+  if (node->dirty && node->generation == current_generation_ && ref_it->second == 1) {
+    return node;  // Already private to this transaction.
+  }
+
+  // Btrfs CoW rule: committed or shared nodes are cloned to a fresh block; the clone
+  // takes a reference on every child.
+  auto clone = std::make_shared<Node>(*node);
+  ASSIGN_OR_RETURN(clone->addr, AllocBlock());
+  clone->generation = current_generation_;
+  clone->dirty = true;
+  refcounts_[clone->addr] = 1;
+  MarkRefDirty(clone->addr);
+
+  if (clone->leaf) {
+    for (uint64_t data_addr : clone->values) {
+      ++refcounts_[data_addr];
+      MarkRefDirty(data_addr);
+    }
+    *host_ns += clone->values.size() * opts_.host_ref_update_ns;
+  } else {
+    for (const NodeRef& child : clone->children) {
+      ++refcounts_[child->addr];
+      MarkRefDirty(child->addr);
+    }
+    *host_ns += clone->children.size() * opts_.host_ref_update_ns;
+  }
+  *host_ns += opts_.host_node_cow_ns;
+  ++stats_.node_cow_clones;
+
+  ReleaseBlock(node->addr, node);
+  return clone;
+}
+
+Status CowStore::TreeInsert(uint64_t block, uint64_t data_addr, uint64_t now_ns,
+                            uint64_t* host_ns) {
+  ASSIGN_OR_RETURN(root_, MakeMutable(root_, host_ns));
+
+  // Descend with path CoW, remembering the path for splits.
+  std::vector<NodeRef> path;
+  path.push_back(root_);
+  while (!path.back()->leaf) {
+    NodeRef& parent = path.back();
+    // Route to the last child whose min key is <= block.
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(parent->keys.begin(), parent->keys.end(), block) -
+        parent->keys.begin());
+    if (idx > 0) {
+      --idx;
+    }
+    ASSIGN_OR_RETURN(NodeRef child, MakeMutable(parent->children[idx], host_ns));
+    parent->children[idx] = child;
+    path.push_back(child);
+  }
+
+  // Leaf insert / overwrite.
+  NodeRef leaf = path.back();
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), block);
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  if (it != leaf->keys.end() && *it == block) {
+    ReleaseBlock(leaf->values[pos], nullptr);
+    leaf->values[pos] = data_addr;
+    return OkStatus();
+  }
+  leaf->keys.insert(it, block);
+  leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(pos), data_addr);
+
+  // Split overfull nodes bottom-up. Every node on the path is already mutable.
+  for (size_t level = path.size(); level-- > 0;) {
+    NodeRef node = path[level];
+    const size_t size = node->leaf ? node->keys.size() : node->children.size();
+    if (size <= opts_.node_fanout) {
+      break;
+    }
+    auto right = std::make_shared<Node>();
+    right->leaf = node->leaf;
+    ASSIGN_OR_RETURN(right->addr, AllocBlock());
+    right->generation = current_generation_;
+    right->dirty = true;
+    refcounts_[right->addr] = 1;
+    MarkRefDirty(right->addr);
+
+    const size_t keep = size / 2;
+    if (node->leaf) {
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(keep),
+                         node->keys.end());
+      right->values.assign(node->values.begin() + static_cast<ptrdiff_t>(keep),
+                           node->values.end());
+      node->keys.resize(keep);
+      node->values.resize(keep);
+    } else {
+      right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(keep),
+                         node->keys.end());
+      right->children.assign(node->children.begin() + static_cast<ptrdiff_t>(keep),
+                             node->children.end());
+      node->keys.resize(keep);
+      node->children.resize(keep);
+    }
+    const uint64_t right_min = right->keys.front();
+
+    if (level == 0) {
+      // Grow a new root above.
+      auto new_root = std::make_shared<Node>();
+      new_root->leaf = false;
+      ASSIGN_OR_RETURN(new_root->addr, AllocBlock());
+      new_root->generation = current_generation_;
+      new_root->dirty = true;
+      refcounts_[new_root->addr] = 1;
+      MarkRefDirty(new_root->addr);
+      new_root->keys = {node->keys.front(), right_min};
+      new_root->children = {node, right};
+      root_ = new_root;
+    } else {
+      NodeRef parent = path[level - 1];
+      const auto child_it =
+          std::find(parent->children.begin(), parent->children.end(), node);
+      IOSNAP_CHECK(child_it != parent->children.end());
+      const size_t child_idx = static_cast<size_t>(child_it - parent->children.begin());
+      parent->keys.insert(parent->keys.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
+                          right_min);
+      parent->children.insert(
+          parent->children.begin() + static_cast<ptrdiff_t>(child_idx) + 1, right);
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<std::optional<uint64_t>> CowStore::TreeLookup(const NodeRef& root, uint64_t block,
+                                                       uint64_t* host_ns) const {
+  NodeRef node = root;
+  while (true) {
+    *host_ns += opts_.host_node_visit_ns;
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), block);
+      if (it != node->keys.end() && *it == block) {
+        return std::optional<uint64_t>(
+            node->values[static_cast<size_t>(it - node->keys.begin())]);
+      }
+      return std::optional<uint64_t>(std::nullopt);
+    }
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), block) - node->keys.begin());
+    if (idx > 0) {
+      --idx;
+    }
+    node = node->children[idx];
+  }
+}
+
+void CowStore::CollectDirty(const NodeRef& node, std::vector<Node*>* out) {
+  if (!node->dirty) {
+    return;  // Clean nodes have only clean descendants.
+  }
+  out->push_back(node.get());
+  if (!node->leaf) {
+    for (const NodeRef& child : node->children) {
+      CollectDirty(child, out);
+    }
+  }
+}
+
+uint64_t CowStore::CountNodes(const NodeRef& node) const {
+  if (node->leaf) {
+    return 1;
+  }
+  uint64_t count = 1;
+  for (const NodeRef& child : node->children) {
+    count += CountNodes(child);
+  }
+  return count;
+}
+
+StatusOr<uint64_t> CowStore::Commit(uint64_t issue_ns) {
+  std::vector<Node*> dirty;
+  CollectDirty(root_, &dirty);
+
+  uint64_t finish = issue_ns;
+  // Flush dirty tree nodes (issued back-to-back; the device queues them).
+  for (Node* node : dirty) {
+    ASSIGN_OR_RETURN(IoResult io, device_->Write(node->addr, {}, issue_ns));
+    finish = std::max(finish, io.CompletionNs());
+    node->dirty = false;
+    ++stats_.metadata_block_writes;
+  }
+  // Flush touched refcount-table blocks.
+  for (uint64_t bucket : dirty_ref_buckets_) {
+    ASSIGN_OR_RETURN(IoResult io, device_->Write(reftable_base_ + bucket, {}, issue_ns));
+    finish = std::max(finish, io.CompletionNs());
+    ++stats_.metadata_block_writes;
+  }
+  dirty_ref_buckets_.clear();
+
+  // Discard freed blocks (coalesced ranges) and write the superblock last.
+  std::sort(pending_trims_.begin(), pending_trims_.end());
+  size_t i = 0;
+  while (i < pending_trims_.size()) {
+    size_t j = i + 1;
+    while (j < pending_trims_.size() && pending_trims_[j] == pending_trims_[j - 1] + 1) {
+      ++j;
+    }
+    ASSIGN_OR_RETURN(IoResult io,
+                     device_->Trim(pending_trims_[i], j - i, finish));
+    finish = std::max(finish, io.CompletionNs());
+    i = j;
+  }
+  pending_trims_.clear();
+
+  ASSIGN_OR_RETURN(IoResult super, device_->Write(0, {}, finish));
+  finish = std::max(finish, super.CompletionNs());
+  ++stats_.metadata_block_writes;
+
+  ++current_generation_;
+  ops_since_commit_ = 0;
+  ++stats_.commits;
+  stats_.live_tree_nodes = CountNodes(root_);
+  return finish;
+}
+
+StatusOr<IoResult> CowStore::Write(uint64_t block, uint64_t issue_ns) {
+  if (block >= opts_.volume_blocks) {
+    return OutOfRange("cow_store: block out of range");
+  }
+  uint64_t host_ns = 0;
+
+  ASSIGN_OR_RETURN(uint64_t data_addr, AllocBlock());
+  refcounts_[data_addr] = 1;
+  MarkRefDirty(data_addr);
+  ASSIGN_OR_RETURN(IoResult data_io, device_->Write(data_addr, {}, issue_ns));
+  ++stats_.data_block_writes;
+
+  RETURN_IF_ERROR(TreeInsert(block, data_addr, issue_ns, &host_ns));
+
+  IoResult result;
+  result.op = data_io.op;
+  result.host_ns = data_io.host_ns + host_ns;
+
+  if (++ops_since_commit_ >= opts_.commit_every_ops) {
+    // Transaction group flush. Like a kernel transaction thread, the flush itself is not
+    // charged to this write's latency — but it occupies the device, so writes issued
+    // while it drains queue behind it (the latency bumps around commits/creates).
+    RETURN_IF_ERROR(Commit(result.op.finish_ns).status());
+  }
+  return result;
+}
+
+StatusOr<IoResult> CowStore::Read(uint64_t block, uint64_t issue_ns) {
+  if (block >= opts_.volume_blocks) {
+    return OutOfRange("cow_store: block out of range");
+  }
+  uint64_t host_ns = 0;
+  ASSIGN_OR_RETURN(std::optional<uint64_t> data_addr, TreeLookup(root_, block, &host_ns));
+  IoResult result;
+  if (!data_addr.has_value()) {
+    result.op.issue_ns = issue_ns;
+    result.op.finish_ns = issue_ns;
+    result.host_ns = host_ns;
+    return result;
+  }
+  ASSIGN_OR_RETURN(result, device_->Read(*data_addr, issue_ns, nullptr));
+  result.host_ns += host_ns;
+  return result;
+}
+
+StatusOr<IoResult> CowStore::Sync(uint64_t issue_ns) {
+  ASSIGN_OR_RETURN(uint64_t finish, Commit(issue_ns));
+  IoResult result;
+  result.op.issue_ns = issue_ns;
+  result.op.finish_ns = finish;
+  return result;
+}
+
+StatusOr<uint32_t> CowStore::CreateSnapshot(uint64_t issue_ns, IoResult* io) {
+  // Snapshot = quiesce + full commit + pin the root. The commit is the latency hit
+  // Figure 11 shows; contrast with ioSnap's single-note create.
+  ASSIGN_OR_RETURN(uint64_t finish, Commit(issue_ns));
+  ++refcounts_[root_->addr];
+  MarkRefDirty(root_->addr);
+  const uint32_t id = next_snap_id_++;
+  snapshots_.emplace(id, root_);
+  ++stats_.snapshots_created;
+  if (io != nullptr) {
+    io->op.issue_ns = issue_ns;
+    io->op.finish_ns = finish;
+    io->host_ns = 0;
+  }
+  return id;
+}
+
+Status CowStore::DeleteSnapshot(uint32_t snap_id, uint64_t issue_ns) {
+  auto it = snapshots_.find(snap_id);
+  if (it == snapshots_.end()) {
+    return NotFound("cow_store: no snapshot " + std::to_string(snap_id));
+  }
+  ReleaseBlock(it->second->addr, it->second);
+  snapshots_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<IoResult> CowStore::ReadSnapshot(uint32_t snap_id, uint64_t block,
+                                          uint64_t issue_ns) {
+  auto it = snapshots_.find(snap_id);
+  if (it == snapshots_.end()) {
+    return NotFound("cow_store: no snapshot " + std::to_string(snap_id));
+  }
+  uint64_t host_ns = 0;
+  ASSIGN_OR_RETURN(std::optional<uint64_t> data_addr,
+                   TreeLookup(it->second, block, &host_ns));
+  IoResult result;
+  if (!data_addr.has_value()) {
+    result.op.issue_ns = issue_ns;
+    result.op.finish_ns = issue_ns;
+    result.host_ns = host_ns;
+    return result;
+  }
+  ASSIGN_OR_RETURN(result, device_->Read(*data_addr, issue_ns, nullptr));
+  result.host_ns += host_ns;
+  return result;
+}
+
+}  // namespace iosnap

@@ -1,0 +1,39 @@
+// BlockTarget adapter so the workload Runner can drive the Btrfs-like baseline with the
+// exact loop used for the ioSnap FTL (Figures 11 and 12 run both sides identically).
+
+#ifndef SRC_BASELINE_COW_TARGET_H_
+#define SRC_BASELINE_COW_TARGET_H_
+
+#include "src/baseline/cow_store.h"
+#include "src/workload/runner.h"
+
+namespace iosnap {
+
+class CowStoreTarget : public BlockTarget {
+ public:
+  explicit CowStoreTarget(CowStore* store, Ftl* device) : store_(store), device_(device) {}
+
+  StatusOr<IoResult> DoOp(const IoOp& op, uint64_t issue_ns) override {
+    switch (op.kind) {
+      case IoKind::kRead:
+        return store_->Read(op.lba, issue_ns);
+      case IoKind::kWrite:
+        return store_->Write(op.lba, issue_ns);
+      case IoKind::kTrim:
+        return Unimplemented("cow_store: user-level trim not supported");
+    }
+    return InvalidArgument("unknown op kind");
+  }
+
+  void Pump(uint64_t now_ns) override { device_->PumpBackground(now_ns); }
+  uint64_t LbaCount() const override { return store_->volume_blocks(); }
+  uint64_t DrainNs() const override { return device_->device().DrainTimeNs(); }
+
+ private:
+  CowStore* store_;
+  Ftl* device_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_BASELINE_COW_TARGET_H_

@@ -1,0 +1,88 @@
+#include "src/common/bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+namespace iosnap {
+
+Bitmap::Bitmap(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+void Bitmap::Set(size_t index) {
+  assert(index < num_bits_);
+  words_[index / kBitsPerWord] |= (uint64_t{1} << (index % kBitsPerWord));
+}
+
+void Bitmap::Clear(size_t index) {
+  assert(index < num_bits_);
+  words_[index / kBitsPerWord] &= ~(uint64_t{1} << (index % kBitsPerWord));
+}
+
+bool Bitmap::Test(size_t index) const {
+  assert(index < num_bits_);
+  return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1;
+}
+
+size_t Bitmap::CountOnes() const {
+  size_t count = 0;
+  for (uint64_t word : words_) {
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+size_t Bitmap::CountOnesInRange(size_t begin, size_t end) const {
+  assert(begin <= end && end <= num_bits_);
+  size_t count = 0;
+  size_t i = begin;
+  // Leading partial word.
+  while (i < end && (i % kBitsPerWord) != 0) {
+    count += Test(i) ? 1 : 0;
+    ++i;
+  }
+  // Whole words.
+  while (i + kBitsPerWord <= end) {
+    count += static_cast<size_t>(std::popcount(words_[i / kBitsPerWord]));
+    i += kBitsPerWord;
+  }
+  // Trailing partial word.
+  while (i < end) {
+    count += Test(i) ? 1 : 0;
+    ++i;
+  }
+  return count;
+}
+
+size_t Bitmap::FindFirstSet(size_t from) const {
+  if (from >= num_bits_) {
+    return num_bits_;
+  }
+  size_t word_index = from / kBitsPerWord;
+  uint64_t word = words_[word_index] & (~uint64_t{0} << (from % kBitsPerWord));
+  while (true) {
+    if (word != 0) {
+      size_t bit = word_index * kBitsPerWord + static_cast<size_t>(std::countr_zero(word));
+      return bit < num_bits_ ? bit : num_bits_;
+    }
+    ++word_index;
+    if (word_index >= words_.size()) {
+      return num_bits_;
+    }
+    word = words_[word_index];
+  }
+}
+
+void Bitmap::Reset() {
+  for (uint64_t& word : words_) {
+    word = 0;
+  }
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+}  // namespace iosnap

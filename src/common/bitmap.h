@@ -1,0 +1,56 @@
+// Dense bitset over 64-bit words. This is the raw storage primitive underneath the FTL's
+// per-epoch copy-on-write validity maps (src/ftl/validity_map.h); it knows nothing about
+// epochs or chunks itself.
+
+#ifndef SRC_COMMON_BITMAP_H_
+#define SRC_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iosnap {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t index);
+  void Clear(size_t index);
+  bool Test(size_t index) const;
+
+  // Number of set bits in the whole map.
+  size_t CountOnes() const;
+
+  // Number of set bits in [begin, end).
+  size_t CountOnesInRange(size_t begin, size_t end) const;
+
+  // Index of the first set bit at or after `from`, or size() if none.
+  size_t FindFirstSet(size_t from = 0) const;
+
+  // Sets all bits to zero without changing the size.
+  void Reset();
+
+  // In-place bitwise OR with another bitmap of identical size.
+  void OrWith(const Bitmap& other);
+
+  bool operator==(const Bitmap& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  // Approximate heap footprint, used by memory-overhead experiments.
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  static constexpr size_t kBitsPerWord = 64;
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_BITMAP_H_

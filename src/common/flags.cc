@@ -1,0 +1,67 @@
+#include "src/common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace iosnap {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values_[arg] = "true";
+    } else {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::UnknownFlags(const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace iosnap

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the tools and benchmark binaries.
+// Accepts --name=value and --name (boolean true); everything else is positional.
+
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iosnap {
+
+class Flags {
+ public:
+  // Parses argv; unknown flags are kept (validated by the caller via Has/Keys).
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string GetString(const std::string& name, const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Returns the flag names that were passed but are not in `known` (typo detection).
+  std::vector<std::string> UnknownFlags(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,0 +1,67 @@
+// Minimal logging / assertion macros for an exception-free codebase.
+//
+// IOSNAP_CHECK aborts on violated invariants (programming errors); recoverable conditions
+// go through Status instead. LOG(level) writes a structured line to stderr.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace iosnap {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Global threshold; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace iosnap
+
+#define IOSNAP_LOG_ENABLED(level) (::iosnap::LogLevel::level >= ::iosnap::GetLogLevel())
+
+#define IOSNAP_LOG(level)             \
+  !IOSNAP_LOG_ENABLED(level)          \
+      ? (void)0                       \
+      : ::iosnap::LogMessageVoidify() & \
+            ::iosnap::LogMessage(::iosnap::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define IOSNAP_CHECK(condition)                                                      \
+  do {                                                                               \
+    if (!(condition)) {                                                              \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__ << ": "         \
+                << #condition << std::endl;                                          \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define IOSNAP_CHECK_OK(expr)                                                        \
+  do {                                                                               \
+    const ::iosnap::Status iosnap_check_status_ = (expr);                            \
+    if (!iosnap_check_status_.ok()) {                                                \
+      std::cerr << "CHECK_OK failed at " << __FILE__ << ":" << __LINE__ << ": "      \
+                << iosnap_check_status_.ToString() << std::endl;                     \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation (xoshiro256**), used by workload
+// generators and property tests. Seeded explicitly everywhere so runs reproduce.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace iosnap {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+// Virtual clock driving the whole simulation.
+//
+// The repository is a discrete-event simulation of an FTL on a NAND device: no component
+// reads wall-clock time. Foreground I/O, the segment cleaner, and snapshot activation all
+// advance and observe one SimClock, which makes every benchmark timeline deterministic.
+
+#ifndef SRC_COMMON_SIM_CLOCK_H_
+#define SRC_COMMON_SIM_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace iosnap {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Current virtual time in nanoseconds since simulation start.
+  uint64_t NowNs() const { return now_ns_; }
+
+  // Moves time forward by `delta_ns`.
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+
+  // Moves time forward to `t_ns` if it is in the future; never moves backwards.
+  void AdvanceTo(uint64_t t_ns) { now_ns_ = std::max(now_ns_, t_ns); }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_SIM_CLOCK_H_

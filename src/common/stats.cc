@@ -1,0 +1,117 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/units.h"
+
+namespace iosnap {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(uint64_t ns) {
+  if (ns == 0) {
+    return 0;
+  }
+  const int log2 = 63 - std::countl_zero(ns);
+  int sub = 0;
+  if (log2 > 4) {
+    // Position within the power-of-two range, quantized to kSubBuckets slots.
+    sub = static_cast<int>((ns - (uint64_t{1} << log2)) >> (log2 - 4));
+  }
+  const int bucket = log2 * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketValue(int bucket) {
+  const int log2 = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const uint64_t base = uint64_t{1} << log2;
+  if (log2 <= 4) {
+    return base;
+  }
+  // Midpoint of the sub-bucket.
+  return base + (static_cast<uint64_t>(sub) << (log2 - 4)) + (uint64_t{1} << (log2 - 5));
+}
+
+void LatencyHistogram::Add(uint64_t latency_ns) {
+  ++buckets_[static_cast<size_t>(BucketFor(latency_ns))];
+  ++count_;
+  sum_ns_ += static_cast<double>(latency_ns);
+  max_ns_ = std::max(max_ns_, latency_ns);
+}
+
+uint64_t LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return BucketValue(i);
+    }
+  }
+  return max_ns_;
+}
+
+std::vector<Timeline::Bucket> Timeline::Bucketize(uint64_t bucket_ns) const {
+  std::vector<Bucket> out;
+  if (samples_.empty() || bucket_ns == 0) {
+    return out;
+  }
+  uint64_t bucket_start = samples_.front().t_ns / bucket_ns * bucket_ns;
+  OnlineStats stats;
+  for (const Sample& s : samples_) {
+    while (s.t_ns >= bucket_start + bucket_ns) {
+      if (stats.count() > 0) {
+        out.push_back({bucket_start, stats.count(), stats.mean(), stats.max()});
+      }
+      stats = OnlineStats();
+      bucket_start += bucket_ns;
+    }
+    stats.Add(s.value);
+  }
+  if (stats.count() > 0) {
+    out.push_back({bucket_start, stats.count(), stats.mean(), stats.max()});
+  }
+  return out;
+}
+
+std::string Timeline::ToCsv(uint64_t bucket_ns, const std::string& t_label,
+                            const std::string& value_label) const {
+  std::ostringstream os;
+  os << t_label << "," << value_label << "_mean," << value_label << "_max,count\n";
+  for (const Bucket& b : Bucketize(bucket_ns)) {
+    os << NsToSec(b.t_ns) << "," << b.mean << "," << b.max << "," << b.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace iosnap

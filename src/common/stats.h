@@ -1,0 +1,99 @@
+// Measurement helpers used by benchmarks and the workload runner:
+//  - OnlineStats:    streaming mean / stddev / min / max.
+//  - LatencyHistogram: log-bucketed latency histogram with percentile queries.
+//  - Timeline:       (virtual time, value) series with fixed-interval bucketing for the
+//                    latency-over-time figures (Fig 7, 9, 10, 11, 12).
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iosnap {
+
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Sample standard deviation (Welford).
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Histogram over latencies in nanoseconds. Buckets grow geometrically (factor ~1.13,
+// 16 sub-buckets per power of two) so percile error stays under ~7% across ns..minutes.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(uint64_t latency_ns);
+
+  uint64_t count() const { return count_; }
+  double MeanNs() const { return count_ == 0 ? 0.0 : sum_ns_ / static_cast<double>(count_); }
+  uint64_t MaxNs() const { return max_ns_; }
+
+  // Latency at percentile p in [0, 100]. Returns the representative value of the bucket
+  // containing the p-th sample.
+  uint64_t PercentileNs(double p) const;
+
+ private:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(uint64_t ns);
+  static uint64_t BucketValue(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t max_ns_ = 0;
+  double sum_ns_ = 0.0;
+};
+
+// A time-ordered series of samples on the virtual clock. Used to emit the paper's
+// latency-vs-time and bandwidth-vs-time plots as CSV.
+class Timeline {
+ public:
+  struct Sample {
+    uint64_t t_ns;
+    double value;
+  };
+
+  void Add(uint64_t t_ns, double value) { samples_.push_back({t_ns, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  struct Bucket {
+    uint64_t t_ns;     // Bucket start time.
+    uint64_t count;
+    double mean;
+    double max;
+  };
+
+  // Aggregates samples into fixed-width virtual-time buckets (for plot-friendly output).
+  std::vector<Bucket> Bucketize(uint64_t bucket_ns) const;
+
+  // Renders "t_label,value_label" CSV rows of the bucketized series to a string.
+  std::string ToCsv(uint64_t bucket_ns, const std::string& t_label,
+                    const std::string& value_label) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_STATS_H_

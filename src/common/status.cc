@@ -1,0 +1,71 @@
+#include "src/common/status.h"
+
+namespace iosnap {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) { return Status(StatusCode::kNotFound, std::move(message)); }
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DataLoss(std::string message) { return Status(StatusCode::kDataLoss, std::move(message)); }
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Internal(std::string message) { return Status(StatusCode::kInternal, std::move(message)); }
+
+}  // namespace iosnap

@@ -1,0 +1,134 @@
+// Lightweight error-handling primitives (no exceptions), modeled on absl::Status.
+//
+// All fallible operations in this codebase return Status or StatusOr<T>. Callers either
+// handle the error or propagate it with RETURN_IF_ERROR / ASSIGN_OR_RETURN.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace iosnap {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kDataLoss,
+  kUnavailable,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for a status code ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or carries an error code plus a diagnostic message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Full "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status FailedPrecondition(std::string message);
+Status ResourceExhausted(std::string message);
+Status DataLoss(std::string message);
+Status Unavailable(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+// A StatusOr<T> holds either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define IOSNAP_CONCAT_INNER_(a, b) a##b
+#define IOSNAP_CONCAT_(a, b) IOSNAP_CONCAT_INNER_(a, b)
+
+// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::iosnap::Status iosnap_status_tmp_ = (expr);    \
+    if (!iosnap_status_tmp_.ok()) {                  \
+      return iosnap_status_tmp_;                     \
+    }                                                \
+  } while (0)
+
+// Evaluates a StatusOr expression; on error propagates the Status, otherwise assigns the value.
+#define ASSIGN_OR_RETURN(lhs, expr) \
+  ASSIGN_OR_RETURN_IMPL_(IOSNAP_CONCAT_(iosnap_statusor_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                           \
+  if (!tmp.ok()) {                             \
+    return tmp.status();                       \
+  }                                            \
+  lhs = std::move(tmp).value()
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// Size and virtual-time unit helpers. All simulated time in this codebase is in nanoseconds
+// held in uint64_t; all sizes are in bytes held in uint64_t.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace iosnap {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint64_t kNsPerUs = 1000;
+inline constexpr uint64_t kNsPerMs = 1000 * kNsPerUs;
+inline constexpr uint64_t kNsPerSec = 1000 * kNsPerMs;
+
+constexpr uint64_t UsToNs(uint64_t us) { return us * kNsPerUs; }
+constexpr uint64_t MsToNs(uint64_t ms) { return ms * kNsPerMs; }
+constexpr uint64_t SecToNs(uint64_t sec) { return sec * kNsPerSec; }
+
+constexpr double NsToUs(uint64_t ns) { return static_cast<double>(ns) / kNsPerUs; }
+constexpr double NsToMs(uint64_t ns) { return static_cast<double>(ns) / kNsPerMs; }
+constexpr double NsToSec(uint64_t ns) { return static_cast<double>(ns) / kNsPerSec; }
+
+// Throughput in MB/s (decimal MB, as storage papers report) given bytes moved over a
+// virtual-time interval.
+constexpr double MbPerSec(uint64_t bytes, uint64_t elapsed_ns) {
+  if (elapsed_ns == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(bytes) / 1e6) / NsToSec(elapsed_ns);
+}
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_UNITS_H_

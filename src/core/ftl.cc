@@ -1,0 +1,734 @@
+#include "src/core/ftl.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+#include "src/core/checkpoint.h"
+#include "src/core/recovery.h"
+
+namespace iosnap {
+
+namespace {
+// Pacing slack: budget slightly more copy work than the estimate so cleaning finishes
+// before the free pool does even under mild estimate error.
+constexpr double kPacingSlack = 1.3;
+// Give up on emergency cleaning after this many rounds: the device is full. Generous
+// because one round's net gain can be fractional — a nearly-full victim frees one
+// segment while the copy-forward heads consume most of one — and because the
+// epoch-colocating policy must first warm up its per-class heads.
+constexpr int kMaxInlineCleanRounds = 64;
+}  // namespace
+
+Ftl::Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device)
+    : config_(config),
+      device_(std::move(device)),
+      log_(device_.get(), config.gc_reserve_segments),
+      validity_(config.nand.TotalPages(), config.validity_chunk_bits,
+                config.naive_validity_copy),
+      lba_count_(config.LbaCount()),
+      gc_idle_limiter_(RateLimit::Of(100, 5)) {}
+
+Ftl::~Ftl() = default;
+
+StatusOr<std::unique_ptr<Ftl>> Ftl::Create(const FtlConfig& config) {
+  if (config.LbaCount() == 0) {
+    return InvalidArgument("ftl: overprovision leaves no LBA space");
+  }
+  if (config.gc_reserve_segments + 1 >= config.nand.num_segments) {
+    return InvalidArgument("ftl: GC reserve consumes the whole device");
+  }
+  auto device = std::make_unique<NandDevice>(config.nand);
+  std::unique_ptr<Ftl> ftl(new Ftl(config, std::move(device)));
+  ftl->validity_.CreateEpoch(kRootEpoch);
+  View primary;
+  primary.view_id = kPrimaryView;
+  primary.epoch = kRootEpoch;
+  primary.writable = true;
+  primary.ready = true;
+  ftl->views_.emplace(kPrimaryView, std::move(primary));
+  ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
+  return ftl;
+}
+
+StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
+                                         std::unique_ptr<NandDevice> device,
+                                         uint64_t issue_ns, uint64_t* recovery_finish_ns) {
+  if (device == nullptr) {
+    return InvalidArgument("ftl: no device");
+  }
+  ASSIGN_OR_RETURN(RecoveredState state, RecoverFromDevice(device.get(), issue_ns));
+
+  std::unique_ptr<Ftl> ftl(new Ftl(config, std::move(device)));
+  ftl->seq_counter_ = state.seq_counter;
+  ftl->active_epoch_ = state.active_epoch;
+  ftl->tree_ = std::move(state.tree);
+
+  for (const auto& [epoch, paddrs] : state.validity) {
+    ftl->validity_.CreateEpoch(epoch);
+    for (uint64_t paddr : paddrs) {
+      ftl->validity_.SetValid(epoch, paddr);
+    }
+  }
+  if (!ftl->validity_.HasEpoch(ftl->active_epoch_)) {
+    ftl->validity_.CreateEpoch(ftl->active_epoch_);
+  }
+
+  View primary;
+  primary.view_id = kPrimaryView;
+  primary.epoch = ftl->active_epoch_;
+  primary.writable = true;
+  primary.ready = true;
+  primary.map = BPlusTree::BulkLoad(state.primary_map);
+  ftl->views_.emplace(kPrimaryView, std::move(primary));
+
+  ftl->log_.RebuildFromDevice();
+  for (const RecoveredState::DataRecord& r : state.data_records) {
+    ftl->log_.RestoreAccounting(ftl->device_->SegmentOf(r.paddr), r.epoch, r.seq);
+  }
+
+  ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
+  if (recovery_finish_ns != nullptr) {
+    *recovery_finish_ns = state.finish_ns;
+  }
+  return ftl;
+}
+
+Ftl::View* Ftl::FindView(uint32_t view_id) {
+  auto it = views_.find(view_id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const Ftl::View* Ftl::FindView(uint32_t view_id) const {
+  auto it = views_.find(view_id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<uint32_t> Ftl::LiveEpochs() const {
+  std::vector<uint32_t> epochs = tree_.LiveSnapshotEpochs();
+  for (const auto& [id, view] : views_) {
+    epochs.push_back(view.epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+  return epochs;
+}
+
+Status Ftl::EnsureAppendSpace(uint64_t issue_ns) {
+  int rounds = 0;
+  uint64_t t = issue_ns;
+  while (!log_.CanAppend(LogManager::kActiveHead)) {
+    if (++rounds > kMaxInlineCleanRounds) {
+      return ResourceExhausted("ftl: device full (no reclaimable space)");
+    }
+    ++stats_.gc_inline_stalls;
+    ASSIGN_OR_RETURN(uint64_t finish, cleaner_->CleanOneBlocking(t));
+    if (finish == t) {
+      return ResourceExhausted("ftl: device full (no victim segment)");
+    }
+    t = finish;
+  }
+  return OkStatus();
+}
+
+void Ftl::PaceCleanerOnWrite(uint64_t now_ns) {
+  // GC is deferred while an activation scan is in flight so the scan's view of block
+  // placement stays stable (activations are rare; see §4.2).
+  if (!activations_.empty()) {
+    return;
+  }
+  const uint64_t free = log_.FreeSegmentCount();
+  if (!gc_cycle_active_) {
+    if (free >= config_.gc_low_free_segments) {
+      return;
+    }
+    gc_cycle_active_ = true;
+    gc_budget_accum_ = 0.0;
+  }
+  if (free >= config_.gc_high_free_segments) {
+    gc_cycle_active_ = false;
+    return;
+  }
+  if (!cleaner_->HasVictim() && !cleaner_->StartVictim(now_ns)) {
+    return;
+  }
+
+  // Budget copy work per user write so the victim (and the segments after it) finish
+  // before the free pool drains. The estimate source is the Fig 10 knob: merged validity
+  // (snapshot-aware) or the active epoch only (vanilla), which under-counts copy work
+  // when snapshots pin cold data.
+  const uint64_t remaining = cleaner_->PacingEstimateRemaining();
+  const uint64_t segments_needed =
+      std::max<uint64_t>(1, config_.gc_high_free_segments - free);
+  const uint64_t user_pages_left = std::max<uint64_t>(1, log_.ActiveHeadFreePages());
+  const double per_write =
+      kPacingSlack * static_cast<double>((remaining + 1) * segments_needed) /
+      static_cast<double>(user_pages_left);
+  gc_budget_accum_ += per_write;
+
+  const uint64_t pages = std::min<uint64_t>(static_cast<uint64_t>(gc_budget_accum_),
+                                            config_.gc_pages_per_step);
+  if (pages > 0) {
+    auto result = cleaner_->Step(now_ns, pages);
+    if (result.ok()) {
+      gc_budget_accum_ -= static_cast<double>(pages);
+    } else {
+      IOSNAP_LOG(kWarning) << "paced GC step failed: " << result.status();
+    }
+  }
+}
+
+StatusOr<IoResult> Ftl::WriteInternal(View* view, uint64_t lba, std::span<const uint8_t> data,
+                                      uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (lba >= lba_count_) {
+    return OutOfRange("write: lba " + std::to_string(lba) + " out of range");
+  }
+  if (!view->ready) {
+    return FailedPrecondition("write: view still activating");
+  }
+  if (!view->writable) {
+    return FailedPrecondition("write: view is read-only");
+  }
+
+  uint64_t host_ns = config_.host_map_lookup_ns;
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = lba;
+  header.epoch = view->epoch;
+  header.seq = NextSeq();
+  ASSIGN_OR_RETURN(AppendResult ar, log_.Append(LogManager::kActiveHead, header, data,
+                                                issue_ns));
+
+  uint64_t cow_bytes = 0;
+  const std::optional<uint64_t> old_paddr = view->map.Lookup(lba);
+  if (old_paddr.has_value()) {
+    cow_bytes += validity_.ClearValid(view->epoch, *old_paddr);
+  }
+  cow_bytes += validity_.SetValid(view->epoch, ar.paddr);
+  view->map.Insert(lba, ar.paddr);
+
+  host_ns += config_.host_map_update_ns + 2 * config_.host_bitmap_update_ns +
+             cow_bytes * config_.host_cow_ns_per_byte;
+  if (cow_bytes > 0) {
+    ++stats_.validity_cow_events;
+    stats_.validity_cow_bytes += cow_bytes;
+  }
+
+  ++stats_.user_writes;
+  stats_.user_bytes_written += config_.nand.page_size_bytes;
+  ++stats_.total_pages_programmed;
+
+  PaceCleanerOnWrite(ar.op.finish_ns);
+
+  IoResult result;
+  result.op = ar.op;
+  result.host_ns = host_ns;
+  return result;
+}
+
+StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t issue_ns,
+                                     std::vector<uint8_t>* data_out) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (lba >= lba_count_) {
+    return OutOfRange("read: lba " + std::to_string(lba) + " out of range");
+  }
+  if (!view.ready) {
+    return FailedPrecondition("read: view still activating");
+  }
+
+  IoResult result;
+  result.host_ns = config_.host_map_lookup_ns;
+  ++stats_.user_reads;
+  stats_.user_bytes_read += config_.nand.page_size_bytes;
+
+  const std::optional<uint64_t> paddr = view.map.Lookup(lba);
+  if (!paddr.has_value()) {
+    // Unwritten LBAs read as zeroes without touching the device.
+    if (data_out != nullptr) {
+      data_out->assign(config_.nand.page_size_bytes, 0);
+    }
+    result.op.issue_ns = issue_ns;
+    result.op.finish_ns = issue_ns;
+    return result;
+  }
+  ASSIGN_OR_RETURN(result.op, device_->ReadPage(*paddr, issue_ns, nullptr, data_out));
+  return result;
+}
+
+StatusOr<IoResult> Ftl::Write(uint64_t lba, std::span<const uint8_t> data,
+                              uint64_t issue_ns) {
+  return WriteInternal(FindView(kPrimaryView), lba, data, issue_ns);
+}
+
+StatusOr<IoResult> Ftl::Read(uint64_t lba, uint64_t issue_ns,
+                             std::vector<uint8_t>* data_out) {
+  return ReadInternal(*FindView(kPrimaryView), lba, issue_ns, data_out);
+}
+
+StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (count == 0 || lba + count > lba_count_ || count > 0xffffffffULL) {
+    return OutOfRange("trim: bad range");
+  }
+  View* view = FindView(kPrimaryView);
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+
+  PageHeader header;
+  header.type = RecordType::kTrim;
+  header.lba = lba;
+  header.epoch = view->epoch;
+  header.seq = NextSeq();
+  header.trim_count = static_cast<uint32_t>(count);
+  ASSIGN_OR_RETURN(AppendResult ar, log_.Append(LogManager::kActiveHead, header, {},
+                                                issue_ns));
+  ++stats_.total_pages_programmed;
+
+  uint64_t host_ns = config_.host_note_ns;
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::optional<uint64_t> old_paddr = view->map.Lookup(lba + i);
+    if (old_paddr.has_value()) {
+      const uint64_t cow = validity_.ClearValid(view->epoch, *old_paddr);
+      view->map.Erase(lba + i);
+      host_ns += config_.host_map_update_ns + config_.host_bitmap_update_ns +
+                 cow * config_.host_cow_ns_per_byte;
+    }
+  }
+  ++stats_.user_trims;
+
+  IoResult result;
+  result.op = ar.op;
+  result.host_ns = host_ns;
+  return result;
+}
+
+bool Ftl::IsMapped(uint64_t lba) const {
+  const View* view = FindView(kPrimaryView);
+  return view->map.Lookup(lba).has_value();
+}
+
+StatusOr<SnapshotOpResult> Ftl::CreateSnapshot(std::string name, uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (!config_.snapshots_enabled) {
+    return Unimplemented("snapshots are disabled on this device");
+  }
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+
+  // §5.8: (writes are quiesced by the single-threaded simulation), write a create note,
+  // increment the epoch, record the snapshot in the tree. The note carries the successor
+  // epoch id explicitly and the snapshot name as payload (so names survive a crash).
+  const uint32_t frozen_epoch = active_epoch_;
+  if (name.size() > config_.nand.page_size_bytes) {
+    return InvalidArgument("snapshot name exceeds one page");
+  }
+  const uint32_t snap_id = tree_.AddSnapshot(frozen_epoch, seq_counter_, name);
+
+  PageHeader note;
+  note.type = RecordType::kSnapCreate;
+  note.snap_id = snap_id;
+  note.epoch = frozen_epoch;
+  note.lba = tree_.NextEpochId();
+  note.seq = NextSeq();
+  note.payload_len = static_cast<uint32_t>(name.size());
+  const std::span<const uint8_t> payload(reinterpret_cast<const uint8_t*>(name.data()),
+                                         name.size());
+  ASSIGN_OR_RETURN(AppendResult ar,
+                   log_.Append(LogManager::kActiveHead, note, payload, issue_ns));
+  ++stats_.total_pages_programmed;
+
+  const uint32_t new_epoch = tree_.NewEpoch(frozen_epoch);
+  const uint64_t cow_bytes = validity_.ForkEpoch(new_epoch, frozen_epoch);
+  active_epoch_ = new_epoch;
+  FindView(kPrimaryView)->epoch = new_epoch;
+
+  ++stats_.snapshots_created;
+
+  SnapshotOpResult result;
+  result.snap_id = snap_id;
+  result.io.op = ar.op;
+  result.io.host_ns = config_.host_note_ns + cow_bytes * config_.host_cow_ns_per_byte;
+  return result;
+}
+
+StatusOr<IoResult> Ftl::DeleteSnapshot(uint32_t snap_id, uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  ASSIGN_OR_RETURN(SnapshotInfo info, tree_.Get(snap_id));
+  if (info.deleted) {
+    return FailedPrecondition("snapshot " + std::to_string(snap_id) + " already deleted");
+  }
+  for (const auto& [id, view] : views_) {
+    if (id != kPrimaryView && view.snap_id == snap_id) {
+      return FailedPrecondition("snapshot " + std::to_string(snap_id) +
+                                " has an active view; deactivate it first");
+    }
+  }
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+  ASSIGN_OR_RETURN(AppendResult ar,
+                   AppendNote(RecordType::kSnapDelete, snap_id, info.epoch, 0, issue_ns));
+  RETURN_IF_ERROR(tree_.MarkDeleted(snap_id));
+  // The frozen validity view goes away; shared chunks survive via their other refs and
+  // the epoch's exclusive blocks become garbage at the next clean of their segments.
+  validity_.DropEpoch(info.epoch);
+  ++stats_.snapshots_deleted;
+
+  IoResult result;
+  result.op = ar.op;
+  result.host_ns = config_.host_note_ns;
+  return result;
+}
+
+StatusOr<uint64_t> Ftl::RollbackToSnapshot(uint32_t snap_id, uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (!config_.snapshots_enabled) {
+    return Unimplemented("snapshots are disabled on this device");
+  }
+  ASSIGN_OR_RETURN(SnapshotInfo info, tree_.Get(snap_id));
+  if (info.deleted) {
+    return FailedPrecondition("snapshot " + std::to_string(snap_id) + " is deleted");
+  }
+  if (views_.size() != 1 || !activations_.empty()) {
+    return FailedPrecondition("rollback requires all views deactivated");
+  }
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+
+  // Persist the re-parenting, then fork the primary off the snapshot. Everything written
+  // since the snapshot (the old primary epoch's exclusive blocks) becomes garbage.
+  const uint32_t new_epoch_id = tree_.NextEpochId();
+  ASSIGN_OR_RETURN(AppendResult ar, AppendNote(RecordType::kRollback, snap_id, info.epoch,
+                                               new_epoch_id, issue_ns));
+  const uint32_t new_epoch = tree_.NewEpoch(info.epoch);
+  IOSNAP_CHECK(new_epoch == new_epoch_id);
+  validity_.ForkEpoch(new_epoch, info.epoch);
+
+  View* primary = FindView(kPrimaryView);
+  validity_.DropEpoch(primary->epoch);
+  primary->epoch = new_epoch;
+  primary->ready = false;
+  active_epoch_ = new_epoch;
+
+  // Rebuild the primary forward map with the standard activation scan (same cost
+  // profile, same compact bulk-loaded result).
+  auto task = std::make_unique<ActivationTask>(this, kPrimaryView, info.epoch,
+                                               RateLimit::Unlimited(), ar.op.finish_ns);
+  ActivationTask* raw = task.get();
+  activations_.push_back(std::move(task));
+  ASSIGN_OR_RETURN(uint64_t finish, raw->RunToCompletion(ar.op.finish_ns));
+  std::erase_if(activations_,
+                [raw](const std::unique_ptr<ActivationTask>& t) { return t.get() == raw; });
+  MaybeClearRelocations();
+  ++stats_.rollbacks;
+  return finish;
+}
+
+StatusOr<Ftl::SnapshotSpace> Ftl::SnapshotSpaceReport(uint32_t snap_id) const {
+  ASSIGN_OR_RETURN(SnapshotInfo info, tree_.Get(snap_id));
+  if (info.deleted) {
+    return FailedPrecondition("snapshot " + std::to_string(snap_id) + " is deleted");
+  }
+  std::vector<uint32_t> others;
+  for (uint32_t epoch : LiveEpochs()) {
+    if (epoch != info.epoch) {
+      others.push_back(epoch);
+    }
+  }
+  SnapshotSpace space;
+  validity_.ForEachValid(info.epoch, [&](uint64_t paddr) {
+    ++space.referenced_pages;
+    if (!validity_.TestAny(others, paddr)) {
+      ++space.exclusive_pages;
+    }
+  });
+  return space;
+}
+
+StatusOr<uint32_t> Ftl::BeginActivation(uint32_t snap_id, RateLimit limit, uint64_t issue_ns,
+                                        bool writable) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (!config_.snapshots_enabled) {
+    return Unimplemented("snapshots are disabled on this device");
+  }
+  ASSIGN_OR_RETURN(SnapshotInfo info, tree_.Get(snap_id));
+  if (info.deleted) {
+    return FailedPrecondition("snapshot " + std::to_string(snap_id) + " is deleted");
+  }
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+  ASSIGN_OR_RETURN(AppendResult ar,
+                   AppendNote(RecordType::kSnapActivate, snap_id, info.epoch,
+                              tree_.NextEpochId(), issue_ns));
+
+  // The activated view lives on a fresh epoch forked off the snapshot (§5.6): writes to
+  // the view never disturb the snapshot itself.
+  const uint32_t view_epoch = tree_.NewEpoch(info.epoch);
+  validity_.ForkEpoch(view_epoch, info.epoch);
+
+  View view;
+  view.view_id = next_view_id_++;
+  view.snap_id = snap_id;
+  view.epoch = view_epoch;
+  view.writable = writable;
+  view.ready = false;
+  const uint32_t view_id = view.view_id;
+  views_.emplace(view_id, std::move(view));
+
+  activations_.push_back(std::make_unique<ActivationTask>(this, view_id, info.epoch, limit,
+                                                          ar.op.finish_ns));
+  ++stats_.activations;
+  return view_id;
+}
+
+bool Ftl::ActivationDone(uint32_t view_id) const {
+  const View* view = FindView(view_id);
+  return view != nullptr && view->ready;
+}
+
+StatusOr<uint32_t> Ftl::ActivateBlocking(uint32_t snap_id, uint64_t issue_ns, bool writable,
+                                         uint64_t* finish_ns) {
+  ASSIGN_OR_RETURN(uint32_t view_id,
+                   BeginActivation(snap_id, RateLimit::Unlimited(), issue_ns, writable));
+  ActivationTask* task = activations_.back().get();
+  ASSIGN_OR_RETURN(uint64_t finish, task->RunToCompletion(issue_ns));
+  if (finish_ns != nullptr) {
+    *finish_ns = finish;
+  }
+  std::erase_if(activations_,
+                [task](const std::unique_ptr<ActivationTask>& t) { return t.get() == task; });
+  MaybeClearRelocations();
+  return view_id;
+}
+
+Status Ftl::Deactivate(uint32_t view_id, uint64_t issue_ns) {
+  if (view_id == kPrimaryView) {
+    return InvalidArgument("cannot deactivate the primary view");
+  }
+  View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+  RETURN_IF_ERROR(
+      AppendNote(RecordType::kSnapDeactivate, view->snap_id, view->epoch, 0, issue_ns)
+          .status());
+  // Abandon any in-flight activation of this view.
+  std::erase_if(activations_, [view_id](const std::unique_ptr<ActivationTask>& t) {
+    return t->view_id() == view_id;
+  });
+  MaybeClearRelocations();
+  validity_.DropEpoch(view->epoch);
+  views_.erase(view_id);
+  ++stats_.deactivations;
+  return OkStatus();
+}
+
+std::vector<uint32_t> Ftl::ActiveViewIds() const {
+  std::vector<uint32_t> out;
+  for (const auto& [id, view] : views_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+StatusOr<IoResult> Ftl::ReadView(uint32_t view_id, uint64_t lba, uint64_t issue_ns,
+                                 std::vector<uint8_t>* data_out) {
+  const View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  return ReadInternal(*view, lba, issue_ns, data_out);
+}
+
+StatusOr<IoResult> Ftl::WriteView(uint32_t view_id, uint64_t lba,
+                                  std::span<const uint8_t> data, uint64_t issue_ns) {
+  View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  return WriteInternal(view, lba, data, issue_ns);
+}
+
+void Ftl::PumpBackground(uint64_t now_ns) {
+  if (closed_) {
+    return;
+  }
+  // Activations first (they also suppress cleaning while in flight).
+  for (auto& task : activations_) {
+    if (!task->done()) {
+      auto result = task->Pump(now_ns);
+      if (!result.ok()) {
+        IOSNAP_LOG(kWarning) << "activation pump failed: " << result.status();
+      }
+    }
+  }
+  std::erase_if(activations_,
+                [](const std::unique_ptr<ActivationTask>& t) { return t->done(); });
+  MaybeClearRelocations();
+
+  if (!activations_.empty()) {
+    return;
+  }
+  // Idle catch-up cleaning (free pool low) and static wear leveling, lightly paced.
+  if ((log_.FreeSegmentCount() < config_.gc_low_free_segments ||
+       cleaner_->WearImbalanced()) &&
+      gc_idle_limiter_.CanRun(now_ns)) {
+    if (cleaner_->HasVictim() || cleaner_->StartVictim(now_ns)) {
+      auto result = cleaner_->Step(now_ns, config_.gc_pages_per_step);
+      if (result.ok()) {
+        gc_idle_limiter_.OnBurstComplete(*result);
+      }
+    }
+  }
+}
+
+StatusOr<uint64_t> Ftl::ForceCleanSegment(uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  return cleaner_->CleanOneBlocking(issue_ns);
+}
+
+Status Ftl::CheckpointAndClose(uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: already closed");
+  }
+  // Activated views do not survive restarts.
+  std::vector<uint32_t> view_ids;
+  for (const auto& [id, view] : views_) {
+    if (id != kPrimaryView) {
+      view_ids.push_back(id);
+    }
+  }
+  uint64_t t = issue_ns;
+  for (uint32_t id : view_ids) {
+    RETURN_IF_ERROR(Deactivate(id, t));
+  }
+  activations_.clear();
+
+  CheckpointState state;
+  state.seq_counter = seq_counter_;
+  state.active_epoch = active_epoch_;
+  state.tree = tree_;  // Copy.
+  state.primary_map = FindView(kPrimaryView)->map.ToSortedVector();
+  for (uint32_t epoch : LiveEpochs()) {
+    std::vector<uint64_t> paddrs;
+    validity_.ForEachValid(epoch, [&paddrs](uint64_t paddr) { paddrs.push_back(paddr); });
+    state.validity.emplace(epoch, std::move(paddrs));
+  }
+
+  const std::vector<uint8_t> bytes = SerializeCheckpoint(state);
+  const uint64_t page_bytes = config_.nand.page_size_bytes;
+  const uint64_t total_pages = (bytes.size() + page_bytes - 1) / page_bytes;
+  const uint32_t checkpoint_id = static_cast<uint32_t>(seq_counter_ & 0xffffffffu);
+
+  for (uint64_t i = 0; i < total_pages; ++i) {
+    RETURN_IF_ERROR(EnsureAppendSpace(t));
+    PageHeader header;
+    header.type = RecordType::kCheckpoint;
+    header.lba = i;                       // Page index within the checkpoint.
+    header.snap_id = checkpoint_id;
+    header.trim_count = static_cast<uint32_t>(total_pages);
+    header.seq = NextSeq();
+    const uint64_t begin = i * page_bytes;
+    const uint64_t len = std::min<uint64_t>(page_bytes, bytes.size() - begin);
+    header.payload_len = static_cast<uint32_t>(len);
+    std::span<const uint8_t> payload(bytes.data() + begin, len);
+    ASSIGN_OR_RETURN(AppendResult ar,
+                     log_.Append(LogManager::kActiveHead, header, payload, t));
+    ++stats_.total_pages_programmed;
+    t = ar.op.finish_ns;
+  }
+  closed_ = true;
+  return OkStatus();
+}
+
+std::unique_ptr<NandDevice> Ftl::ReleaseDevice() {
+  closed_ = true;
+  return std::move(device_);
+}
+
+StatusOr<uint64_t> Ftl::ViewMapMemoryBytes(uint32_t view_id) const {
+  const View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  return static_cast<uint64_t>(view->map.MemoryBytes());
+}
+
+StatusOr<uint64_t> Ftl::ViewMapEntryCount(uint32_t view_id) const {
+  const View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  return static_cast<uint64_t>(view->map.size());
+}
+
+StatusOr<std::vector<std::pair<uint64_t, uint64_t>>> Ftl::ViewMapEntries(
+    uint32_t view_id) const {
+  const View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  if (!view->ready) {
+    return FailedPrecondition("view still activating");
+  }
+  return view->map.ToSortedVector();
+}
+
+StatusOr<AppendResult> Ftl::AppendNote(RecordType type, uint32_t snap_id, uint32_t epoch,
+                                       uint32_t aux_epoch, uint64_t issue_ns) {
+  PageHeader header;
+  header.type = type;
+  header.snap_id = snap_id;
+  header.epoch = epoch;
+  header.lba = aux_epoch;
+  header.seq = NextSeq();
+  auto result = log_.Append(LogManager::kActiveHead, header, {}, issue_ns);
+  if (result.ok()) {
+    ++stats_.total_pages_programmed;
+  }
+  return result;
+}
+
+StatusOr<uint64_t> Ftl::AppendTreeSummary(int head, uint64_t issue_ns) {
+  std::vector<uint8_t> bytes;
+  tree_.SerializeTo(&bytes);
+  PutU32(&bytes, active_epoch_);
+
+  const uint64_t page_bytes = config_.nand.page_size_bytes;
+  const uint64_t total_pages = (bytes.size() + page_bytes - 1) / page_bytes;
+  const uint32_t summary_id = static_cast<uint32_t>(seq_counter_ & 0xffffffffu);
+  uint64_t finish = issue_ns;
+  for (uint64_t i = 0; i < total_pages; ++i) {
+    PageHeader header;
+    header.type = RecordType::kTreeSummary;
+    header.lba = i;
+    header.snap_id = summary_id;
+    header.trim_count = static_cast<uint32_t>(total_pages);
+    header.seq = NextSeq();
+    const uint64_t begin = i * page_bytes;
+    const uint64_t len = std::min<uint64_t>(page_bytes, bytes.size() - begin);
+    header.payload_len = static_cast<uint32_t>(len);
+    std::span<const uint8_t> payload(bytes.data() + begin, len);
+    ASSIGN_OR_RETURN(AppendResult ar, log_.Append(head, header, payload, finish));
+    finish = ar.op.finish_ns;
+    ++stats_.total_pages_programmed;
+  }
+  ++stats_.gc_summaries_written;
+  return finish;
+}
+
+}  // namespace iosnap

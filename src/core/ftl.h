@@ -1,0 +1,247 @@
+// The ioSnap FTL: a log-structured flash translation layer with flash-native snapshots.
+//
+// This is the paper's primary contribution assembled over the substrates in src/nand and
+// src/ftl. One class serves as both the "vanilla" baseline FTL (snapshots_enabled=false)
+// and ioSnap. The design follows §5 of the paper:
+//
+//   * Remap-on-Write: every write appends to the log; the forward map (a B+tree in host
+//     memory) translates LBAs to physical pages; validity bitmaps drive cleaning.
+//   * Snapshot create/delete are O(1): a note on the log, an epoch increment, a snapshot
+//     tree entry, and CoW-freezing of the validity chunk set. No map copies, no change to
+//     the foreground data path no matter how many snapshots exist.
+//   * Snapshot access is deferred to *activation*: a rate-limited scan of log headers
+//     filtered through the snapshot's frozen validity bitmap, bulk-loaded into a compact
+//     forward map, yielding a readable (and, as a design extension, writable) view.
+//   * The segment cleaner is snapshot-aware: block liveness is the OR of every live
+//     epoch's validity, copy-forward preserves the original (lba, epoch, seq) identity,
+//     and validity bits move in every epoch that referenced the block.
+//
+// Time: all operations take the caller's virtual issue time (ns) and report completion
+// through IoResult. Background work (cleaning, activation) is advanced by PumpBackground
+// and by pacing hooks inside the write path; its device traffic delays foreground I/O via
+// the NAND channel model, which is how the paper's interference figures arise here.
+
+#ifndef SRC_CORE_FTL_H_
+#define SRC_CORE_FTL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/activation.h"
+#include "src/core/ftl_config.h"
+#include "src/core/ftl_stats.h"
+#include "src/core/segment_cleaner.h"
+#include "src/core/snapshot_tree.h"
+#include "src/ftl/btree.h"
+#include "src/ftl/log_manager.h"
+#include "src/ftl/rate_limiter.h"
+#include "src/ftl/validity_map.h"
+#include "src/nand/nand_device.h"
+
+namespace iosnap {
+
+// Completion record for one FTL operation: device-time window plus host CPU time.
+struct IoResult {
+  NandOp op;            // Device window (issue -> finish). finish==issue for cache-only ops.
+  uint64_t host_ns = 0; // Host CPU time charged to this op.
+
+  uint64_t LatencyNs() const { return (op.finish_ns - op.issue_ns) + host_ns; }
+  uint64_t CompletionNs() const { return op.finish_ns + host_ns; }
+};
+
+struct SnapshotOpResult {
+  uint32_t snap_id = 0;
+  IoResult io;
+};
+
+// The id of the always-present primary (active) view.
+inline constexpr uint32_t kPrimaryView = 0;
+
+class Ftl {
+ public:
+  // Creates an FTL on a factory-fresh device.
+  static StatusOr<std::unique_ptr<Ftl>> Create(const FtlConfig& config);
+
+  // Re-attaches an existing device (restart). If the device tail holds a complete
+  // checkpoint the state is loaded from it; otherwise full crash recovery (§5.5) runs.
+  // `recovery_finish_ns` (optional) reports the virtual time when recovery completed.
+  static StatusOr<std::unique_ptr<Ftl>> Open(const FtlConfig& config,
+                                             std::unique_ptr<NandDevice> device,
+                                             uint64_t issue_ns,
+                                             uint64_t* recovery_finish_ns = nullptr);
+
+  ~Ftl();
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  const FtlConfig& config() const { return config_; }
+  const FtlStats& stats() const { return stats_; }
+  const NandDevice& device() const { return *device_; }
+  const SnapshotTree& snapshot_tree() const { return tree_; }
+  const ValidityMap& validity() const { return validity_; }
+  uint64_t LbaCount() const { return lba_count_; }
+
+  // --- Primary block-device I/O (one page per call) ---
+
+  StatusOr<IoResult> Write(uint64_t lba, std::span<const uint8_t> data, uint64_t issue_ns);
+  StatusOr<IoResult> Read(uint64_t lba, uint64_t issue_ns, std::vector<uint8_t>* data_out);
+  // Discards [lba, lba + count). Logged as a single trim note.
+  StatusOr<IoResult> Trim(uint64_t lba, uint64_t count, uint64_t issue_ns);
+  bool IsMapped(uint64_t lba) const;
+
+  // --- Snapshot operations (§5.8) ---
+
+  StatusOr<SnapshotOpResult> CreateSnapshot(std::string name, uint64_t issue_ns);
+  StatusOr<IoResult> DeleteSnapshot(uint32_t snap_id, uint64_t issue_ns);
+
+  // Rolls the primary volume back to `snap_id` in place: the primary forks a fresh epoch
+  // off the snapshot and adopts its forward map (built by a normal activation scan, so
+  // the cost profile matches activation). Writes made since the snapshot become garbage
+  // for the cleaner; the snapshot itself remains intact and can be rolled back to again.
+  // Requires that no other views are active. Returns the device finish time.
+  StatusOr<uint64_t> RollbackToSnapshot(uint32_t snap_id, uint64_t issue_ns);
+
+  // Starts a rate-limited activation; returns the new view id immediately. The view
+  // becomes readable once activation completes (pump via PumpBackground). `writable`
+  // enables the writable-snapshot design extension (§5.6).
+  StatusOr<uint32_t> BeginActivation(uint32_t snap_id, RateLimit limit, uint64_t issue_ns,
+                                     bool writable = false);
+  bool ActivationDone(uint32_t view_id) const;
+  // Runs an activation to completion with no pacing; reports the finish time.
+  StatusOr<uint32_t> ActivateBlocking(uint32_t snap_id, uint64_t issue_ns, bool writable,
+                                      uint64_t* finish_ns);
+  Status Deactivate(uint32_t view_id, uint64_t issue_ns);
+  std::vector<uint32_t> ActiveViewIds() const;
+
+  // --- View I/O (activated snapshots; kPrimaryView aliases Read/Write) ---
+
+  StatusOr<IoResult> ReadView(uint32_t view_id, uint64_t lba, uint64_t issue_ns,
+                              std::vector<uint8_t>* data_out);
+  StatusOr<IoResult> WriteView(uint32_t view_id, uint64_t lba, std::span<const uint8_t> data,
+                               uint64_t issue_ns);
+
+  // --- Background machinery ---
+
+  // Advances due background work (activation bursts; idle cleaning) up to `now_ns`.
+  void PumpBackground(uint64_t now_ns);
+
+  // Forces a full cleaning pass over one victim segment (Table 4 experiments). Returns
+  // the device finish time, or issue_ns when no victim exists.
+  StatusOr<uint64_t> ForceCleanSegment(uint64_t issue_ns);
+
+  // --- Shutdown / restart ---
+
+  // Writes a checkpoint so the next Open is instant. Views are discarded (activations do
+  // not survive restarts). The FTL must not be used afterwards except for ReleaseDevice.
+  Status CheckpointAndClose(uint64_t issue_ns);
+
+  // Detaches the "media" — used by crash tests: drop the Ftl without checkpointing and
+  // Open a new one over the returned device.
+  std::unique_ptr<NandDevice> ReleaseDevice();
+
+  // --- Introspection for experiments ---
+
+  uint32_t active_epoch() const { return active_epoch_; }
+  // Forward-map memory of a view (Table 3).
+  StatusOr<uint64_t> ViewMapMemoryBytes(uint32_t view_id) const;
+  StatusOr<uint64_t> ViewMapEntryCount(uint32_t view_id) const;
+  // All (lba, paddr) pairs of a ready view in LBA order (snapshot diffing, archival).
+  StatusOr<std::vector<std::pair<uint64_t, uint64_t>>> ViewMapEntries(
+      uint32_t view_id) const;
+  // Epochs whose validity participates in cleaning right now.
+  std::vector<uint32_t> LiveEpochs() const;
+
+  // Space accounting for one snapshot: how many physical pages it references in total,
+  // and how many it *retains exclusively* (valid in it and in no other live epoch —
+  // i.e. the space the cleaner would reclaim if this snapshot were deleted).
+  struct SnapshotSpace {
+    uint64_t referenced_pages = 0;
+    uint64_t exclusive_pages = 0;
+  };
+  StatusOr<SnapshotSpace> SnapshotSpaceReport(uint32_t snap_id) const;
+
+ private:
+  friend class SegmentCleaner;
+  friend class ActivationTask;
+
+  struct View {
+    uint32_t view_id = 0;
+    uint32_t snap_id = 0;  // 0 for the primary view.
+    uint32_t epoch = 0;
+    bool writable = false;
+    bool ready = false;    // False while activation is still running.
+    BPlusTree map;
+  };
+
+  Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device);
+
+  // Common path for primary and view writes.
+  StatusOr<IoResult> WriteInternal(View* view, uint64_t lba, std::span<const uint8_t> data,
+                                   uint64_t issue_ns);
+  StatusOr<IoResult> ReadInternal(const View& view, uint64_t lba, uint64_t issue_ns,
+                                  std::vector<uint8_t>* data_out);
+
+  // Ensures the active head can append, running synchronous emergency cleaning if the
+  // free pool is exhausted. Returns the device-time horizon the caller must wait behind.
+  Status EnsureAppendSpace(uint64_t issue_ns);
+
+  // Write-path GC pacing (§5.7): lets the cleaner copy a budgeted number of pages.
+  void PaceCleanerOnWrite(uint64_t now_ns);
+
+  // Appends a snapshot note record. `aux_epoch` rides in the header's lba field: the
+  // successor/view epoch id for create/activate notes (explicit, so recovery does not
+  // depend on notes that a later tree summary consolidated away).
+  StatusOr<AppendResult> AppendNote(RecordType type, uint32_t snap_id, uint32_t epoch,
+                                    uint32_t aux_epoch, uint64_t issue_ns);
+
+  // Writes a consolidated snapshot-tree summary through `head` (§7-style checkpointed
+  // metadata). All snapshot notes and summaries with lower sequence numbers become
+  // droppable. Returns the device finish time.
+  StatusOr<uint64_t> AppendTreeSummary(int head, uint64_t issue_ns);
+
+  View* FindView(uint32_t view_id);
+  const View* FindView(uint32_t view_id) const;
+
+  uint64_t NextSeq() { return seq_counter_++; }
+
+  FtlConfig config_;
+  std::unique_ptr<NandDevice> device_;
+  LogManager log_;
+  ValidityMap validity_;
+  SnapshotTree tree_;
+  FtlStats stats_;
+
+  uint64_t lba_count_;
+  uint64_t seq_counter_ = 0;
+  uint32_t active_epoch_ = kRootEpoch;
+  uint32_t next_view_id_ = 1;
+  std::map<uint32_t, View> views_;
+
+  std::unique_ptr<SegmentCleaner> cleaner_;
+  bool gc_cycle_active_ = false;
+  double gc_budget_accum_ = 0.0;
+  RateLimiter gc_idle_limiter_;
+
+  std::vector<std::unique_ptr<ActivationTask>> activations_;
+  // Relocation journal: (lba, new_paddr) for every data page the cleaner copy-forwards
+  // while an activation scan is in flight. Activations apply it when building their map,
+  // so blocks that emergency cleaning moved out from under the scan are still found.
+  // Cleared whenever no activation is pending.
+  std::vector<std::pair<uint64_t, uint64_t>> gc_relocations_;
+  bool closed_ = false;
+
+  void MaybeClearRelocations() {
+    if (activations_.empty()) {
+      gc_relocations_.clear();
+    }
+  }
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_CORE_FTL_H_

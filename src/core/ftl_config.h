@@ -1,0 +1,74 @@
+// Configuration of the ioSnap FTL. One struct covers both the "vanilla" baseline
+// (snapshots_enabled = false: the Table 2 / Fig 10a comparison device) and ioSnap proper,
+// plus the knobs for the paper's rate-limiting experiments and this repo's ablations.
+
+#ifndef SRC_CORE_FTL_CONFIG_H_
+#define SRC_CORE_FTL_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/nand/nand_config.h"
+
+namespace iosnap {
+
+// Victim-selection policy for the segment cleaner.
+enum class CleanerPolicy : uint8_t {
+  kGreedy,        // Fewest valid pages first.
+  kCostBenefit,   // Classic LFS benefit/cost: (1 - u) * age / (1 + u).
+  kEpochColocate, // Greedy, tie-broken to prefer epoch-pure segments; copy-forward
+                  // segregates epochs onto per-class heads (§5.4.2 extension, ablation A1).
+};
+
+struct FtlConfig {
+  NandConfig nand;
+
+  // --- Capacity ---
+  // Fraction of physical pages withheld from the LBA space (log-structured headroom).
+  double overprovision = 0.25;
+
+  // --- Snapshots ---
+  bool snapshots_enabled = true;
+  // Pages covered per validity chunk; chunk byte size is chunk_bits / 8 (ablation A2).
+  uint64_t validity_chunk_bits = 8192;
+  // Reproduce the paper's rejected full-bitmap-copy-per-snapshot design (ablation A4).
+  bool naive_validity_copy = false;
+
+  // --- Segment cleaning ---
+  uint64_t gc_reserve_segments = 2;    // Segments only the cleaner may consume.
+  uint64_t gc_low_free_segments = 6;   // Background cleaning starts below this.
+  uint64_t gc_high_free_segments = 12; // ... and stops at or above this.
+  CleanerPolicy cleaner_policy = CleanerPolicy::kGreedy;
+  // Fig 10 knob: pace the cleaner by the *merged* validity estimate (snapshot-aware) vs
+  // the active epoch's estimate only (the vanilla rate policy, which under-budgets when
+  // snapshotted cold data must move and causes foreground stalls).
+  bool snapshot_aware_gc_rate = true;
+  // Max pages copy-forwarded per pacing burst.
+  uint64_t gc_pages_per_step = 16;
+  // Static wear leveling: when the erase-count gap between the most-worn segment and a
+  // cleanable cold segment reaches this threshold, the cleaner picks the cold segment
+  // regardless of its valid count, recycling it into the rotation. 0 disables.
+  uint64_t wear_leveling_threshold = 0;
+
+  // --- Activation ---
+  // Skip segments whose epoch summary proves they hold no lineage data (§7 future work:
+  // precomputed metadata; ablation A3).
+  bool activation_segment_index = false;
+
+  // --- Host CPU cost model (charged on top of device time) ---
+  uint64_t host_map_lookup_ns = 300;
+  uint64_t host_map_update_ns = 400;
+  uint64_t host_bitmap_update_ns = 100;
+  uint64_t host_cow_ns_per_byte = 60;      // Validity-chunk CoW copy (Fig 7 spikes).
+  uint64_t host_merge_ns_per_chunk = 500;  // Cleaner validity merge (Table 4).
+  uint64_t host_note_ns = 2000;            // Snapshot-note bookkeeping.
+  uint64_t host_build_ns_per_entry = 150;  // Activation map sort + bulk-load, per entry.
+
+  uint64_t LbaCount() const {
+    return static_cast<uint64_t>(static_cast<double>(nand.TotalPages()) *
+                                 (1.0 - overprovision));
+  }
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_CORE_FTL_CONFIG_H_

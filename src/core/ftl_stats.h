@@ -1,0 +1,54 @@
+// Cumulative counters exported by the FTL; benchmarks derive the paper's tables from
+// these plus the NAND device's own NandStats.
+
+#ifndef SRC_CORE_FTL_STATS_H_
+#define SRC_CORE_FTL_STATS_H_
+
+#include <cstdint>
+
+namespace iosnap {
+
+struct FtlStats {
+  // Foreground I/O.
+  uint64_t user_writes = 0;
+  uint64_t user_reads = 0;
+  uint64_t user_trims = 0;
+  uint64_t user_bytes_written = 0;
+  uint64_t user_bytes_read = 0;
+
+  // Snapshot operations.
+  uint64_t snapshots_created = 0;
+  uint64_t snapshots_deleted = 0;
+  uint64_t activations = 0;
+  uint64_t deactivations = 0;
+  uint64_t rollbacks = 0;
+
+  // Segment cleaning.
+  uint64_t gc_segments_cleaned = 0;
+  uint64_t gc_pages_copied = 0;
+  uint64_t gc_notes_copied = 0;        // Trim notes copied forward.
+  uint64_t gc_notes_dropped = 0;       // Notes superseded by a tree summary and dropped.
+  uint64_t gc_summaries_written = 0;   // Consolidated tree-summary records written.
+  uint64_t gc_inline_stalls = 0;       // Writes that had to clean synchronously.
+  uint64_t gc_wear_level_cleans = 0;   // Victims chosen by static wear leveling.
+  uint64_t gc_merge_host_ns = 0;       // Host time spent merging validity maps (Table 4).
+  uint64_t gc_total_host_ns = 0;       // All cleaner host time.
+  uint64_t gc_device_busy_ns = 0;      // Device time consumed by cleaning traffic.
+
+  // Validity CoW (Figure 7).
+  uint64_t validity_cow_events = 0;    // Writes that triggered at least one chunk copy.
+  uint64_t validity_cow_bytes = 0;
+
+  // Activation.
+  uint64_t activation_segments_scanned = 0;
+  uint64_t activation_segments_skipped = 0;  // Via the segment index (ablation A3).
+  uint64_t activation_entries = 0;
+
+  // Write amplification numerator: all pages programmed including GC and notes; the
+  // denominator is user_writes.
+  uint64_t total_pages_programmed = 0;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_CORE_FTL_STATS_H_

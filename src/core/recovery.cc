@@ -1,0 +1,395 @@
+#include "src/core/recovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+#include "src/core/checkpoint.h"
+#include "src/core/trim_summary.h"
+
+namespace iosnap {
+
+namespace {
+
+struct ScanRecord {
+  uint64_t paddr;
+  PageHeader header;
+};
+
+// Per-LBA winning record while overlaying an epoch chain.
+struct MapEntry {
+  uint64_t paddr;
+  uint64_t seq;
+};
+
+using StateMap = std::unordered_map<uint64_t, MapEntry>;
+
+// Applies one epoch's records (already seq-sorted) on top of `state`.
+void ApplyEpochRecords(const std::vector<ScanRecord>& records, StateMap* state) {
+  for (const ScanRecord& r : records) {
+    if (r.header.type == RecordType::kData) {
+      (*state)[r.header.lba] = MapEntry{r.paddr, r.header.seq};
+    } else if (r.header.type == RecordType::kTrim) {
+      for (uint64_t i = 0; i < r.header.trim_count; ++i) {
+        state->erase(r.header.lba + i);
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> ValidSetOf(const StateMap& state) {
+  std::vector<uint64_t> out;
+  out.reserve(state.size());
+  for (const auto& [lba, entry] : state) {
+    out.push_back(entry.paddr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> SortedMapOf(const StateMap& state) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(state.size());
+  for (const auto& [lba, entry] : state) {
+    out.emplace_back(lba, entry.paddr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Attempts the checkpoint fast path. Returns true (and fills `state`) on success.
+// `clock_ns` advances by the payload reads performed.
+StatusOr<bool> TryLoadCheckpoint(NandDevice* device,
+                                 const std::vector<ScanRecord>& records_by_seq,
+                                 uint64_t* clock_ns, CheckpointState* state) {
+  if (records_by_seq.empty()) {
+    return false;
+  }
+  // A valid checkpoint must own the tail of the log: collect the trailing run of
+  // kCheckpoint records.
+  std::vector<const ScanRecord*> group;
+  for (auto it = records_by_seq.rbegin(); it != records_by_seq.rend(); ++it) {
+    if (it->header.type != RecordType::kCheckpoint) {
+      break;
+    }
+    group.push_back(&*it);
+  }
+  if (group.empty()) {
+    return false;
+  }
+  const uint32_t checkpoint_id = group.front()->header.snap_id;
+  const uint64_t expected_pages = group.front()->header.trim_count;
+  // Keep only the tail checkpoint's own pages (a torn earlier checkpoint directly
+  // preceding it would have a different id).
+  std::erase_if(group, [checkpoint_id](const ScanRecord* r) {
+    return r->header.snap_id != checkpoint_id;
+  });
+  if (group.size() != expected_pages) {
+    return false;  // Torn checkpoint: fall back to full recovery.
+  }
+  // Order pages by their index within the checkpoint (stored in header.lba).
+  std::sort(group.begin(), group.end(), [](const ScanRecord* a, const ScanRecord* b) {
+    return a->header.lba < b->header.lba;
+  });
+  std::vector<uint8_t> bytes;
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (group[i]->header.lba != i) {
+      return false;
+    }
+    std::vector<uint8_t> payload;
+    ASSIGN_OR_RETURN(NandOp op, device->ReadPage(group[i]->paddr, *clock_ns, nullptr,
+                                                 &payload));
+    *clock_ns = op.finish_ns;
+    if (payload.size() < group[i]->header.payload_len) {
+      return DataLoss("checkpoint: payload shorter than recorded length");
+    }
+    bytes.insert(bytes.end(), payload.begin(),
+                 payload.begin() + group[i]->header.payload_len);
+  }
+  auto parsed = ParseCheckpoint(bytes);
+  if (!parsed.ok()) {
+    IOSNAP_LOG(kWarning) << "checkpoint parse failed (" << parsed.status()
+                         << "); running full recovery";
+    return false;
+  }
+  *state = std::move(parsed).value();
+  return true;
+}
+
+}  // namespace
+
+StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns) {
+  RecoveredState out;
+  uint64_t clock_ns = issue_ns;
+
+  // --- Scan every segment's OOB headers ---
+  std::vector<std::pair<uint64_t, PageHeader>> raw;
+  for (uint64_t seg = 0; seg < device->config().num_segments; ++seg) {
+    ASSIGN_OR_RETURN(NandOp op, device->ScanSegmentHeaders(seg, clock_ns, &raw));
+    clock_ns = op.finish_ns;
+  }
+
+  // Sort by sequence number; de-duplicate records that survived twice because a crash
+  // interrupted copy-forward before the source erase.
+  std::vector<ScanRecord> records;
+  records.reserve(raw.size());
+  for (const auto& [paddr, header] : raw) {
+    if (header.type == RecordType::kPad || header.type == RecordType::kInvalid) {
+      continue;
+    }
+    if (header.type == RecordType::kTrimSummary) {
+      // Expand the cleaner's compacted trim batches back into individual trim records
+      // (each with its original epoch/seq identity).
+      std::vector<uint8_t> payload;
+      ASSIGN_OR_RETURN(NandOp op, device->ReadPage(paddr, clock_ns, nullptr, &payload));
+      clock_ns = op.finish_ns;
+      auto entries = DecodeTrimSummary(payload);
+      if (!entries.ok()) {
+        IOSNAP_LOG(kWarning) << "recovery: unreadable trim summary ignored: "
+                             << entries.status();
+        continue;
+      }
+      for (const TrimEntry& entry : *entries) {
+        PageHeader trim;
+        trim.type = RecordType::kTrim;
+        trim.lba = entry.lba;
+        trim.trim_count = entry.count;
+        trim.epoch = entry.epoch;
+        trim.seq = entry.seq;
+        records.push_back(ScanRecord{paddr, trim});
+      }
+      continue;
+    }
+    records.push_back(ScanRecord{paddr, header});
+  }
+  std::sort(records.begin(), records.end(), [](const ScanRecord& a, const ScanRecord& b) {
+    if (a.header.seq != b.header.seq) {
+      return a.header.seq < b.header.seq;
+    }
+    return a.paddr < b.paddr;
+  });
+  records.erase(std::unique(records.begin(), records.end(),
+                            [](const ScanRecord& a, const ScanRecord& b) {
+                              return a.header.seq == b.header.seq;
+                            }),
+                records.end());
+
+  for (const ScanRecord& r : records) {
+    out.seq_counter = std::max(out.seq_counter, r.header.seq + 1);
+  }
+
+  // --- Fast path: complete checkpoint at the tail ---
+  CheckpointState checkpoint;
+  ASSIGN_OR_RETURN(bool have_checkpoint,
+                   TryLoadCheckpoint(device, records, &clock_ns, &checkpoint));
+  if (have_checkpoint) {
+    out.from_checkpoint = true;
+    out.seq_counter = std::max(out.seq_counter, checkpoint.seq_counter);
+    out.active_epoch = checkpoint.active_epoch;
+    out.tree = std::move(checkpoint.tree);
+    out.primary_map = std::move(checkpoint.primary_map);
+    out.validity = std::move(checkpoint.validity);
+    for (const ScanRecord& r : records) {
+      if (r.header.type == RecordType::kData) {
+        out.data_records.push_back({r.paddr, r.header.epoch, r.header.seq});
+      }
+    }
+    out.finish_ns = clock_ns;
+    return out;
+  }
+
+  // --- Pass 0: adopt the newest complete tree summary (cleaner-consolidated notes) ---
+  // Snapshot notes older than that summary may have been dropped by cleaning; everything
+  // they said is contained in the summary.
+  uint64_t summary_seq = 0;
+  {
+    // Group kTreeSummary pages by group id; a group is usable if complete.
+    std::map<uint32_t, std::vector<const ScanRecord*>> groups;
+    for (const ScanRecord& r : records) {
+      if (r.header.type == RecordType::kTreeSummary) {
+        groups[r.header.snap_id].push_back(&r);
+      }
+    }
+    const ScanRecord* best = nullptr;
+    std::vector<const ScanRecord*> best_group;
+    for (auto& [id, group] : groups) {
+      if (group.size() != group.front()->header.trim_count) {
+        continue;  // Torn summary: ignore.
+      }
+      uint64_t max_seq = 0;
+      for (const ScanRecord* r : group) {
+        max_seq = std::max(max_seq, r->header.seq);
+      }
+      if (best == nullptr || max_seq > summary_seq) {
+        best = group.front();
+        best_group = group;
+        summary_seq = max_seq;
+      }
+    }
+    if (best != nullptr) {
+      std::sort(best_group.begin(), best_group.end(),
+                [](const ScanRecord* a, const ScanRecord* b) {
+                  return a->header.lba < b->header.lba;
+                });
+      std::vector<uint8_t> bytes;
+      bool intact = true;
+      for (size_t i = 0; i < best_group.size() && intact; ++i) {
+        if (best_group[i]->header.lba != i) {
+          intact = false;
+          break;
+        }
+        std::vector<uint8_t> payload;
+        ASSIGN_OR_RETURN(NandOp op, device->ReadPage(best_group[i]->paddr, clock_ns,
+                                                     nullptr, &payload));
+        clock_ns = op.finish_ns;
+        if (payload.size() < best_group[i]->header.payload_len) {
+          intact = false;
+          break;
+        }
+        bytes.insert(bytes.end(), payload.begin(),
+                     payload.begin() + best_group[i]->header.payload_len);
+      }
+      size_t offset = 0;
+      if (intact) {
+        auto tree_or = SnapshotTree::Deserialize(bytes, &offset);
+        uint32_t summary_active = kRootEpoch;
+        if (tree_or.ok() && GetU32(bytes, &offset, &summary_active).ok()) {
+          out.tree = std::move(tree_or).value();
+          out.active_epoch = summary_active;
+        } else {
+          IOSNAP_LOG(kWarning) << "recovery: unreadable tree summary ignored";
+          summary_seq = 0;
+        }
+      } else {
+        summary_seq = 0;
+      }
+    }
+  }
+
+  // --- Pass 1: replay snapshot notes newer than the summary ---
+  // Notes carry explicit epoch ids (lba field), so numbering matches the runtime's
+  // regardless of which older notes were consolidated away.
+  for (const ScanRecord& r : records) {
+    if (r.header.seq <= summary_seq) {
+      continue;  // Already reflected in the summary.
+    }
+    switch (r.header.type) {
+      case RecordType::kSnapCreate: {
+        if (!out.tree.EpochExists(r.header.epoch)) {
+          return DataLoss("recovery: create note references unknown epoch");
+        }
+        SnapshotInfo info;
+        info.snap_id = r.header.snap_id;
+        info.epoch = r.header.epoch;
+        info.create_seq = r.header.seq;
+        if (r.header.payload_len > 0) {
+          std::vector<uint8_t> payload;
+          ASSIGN_OR_RETURN(NandOp op, device->ReadPage(r.paddr, clock_ns, nullptr,
+                                                       &payload));
+          clock_ns = op.finish_ns;
+          if (payload.size() >= r.header.payload_len) {
+            info.name.assign(reinterpret_cast<const char*>(payload.data()),
+                             r.header.payload_len);
+          }
+        }
+        out.tree.RestoreSnapshot(info);
+        out.tree.RestoreEpoch(static_cast<uint32_t>(r.header.lba), r.header.epoch);
+        out.active_epoch = static_cast<uint32_t>(r.header.lba);
+        break;
+      }
+      case RecordType::kSnapDelete: {
+        // Tolerate unknown snapshots: the pairing create note may have been consolidated
+        // together with an already-applied summary.
+        Status status = out.tree.MarkDeleted(r.header.snap_id);
+        if (!status.ok()) {
+          IOSNAP_LOG(kDebug) << "recovery: ignoring delete note: " << status;
+        }
+        break;
+      }
+      case RecordType::kSnapActivate: {
+        auto info = out.tree.Get(r.header.snap_id);
+        if (info.ok() && !out.tree.EpochExists(static_cast<uint32_t>(r.header.lba))) {
+          out.tree.RestoreEpoch(static_cast<uint32_t>(r.header.lba), info->epoch);
+        }
+        // View epochs do not survive a crash; nothing is captured for them.
+        break;
+      }
+      case RecordType::kRollback: {
+        // The primary re-parented onto the snapshot's epoch.
+        auto info = out.tree.Get(r.header.snap_id);
+        if (!info.ok()) {
+          return DataLoss("recovery: rollback note references unknown snapshot");
+        }
+        if (!out.tree.EpochExists(static_cast<uint32_t>(r.header.lba))) {
+          out.tree.RestoreEpoch(static_cast<uint32_t>(r.header.lba), info->epoch);
+        }
+        out.active_epoch = static_cast<uint32_t>(r.header.lba);
+        break;
+      }
+      case RecordType::kSnapDeactivate:
+      default:
+        break;
+    }
+  }
+
+  // --- Pass 2: overlay data/trim records along the epoch tree ---
+  std::unordered_map<uint32_t, std::vector<ScanRecord>> by_epoch;
+  for (const ScanRecord& r : records) {
+    if (r.header.type == RecordType::kData || r.header.type == RecordType::kTrim) {
+      if (!out.tree.EpochExists(r.header.epoch)) {
+        // Garbage from a dead branch whose defining notes were consolidated away.
+        IOSNAP_LOG(kDebug) << "recovery: skipping record in unknown epoch "
+                           << r.header.epoch;
+        continue;
+      }
+      by_epoch[r.header.epoch].push_back(r);
+    }
+    if (r.header.type == RecordType::kData && out.tree.EpochExists(r.header.epoch)) {
+      out.data_records.push_back({r.paddr, r.header.epoch, r.header.seq});
+    }
+  }
+
+  std::unordered_set<uint32_t> capture_epochs;
+  for (uint32_t epoch : out.tree.LiveSnapshotEpochs()) {
+    capture_epochs.insert(epoch);
+  }
+  capture_epochs.insert(out.active_epoch);
+
+  // Iterative DFS from the root, carrying the inherited state. The state map is copied
+  // per extra child — the in-memory analogue of the paper's breadth-first merge.
+  struct Frame {
+    uint32_t epoch;
+    StateMap state;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{kRootEpoch, StateMap{}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    auto rec_it = by_epoch.find(frame.epoch);
+    if (rec_it != by_epoch.end()) {
+      ApplyEpochRecords(rec_it->second, &frame.state);
+    }
+    if (capture_epochs.contains(frame.epoch)) {
+      out.validity[frame.epoch] = ValidSetOf(frame.state);
+      if (frame.epoch == out.active_epoch) {
+        out.primary_map = SortedMapOf(frame.state);
+      }
+    }
+    const std::vector<uint32_t> children = out.tree.ChildrenOf(frame.epoch);
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i + 1 == children.size()) {
+        stack.push_back(Frame{children[i], std::move(frame.state)});
+      } else {
+        stack.push_back(Frame{children[i], frame.state});
+      }
+    }
+  }
+
+  out.finish_ns = clock_ns;
+  return out;
+}
+
+}  // namespace iosnap

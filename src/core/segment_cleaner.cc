@@ -1,0 +1,354 @@
+#include "src/core/segment_cleaner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/core/ftl.h"
+
+namespace iosnap {
+
+namespace {
+// Number of distinct copy-forward heads used by the epoch-colocation policy.
+constexpr int kColocateHeads = 4;
+}  // namespace
+
+SegmentCleaner::SegmentCleaner(Ftl* ftl) : ftl_(ftl) { IOSNAP_CHECK(ftl != nullptr); }
+
+int SegmentCleaner::HeadForEpoch(uint32_t epoch) const {
+  if (ftl_->config_.cleaner_policy == CleanerPolicy::kEpochColocate) {
+    return LogManager::kFirstDynamicHead + static_cast<int>(epoch % kColocateHeads);
+  }
+  return LogManager::kGcHead;
+}
+
+std::optional<uint64_t> SegmentCleaner::SelectVictim(uint64_t now_ns) {
+  const std::vector<uint64_t> candidates = ftl_->log_.ClosedSegments();
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  const std::vector<uint32_t> live = ftl_->LiveEpochs();
+  const uint64_t pages_per_segment = ftl_->config_.nand.pages_per_segment;
+
+  const uint64_t merge_visits_before = ftl_->validity_.stats().merge_chunk_visits;
+
+  uint64_t newest_use_order = 0;
+  for (uint64_t seg : candidates) {
+    newest_use_order = std::max(newest_use_order, ftl_->log_.segment_info(seg).use_order);
+  }
+
+  // Static wear leveling: if some cleanable segment has fallen far behind the most-worn
+  // one (it holds cold data and never gets erased), recycle it now — even when it is
+  // fully valid and frees no space — so its low-wear cells re-enter rotation. Only done
+  // with a healthy free pool: under space pressure a full-valid victim makes no headway.
+  if (ftl_->config_.wear_leveling_threshold > 0 &&
+      ftl_->log_.FreeSegmentCount() >= ftl_->config_.gc_low_free_segments) {
+    const std::optional<uint64_t> coldest = WearLevelingCandidate();
+    if (coldest.has_value()) {
+      ++ftl_->stats_.gc_wear_level_cleans;
+      return coldest;
+    }
+  }
+
+  std::optional<uint64_t> best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (uint64_t seg : candidates) {
+    const uint64_t first = ftl_->device_->FirstPageOf(seg);
+    const uint64_t valid =
+        ftl_->validity_.CountValidInRange(live, first, first + pages_per_segment);
+    if (valid >= pages_per_segment) {
+      continue;  // Nothing reclaimable here.
+    }
+    const SegmentInfo& info = ftl_->log_.segment_info(seg);
+    double score = 0.0;
+    switch (ftl_->config_.cleaner_policy) {
+      case CleanerPolicy::kGreedy:
+        score = -static_cast<double>(valid);
+        break;
+      case CleanerPolicy::kCostBenefit: {
+        // Classic LFS benefit/cost with segment age proxied by how long ago the segment
+        // was opened relative to the newest candidate.
+        const double u = static_cast<double>(valid) / static_cast<double>(pages_per_segment);
+        const double age =
+            static_cast<double>(newest_use_order - info.use_order + 1);
+        score = (1.0 - u) * age / (1.0 + u);
+        break;
+      }
+      case CleanerPolicy::kEpochColocate:
+        // Prefer epoch-pure segments, then fewest valid pages: cleaning a single-epoch
+        // segment never intermixes snapshots (§5.4.2).
+        score = -static_cast<double>(info.epoch_pages.size()) * 1e9 -
+                static_cast<double>(valid);
+        break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = seg;
+    }
+  }
+
+  const uint64_t merge_visits =
+      ftl_->validity_.stats().merge_chunk_visits - merge_visits_before;
+  const uint64_t merge_ns = merge_visits * ftl_->config_.host_merge_ns_per_chunk;
+  ftl_->stats_.gc_merge_host_ns += merge_ns;
+  ftl_->stats_.gc_total_host_ns += merge_ns;
+  return best;
+}
+
+std::optional<uint64_t> SegmentCleaner::WearLevelingCandidate() const {
+  uint64_t max_erase = 0;
+  for (uint64_t seg = 0; seg < ftl_->config_.nand.num_segments; ++seg) {
+    max_erase = std::max(max_erase, ftl_->device_->EraseCount(seg));
+  }
+  std::optional<uint64_t> coldest;
+  uint64_t coldest_erase = ~uint64_t{0};
+  for (uint64_t seg : ftl_->log_.ClosedSegments()) {
+    const uint64_t erase_count = ftl_->device_->EraseCount(seg);
+    if (erase_count < coldest_erase) {
+      coldest_erase = erase_count;
+      coldest = seg;
+    }
+  }
+  if (!coldest.has_value() ||
+      max_erase - coldest_erase < ftl_->config_.wear_leveling_threshold) {
+    return std::nullopt;
+  }
+  return coldest;
+}
+
+bool SegmentCleaner::WearImbalanced() const {
+  return ftl_->config_.wear_leveling_threshold > 0 &&
+         WearLevelingCandidate().has_value();
+}
+
+bool SegmentCleaner::StartVictim(uint64_t now_ns) {
+  if (victim_.has_value()) {
+    return true;
+  }
+  const std::optional<uint64_t> seg = SelectVictim(now_ns);
+  if (!seg.has_value()) {
+    return false;
+  }
+
+  Victim victim;
+  victim.segment = *seg;
+  victim.trim_retention_seq = ftl_->log_.GlobalMinDataSeq();
+  auto scan = ftl_->device_->ScanSegmentHeaders(*seg, now_ns, &victim.entries);
+  if (!scan.ok()) {
+    IOSNAP_LOG(kWarning) << "cleaner: victim scan failed: " << scan.status();
+    return false;
+  }
+
+  // If the victim holds snapshot notes or an old tree summary, consolidate: write one
+  // fresh tree summary (whose sequence number supersedes them all), then the victim's
+  // copies can simply be dropped instead of accumulating forever on the log.
+  bool has_tree_records = false;
+  for (const auto& [paddr, header] : victim.entries) {
+    if (header.IsSnapshotNote() || header.type == RecordType::kTreeSummary) {
+      has_tree_records = true;
+      break;
+    }
+  }
+  if (has_tree_records) {
+    auto summary = ftl_->AppendTreeSummary(LogManager::kGcHead, now_ns);
+    if (!summary.ok()) {
+      IOSNAP_LOG(kWarning) << "cleaner: tree summary failed: " << summary.status();
+      return false;
+    }
+  }
+
+  // Pacing estimate (Fig 10 knob): merged validity when snapshot-aware, the active
+  // epoch's validity only under the vanilla rate policy.
+  const uint64_t first = ftl_->device_->FirstPageOf(*seg);
+  const uint64_t last = first + ftl_->config_.nand.pages_per_segment;
+  const uint64_t merge_visits_before = ftl_->validity_.stats().merge_chunk_visits;
+  if (ftl_->config_.snapshot_aware_gc_rate) {
+    victim.pacing_estimate = ftl_->validity_.CountValidInRange(ftl_->LiveEpochs(), first, last);
+  } else {
+    victim.pacing_estimate =
+        ftl_->validity_.CountValidInRange(ftl_->FindView(kPrimaryView)->epoch, first, last);
+  }
+  const uint64_t merge_visits =
+      ftl_->validity_.stats().merge_chunk_visits - merge_visits_before;
+  const uint64_t merge_ns = merge_visits * ftl_->config_.host_merge_ns_per_chunk;
+  ftl_->stats_.gc_merge_host_ns += merge_ns;
+  ftl_->stats_.gc_total_host_ns += merge_ns;
+
+  victim_ = std::move(victim);
+  return true;
+}
+
+bool SegmentCleaner::TrimStillNeeded(uint32_t epoch, uint64_t seq) const {
+  // A trim record must survive only while a data record it kills might still be
+  // replayed. Two drop conditions: (1) the record is older than every surviving data
+  // record (it kills nothing); (2) its epoch is on no live epoch's lineage (dead
+  // branch). Without these, discard-heavy workloads accumulate immortal trim metadata.
+  if (seq < victim_->trim_retention_seq) {
+    return false;
+  }
+  for (uint32_t live : ftl_->LiveEpochs()) {
+    if (ftl_->tree_.InLineage(live, epoch)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<uint64_t> SegmentCleaner::FlushTrimSummaries(uint64_t now_ns) {
+  std::vector<TrimEntry>& trims = victim_->live_trims;
+  if (trims.empty()) {
+    return now_ns;
+  }
+  const uint64_t per_page = TrimEntriesPerPage(ftl_->config_.nand.page_size_bytes);
+  uint64_t t = now_ns;
+  for (size_t begin = 0; begin < trims.size(); begin += per_page) {
+    const size_t count = std::min<size_t>(per_page, trims.size() - begin);
+    const std::vector<uint8_t> payload = EncodeTrimSummary(trims, begin, count);
+    PageHeader header;
+    header.type = RecordType::kTrimSummary;
+    header.seq = ftl_->NextSeq();
+    header.payload_len = static_cast<uint32_t>(payload.size());
+    ASSIGN_OR_RETURN(AppendResult ar,
+                     ftl_->log_.Append(LogManager::kGcHead, header, payload, t));
+    t = ar.op.finish_ns;
+    ++ftl_->stats_.gc_notes_copied;
+    ++ftl_->stats_.total_pages_programmed;
+  }
+  trims.clear();
+  return t;
+}
+
+uint64_t SegmentCleaner::PacingEstimateRemaining() const {
+  if (!victim_.has_value()) {
+    return 0;
+  }
+  if (victim_->pacing_done >= victim_->pacing_estimate) {
+    return 0;
+  }
+  return victim_->pacing_estimate - victim_->pacing_done;
+}
+
+StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
+    const std::pair<uint64_t, PageHeader>& entry, uint64_t now_ns, bool* copied_data_page) {
+  *copied_data_page = false;
+  const uint64_t paddr = entry.first;
+  const PageHeader& header = entry.second;
+
+  switch (header.type) {
+    case RecordType::kData: {
+      const std::vector<uint32_t> live = ftl_->LiveEpochs();
+      if (!ftl_->validity_.TestAny(live, paddr)) {
+        return now_ns;  // Invalid in every live epoch: drop.
+      }
+      // Copy-forward with the original identity (lba, epoch, seq).
+      std::vector<uint8_t> data;
+      ASSIGN_OR_RETURN(NandOp read_op, ftl_->device_->ReadPage(paddr, now_ns, nullptr, &data));
+      ASSIGN_OR_RETURN(AppendResult ar,
+                       ftl_->log_.Append(HeadForEpoch(header.epoch), header, data,
+                                         read_op.finish_ns));
+
+      // Move validity bits in every epoch that referenced the old location.
+      const uint64_t cow_bytes = ftl_->validity_.MoveBit(live, paddr, ar.paddr);
+      const uint64_t host_ns =
+          live.size() * ftl_->config_.host_bitmap_update_ns +
+          cow_bytes * ftl_->config_.host_cow_ns_per_byte;
+      ftl_->stats_.gc_total_host_ns += host_ns;
+
+      // Let in-flight activation scans know the block moved.
+      if (!ftl_->activations_.empty()) {
+        ftl_->gc_relocations_.emplace_back(header.lba, ar.paddr);
+      }
+
+      // Fix any view whose forward map pointed at the old location.
+      for (auto& [id, view] : ftl_->views_) {
+        const std::optional<uint64_t> mapped = view.map.Lookup(header.lba);
+        if (mapped.has_value() && *mapped == paddr) {
+          view.map.Insert(header.lba, ar.paddr);
+        }
+      }
+
+      ++ftl_->stats_.gc_pages_copied;
+      ++ftl_->stats_.total_pages_programmed;
+      ++victim_->pacing_done;
+      *copied_data_page = true;
+      return ar.op.finish_ns;
+    }
+    case RecordType::kTrim: {
+      if (!TrimStillNeeded(header.epoch, header.seq)) {
+        ++ftl_->stats_.gc_notes_dropped;
+        return now_ns;
+      }
+      // Gathered now, rewritten in compacted form when the victim completes.
+      victim_->live_trims.push_back(
+          TrimEntry{header.lba, header.trim_count, header.epoch, header.seq});
+      return now_ns;
+    }
+    case RecordType::kTrimSummary: {
+      // Re-filter the batched entries and carry the survivors into the new compaction.
+      std::vector<uint8_t> payload;
+      ASSIGN_OR_RETURN(NandOp read_op,
+                       ftl_->device_->ReadPage(paddr, now_ns, nullptr, &payload));
+      ASSIGN_OR_RETURN(std::vector<TrimEntry> entries, DecodeTrimSummary(payload));
+      for (const TrimEntry& trim : entries) {
+        if (TrimStillNeeded(trim.epoch, trim.seq)) {
+          victim_->live_trims.push_back(trim);
+        } else {
+          ++ftl_->stats_.gc_notes_dropped;
+        }
+      }
+      return read_op.finish_ns;
+    }
+    case RecordType::kSnapCreate:
+    case RecordType::kSnapDelete:
+    case RecordType::kSnapActivate:
+    case RecordType::kSnapDeactivate:
+    case RecordType::kRollback:
+    case RecordType::kTreeSummary:
+      // Superseded by the fresh tree summary StartVictim wrote.
+      ++ftl_->stats_.gc_notes_dropped;
+      return now_ns;
+    case RecordType::kCheckpoint:  // Stale the moment the device reopened.
+    case RecordType::kPad:
+    case RecordType::kInvalid:
+      return now_ns;
+  }
+  return now_ns;
+}
+
+StatusOr<uint64_t> SegmentCleaner::Step(uint64_t now_ns, uint64_t max_pages) {
+  if (!victim_.has_value()) {
+    return now_ns;
+  }
+  uint64_t t = now_ns;
+  uint64_t copied = 0;
+  while (victim_->cursor < victim_->entries.size() && copied < max_pages) {
+    bool copied_data = false;
+    ASSIGN_OR_RETURN(t, ProcessEntry(victim_->entries[victim_->cursor], t, &copied_data));
+    ++victim_->cursor;
+    if (copied_data) {
+      ++copied;
+    }
+  }
+  if (victim_->cursor >= victim_->entries.size()) {
+    ASSIGN_OR_RETURN(t, FlushTrimSummaries(t));
+    ASSIGN_OR_RETURN(NandOp erase_op, ftl_->log_.ReleaseSegment(victim_->segment, t));
+    t = erase_op.finish_ns;
+    ++ftl_->stats_.gc_segments_cleaned;
+    victim_.reset();
+  }
+  ftl_->stats_.gc_device_busy_ns += t - now_ns;
+  return t;
+}
+
+StatusOr<uint64_t> SegmentCleaner::CleanOneBlocking(uint64_t now_ns) {
+  if (!victim_.has_value() && !StartVictim(now_ns)) {
+    return now_ns;
+  }
+  uint64_t t = now_ns;
+  while (victim_.has_value()) {
+    ASSIGN_OR_RETURN(t, Step(t, ftl_->config_.nand.pages_per_segment));
+  }
+  return t;
+}
+
+}  // namespace iosnap

@@ -1,0 +1,107 @@
+// Snapshot-aware segment cleaner (§5.4).
+//
+// Cleaning a segment with snapshots present differs from vanilla cleaning in three ways
+// (Figure 6):
+//   1. Liveness is the OR ("merge") of every live epoch's validity bitmap — a block
+//      invalid in the active view may still belong to a snapshot. Epochs of deleted
+//      snapshots drop out of the merge, which is how deletion reclaims space lazily.
+//   2. Copy-forward preserves the block's logical identity (lba, epoch, seq) so that
+//      later activations and crash recovery still attribute it correctly.
+//   3. After a move, the validity bit must be cleared/set in *every* epoch that
+//      referenced the old location ("move and reset validity bits").
+//
+// Snapshot notes and trim notes are always copied forward: they are the only persistent
+// record of the epoch tree and of discards, and recovery needs them.
+//
+// The cleaner runs either incrementally (Step, paced by the write path / idle pump) or
+// synchronously (CleanOneBlocking, the emergency path when the free pool is exhausted —
+// the source of the paper's Figure 10 latency spikes under the vanilla rate policy).
+
+#ifndef SRC_CORE_SEGMENT_CLEANER_H_
+#define SRC_CORE_SEGMENT_CLEANER_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitmap.h"
+#include "src/common/status.h"
+#include "src/core/trim_summary.h"
+#include "src/nand/page_header.h"
+
+namespace iosnap {
+
+class Ftl;
+
+class SegmentCleaner {
+ public:
+  explicit SegmentCleaner(Ftl* ftl);
+
+  // Selects a victim (policy from FtlConfig), scans its headers, and merges validity.
+  // Returns false when no cleanable segment exists. No-op if a victim is in progress.
+  bool StartVictim(uint64_t now_ns);
+
+  bool HasVictim() const { return victim_.has_value(); }
+
+  // True when static wear leveling wants to recycle a cold segment (drives idle-time
+  // cleaning even when the free pool is healthy).
+  bool WearImbalanced() const;
+
+  // Pages the *pacing policy* believes remain to be copied for the current victim.
+  // Under the vanilla rate policy this counts only the active epoch's valid pages and so
+  // under-estimates when snapshots hold extra live data (Fig 10b); the snapshot-aware
+  // policy counts the merged validity (Fig 10c).
+  uint64_t PacingEstimateRemaining() const;
+
+  // Copies up to `max_pages` live pages (plus any interleaved notes); erases and frees
+  // the victim when finished. Returns the device finish time of the work performed
+  // (== now_ns when there was nothing to do).
+  StatusOr<uint64_t> Step(uint64_t now_ns, uint64_t max_pages);
+
+  // Selects a victim if needed and cleans it to completion synchronously.
+  // Returns the finish time; no-op returning now_ns when nothing is cleanable.
+  StatusOr<uint64_t> CleanOneBlocking(uint64_t now_ns);
+
+ private:
+  struct Victim {
+    uint64_t segment = 0;
+    // All programmed pages of the segment at scan time (paddr, header).
+    std::vector<std::pair<uint64_t, PageHeader>> entries;
+    size_t cursor = 0;             // Next entry to process.
+    uint64_t pacing_estimate = 0;  // See PacingEstimateRemaining().
+    uint64_t pacing_done = 0;      // Pages copied so far.
+    // Trim notes with seq below this bound predate every surviving data record: they can
+    // kill nothing at recovery and are dropped instead of copied forward. Snapshotted at
+    // victim start (the bound is monotone, so a stale value is merely conservative).
+    uint64_t trim_retention_seq = 0;
+    // Still-needed trim records gathered from the victim (single notes and entries of
+    // older kTrimSummary pages); compacted into fresh summary pages at completion.
+    std::vector<TrimEntry> live_trims;
+  };
+
+  // True if a trim record must be kept (see Victim::trim_retention_seq).
+  bool TrimStillNeeded(uint32_t epoch, uint64_t seq) const;
+
+  // Writes the victim's gathered trims as dense summary pages. Returns device finish.
+  StatusOr<uint64_t> FlushTrimSummaries(uint64_t now_ns);
+
+  std::optional<uint64_t> SelectVictim(uint64_t now_ns);
+
+  // The coldest cleanable segment if its wear lags the most-worn by >= threshold.
+  std::optional<uint64_t> WearLevelingCandidate() const;
+
+  // Processes one entry; returns the device finish time (now_ns if entry was dropped).
+  StatusOr<uint64_t> ProcessEntry(const std::pair<uint64_t, PageHeader>& entry,
+                                  uint64_t now_ns, bool* copied_data_page);
+
+  // Destination append head for a copy-forwarded record.
+  int HeadForEpoch(uint32_t epoch) const;
+
+  Ftl* ftl_;
+  std::optional<Victim> victim_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_CORE_SEGMENT_CLEANER_H_

@@ -1,0 +1,386 @@
+#include "src/ftl/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  int count = 0;  // Number of keys.
+  // Room for one overflow entry before a split resolves it.
+  uint64_t keys[kCapacity + 1];
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::LeafNode : BPlusTree::Node {
+  uint64_t values[kCapacity + 1];
+  LeafNode* next = nullptr;
+
+  LeafNode() : Node(/*leaf=*/true) {}
+};
+
+struct BPlusTree::InternalNode : BPlusTree::Node {
+  // children[i] covers keys < keys[i]; children[count] covers the rest.
+  Node* children[kCapacity + 2] = {nullptr};
+
+  InternalNode() : Node(/*leaf=*/false) {}
+};
+
+BPlusTree::BPlusTree() {
+  root_ = new LeafNode();
+  leaf_count_ = 1;
+}
+
+BPlusTree::~BPlusTree() {
+  if (root_ != nullptr) {
+    DeleteRec(root_);
+  }
+}
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : root_(other.root_),
+      size_(other.size_),
+      leaf_count_(other.leaf_count_),
+      internal_count_(other.internal_count_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+  other.leaf_count_ = 0;
+  other.internal_count_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+  if (this != &other) {
+    if (root_ != nullptr) {
+      DeleteRec(root_);
+    }
+    root_ = other.root_;
+    size_ = other.size_;
+    leaf_count_ = other.leaf_count_;
+    internal_count_ = other.internal_count_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+    other.leaf_count_ = 0;
+    other.internal_count_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::DeleteRec(Node* node) {
+  if (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    for (int i = 0; i <= internal->count; ++i) {
+      DeleteRec(internal->children[i]);
+    }
+    delete internal;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+void BPlusTree::Clear() {
+  if (root_ != nullptr) {
+    DeleteRec(root_);
+  }
+  root_ = new LeafNode();
+  size_ = 0;
+  leaf_count_ = 1;
+  internal_count_ = 0;
+}
+
+BPlusTree::LeafNode* BPlusTree::FindLeaf(uint64_t key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    const auto* internal = static_cast<const InternalNode*>(node);
+    const uint64_t* end = internal->keys + internal->count;
+    // First separator strictly greater than key selects the child.
+    const uint64_t* it = std::upper_bound(internal->keys + 0, end, key);
+    node = internal->children[it - internal->keys];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+std::optional<uint64_t> BPlusTree::Lookup(uint64_t key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  const uint64_t* end = leaf->keys + leaf->count;
+  const uint64_t* it = std::lower_bound(leaf->keys, end, key);
+  if (it != end && *it == key) {
+    return leaf->values[it - leaf->keys];
+  }
+  return std::nullopt;
+}
+
+bool BPlusTree::InsertRec(Node* node, uint64_t key, uint64_t value, uint64_t* split_key,
+                          Node** new_node) {
+  *new_node = nullptr;
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    uint64_t* end = leaf->keys + leaf->count;
+    uint64_t* it = std::lower_bound(leaf->keys, end, key);
+    const int pos = static_cast<int>(it - leaf->keys);
+    if (it != end && *it == key) {
+      leaf->values[pos] = value;  // In-place overwrite: the common FTL remap.
+      return false;
+    }
+    for (int i = leaf->count; i > pos; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+      leaf->values[i] = leaf->values[i - 1];
+    }
+    leaf->keys[pos] = key;
+    leaf->values[pos] = value;
+    ++leaf->count;
+    ++size_;
+
+    if (leaf->count > kCapacity) {
+      auto* right = new LeafNode();
+      ++leaf_count_;
+      const int move = leaf->count / 2;
+      const int keep = leaf->count - move;
+      for (int i = 0; i < move; ++i) {
+        right->keys[i] = leaf->keys[keep + i];
+        right->values[i] = leaf->values[keep + i];
+      }
+      right->count = move;
+      leaf->count = keep;
+      right->next = leaf->next;
+      leaf->next = right;
+      *split_key = right->keys[0];
+      *new_node = right;
+    }
+    return true;
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  uint64_t* end = internal->keys + internal->count;
+  uint64_t* it = std::upper_bound(internal->keys, end, key);
+  const int child_index = static_cast<int>(it - internal->keys);
+
+  uint64_t child_split_key = 0;
+  Node* child_new = nullptr;
+  const bool inserted =
+      InsertRec(internal->children[child_index], key, value, &child_split_key, &child_new);
+
+  if (child_new != nullptr) {
+    // Insert separator child_split_key and the new right child after child_index.
+    for (int i = internal->count; i > child_index; --i) {
+      internal->keys[i] = internal->keys[i - 1];
+      internal->children[i + 1] = internal->children[i];
+    }
+    internal->keys[child_index] = child_split_key;
+    internal->children[child_index + 1] = child_new;
+    ++internal->count;
+
+    if (internal->count > kCapacity) {
+      auto* right = new InternalNode();
+      ++internal_count_;
+      // Promote the middle separator; left keeps [0, mid), right takes (mid, count).
+      const int mid = internal->count / 2;
+      *split_key = internal->keys[mid];
+      const int move = internal->count - mid - 1;
+      for (int i = 0; i < move; ++i) {
+        right->keys[i] = internal->keys[mid + 1 + i];
+        right->children[i] = internal->children[mid + 1 + i];
+      }
+      right->children[move] = internal->children[internal->count];
+      right->count = move;
+      internal->count = mid;
+      *new_node = right;
+    }
+  }
+  return inserted;
+}
+
+bool BPlusTree::Insert(uint64_t key, uint64_t value) {
+  uint64_t split_key = 0;
+  Node* new_node = nullptr;
+  const bool inserted = InsertRec(root_, key, value, &split_key, &new_node);
+  if (new_node != nullptr) {
+    auto* new_root = new InternalNode();
+    ++internal_count_;
+    new_root->keys[0] = split_key;
+    new_root->children[0] = root_;
+    new_root->children[1] = new_node;
+    new_root->count = 1;
+    root_ = new_root;
+  }
+  return inserted;
+}
+
+bool BPlusTree::Erase(uint64_t key) {
+  LeafNode* leaf = FindLeaf(key);
+  uint64_t* end = leaf->keys + leaf->count;
+  uint64_t* it = std::lower_bound(leaf->keys, end, key);
+  const int pos = static_cast<int>(it - leaf->keys);
+  if (it == end || *it != key) {
+    return false;
+  }
+  for (int i = pos; i < leaf->count - 1; ++i) {
+    leaf->keys[i] = leaf->keys[i + 1];
+    leaf->values[i] = leaf->values[i + 1];
+  }
+  --leaf->count;
+  --size_;
+  return true;
+}
+
+void BPlusTree::ForEach(const std::function<void(uint64_t, uint64_t)>& fn) const {
+  // Leftmost leaf, then walk the chain.
+  Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<InternalNode*>(node)->children[0];
+  }
+  for (auto* leaf = static_cast<LeafNode*>(node); leaf != nullptr; leaf = leaf->next) {
+    for (int i = 0; i < leaf->count; ++i) {
+      fn(leaf->keys[i], leaf->values[i]);
+    }
+  }
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> BPlusTree::ToSortedVector() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(size_);
+  ForEach([&out](uint64_t k, uint64_t v) { out.emplace_back(k, v); });
+  return out;
+}
+
+BPlusTree BPlusTree::BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& sorted_pairs) {
+  BPlusTree tree;
+  if (sorted_pairs.empty()) {
+    return tree;
+  }
+  // Replace the default empty leaf.
+  DeleteRec(tree.root_);
+  tree.root_ = nullptr;
+  tree.leaf_count_ = 0;
+
+  // Build fully packed leaves.
+  std::vector<Node*> level;
+  std::vector<uint64_t> level_min_keys;
+  LeafNode* prev = nullptr;
+  size_t i = 0;
+  while (i < sorted_pairs.size()) {
+    auto* leaf = new LeafNode();
+    ++tree.leaf_count_;
+    int n = 0;
+    while (i < sorted_pairs.size() && n < kCapacity) {
+      leaf->keys[n] = sorted_pairs[i].first;
+      leaf->values[n] = sorted_pairs[i].second;
+      ++n;
+      ++i;
+    }
+    leaf->count = n;
+    if (prev != nullptr) {
+      prev->next = leaf;
+    }
+    prev = leaf;
+    level.push_back(leaf);
+    level_min_keys.push_back(leaf->keys[0]);
+  }
+  tree.size_ = sorted_pairs.size();
+
+  // Build internal levels bottom-up, packing kCapacity+1 children per node.
+  while (level.size() > 1) {
+    std::vector<Node*> next_level;
+    std::vector<uint64_t> next_min_keys;
+    size_t j = 0;
+    while (j < level.size()) {
+      auto* internal = new InternalNode();
+      ++tree.internal_count_;
+      size_t take = std::min<size_t>(kCapacity + 1, level.size() - j);
+      // Avoid leaving a singleton group: a node with one child has no separator keys.
+      if (level.size() - j - take == 1) {
+        --take;
+      }
+      internal->children[0] = level[j];
+      for (size_t c = 1; c < take; ++c) {
+        internal->keys[c - 1] = level_min_keys[j + c];
+        internal->children[c] = level[j + c];
+      }
+      internal->count = static_cast<int>(take) - 1;
+      next_level.push_back(internal);
+      next_min_keys.push_back(level_min_keys[j]);
+      j += take;
+    }
+    level = std::move(next_level);
+    level_min_keys = std::move(next_min_keys);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+size_t BPlusTree::MemoryBytes() const {
+  return leaf_count_ * sizeof(LeafNode) + internal_count_ * sizeof(InternalNode);
+}
+
+int BPlusTree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children[0];
+    ++depth;
+  }
+  return depth;
+}
+
+int BPlusTree::Height() const { return LeafDepth() + 1; }
+
+bool BPlusTree::CheckRec(const Node* node, __int128 lower, __int128 upper, int depth,
+                         int leaf_depth) const {
+  // Keys must be strictly increasing and within [lower, upper).
+  for (int i = 0; i < node->count; ++i) {
+    if (i > 0 && node->keys[i] <= node->keys[i - 1]) {
+      return false;
+    }
+    const __int128 k = node->keys[i];
+    if (k < lower || k >= upper) {
+      return false;
+    }
+  }
+  if (node->is_leaf) {
+    return depth == leaf_depth;
+  }
+  const auto* internal = static_cast<const InternalNode*>(node);
+  if (internal->count < 1 && root_ != node) {
+    return false;
+  }
+  for (int i = 0; i <= internal->count; ++i) {
+    const __int128 lo = (i == 0) ? lower : static_cast<__int128>(internal->keys[i - 1]);
+    const __int128 hi = (i == internal->count) ? upper : static_cast<__int128>(internal->keys[i]);
+    if (internal->children[i] == nullptr) {
+      return false;
+    }
+    if (!CheckRec(internal->children[i], lo, hi, depth + 1, leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  if (root_ == nullptr) {
+    return false;
+  }
+  const __int128 upper = (static_cast<__int128>(1) << 64);
+  if (!CheckRec(root_, 0, upper, 0, LeafDepth())) {
+    return false;
+  }
+  // Leaf chain must yield sorted keys and exactly size_ entries.
+  uint64_t prev_key = 0;
+  bool first = true;
+  size_t seen = 0;
+  bool ok = true;
+  ForEach([&](uint64_t k, uint64_t) {
+    if (!first && k <= prev_key) {
+      ok = false;
+    }
+    prev_key = k;
+    first = false;
+    ++seen;
+  });
+  return ok && seen == size_;
+}
+
+}  // namespace iosnap

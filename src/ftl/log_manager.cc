@@ -1,0 +1,190 @@
+#include "src/ftl/log_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+LogManager::LogManager(NandDevice* device, uint64_t gc_reserve_segments)
+    : device_(device),
+      gc_reserve_segments_(gc_reserve_segments),
+      segments_(device->config().num_segments) {
+  IOSNAP_CHECK(device != nullptr);
+  IOSNAP_CHECK(gc_reserve_segments_ < device->config().num_segments);
+  for (uint64_t s = 0; s < device->config().num_segments; ++s) {
+    free_segments_.push_back(s);
+  }
+}
+
+LogManager::Head& LogManager::HeadFor(int head) { return heads_[head]; }
+
+bool LogManager::CanAppend(int head) const {
+  auto it = heads_.find(head);
+  if (it != heads_.end() && it->second.open_segment.has_value()) {
+    const uint64_t seg = *it->second.open_segment;
+    if (device_->NextFreePage(seg) < device_->config().pages_per_segment) {
+      return true;
+    }
+  }
+  // Needs a fresh segment.
+  if (head == kActiveHead) {
+    return free_segments_.size() > gc_reserve_segments_;
+  }
+  return !free_segments_.empty();
+}
+
+StatusOr<uint64_t> LogManager::AcquireSegment(int head) {
+  if (free_segments_.empty()) {
+    return ResourceExhausted("log: no free segments");
+  }
+  if (head == kActiveHead && free_segments_.size() <= gc_reserve_segments_) {
+    return ResourceExhausted("log: active head blocked by GC reserve");
+  }
+  const uint64_t seg = free_segments_.front();
+  free_segments_.pop_front();
+
+  SegmentInfo& info = segments_[seg];
+  IOSNAP_CHECK(info.state == SegmentState::kFree);
+  info.state = SegmentState::kOpen;
+  info.use_order = ++use_counter_;
+  info.min_seq = ~uint64_t{0};
+  info.epoch_pages.clear();
+  return seg;
+}
+
+StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
+                                          std::span<const uint8_t> data, uint64_t issue_ns) {
+  Head& h = HeadFor(head);
+
+  if (h.open_segment.has_value()) {
+    const uint64_t seg = *h.open_segment;
+    if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+      segments_[seg].state = SegmentState::kClosed;
+      h.open_segment.reset();
+    }
+  }
+  if (!h.open_segment.has_value()) {
+    ASSIGN_OR_RETURN(uint64_t seg, AcquireSegment(head));
+    h.open_segment = seg;
+  }
+
+  const uint64_t seg = *h.open_segment;
+  AppendResult result;
+  ASSIGN_OR_RETURN(result.op,
+                   device_->ProgramPage(seg, header, data, issue_ns, &result.paddr));
+
+  SegmentInfo& info = segments_[seg];
+  info.min_seq = std::min(info.min_seq, header.seq);
+  if (header.type == RecordType::kData) {
+    info.min_data_seq = std::min(info.min_data_seq, header.seq);
+    ++info.epoch_pages[header.epoch];
+  }
+  if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+    info.state = SegmentState::kClosed;
+    h.open_segment.reset();
+  }
+  return result;
+}
+
+std::vector<uint64_t> LogManager::ClosedSegments() const {
+  std::vector<uint64_t> out;
+  for (uint64_t s = 0; s < segments_.size(); ++s) {
+    if (segments_[s].state == SegmentState::kClosed) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+StatusOr<NandOp> LogManager::ReleaseSegment(uint64_t segment, uint64_t issue_ns) {
+  IOSNAP_CHECK(segment < segments_.size());
+  SegmentInfo& info = segments_[segment];
+  if (info.state != SegmentState::kClosed) {
+    return FailedPrecondition("release: segment " + std::to_string(segment) +
+                              " is not closed");
+  }
+  ASSIGN_OR_RETURN(NandOp op, device_->EraseSegment(segment, issue_ns));
+  info.state = SegmentState::kFree;
+  info.epoch_pages.clear();
+  info.min_seq = ~uint64_t{0};
+  info.min_data_seq = ~uint64_t{0};
+  free_segments_.push_back(segment);
+  return op;
+}
+
+uint64_t LogManager::TotalSegments() const { return segments_.size(); }
+
+uint64_t LogManager::GlobalMinDataSeq() const {
+  uint64_t min_seq = ~uint64_t{0};
+  for (const SegmentInfo& info : segments_) {
+    if (info.state != SegmentState::kFree) {
+      min_seq = std::min(min_seq, info.min_data_seq);
+    }
+  }
+  return min_seq;
+}
+
+uint64_t LogManager::ActiveHeadFreePages() const {
+  const uint64_t pages_per_segment = device_->config().pages_per_segment;
+  uint64_t pages = 0;
+  if (free_segments_.size() > gc_reserve_segments_) {
+    pages += (free_segments_.size() - gc_reserve_segments_) * pages_per_segment;
+  }
+  auto it = heads_.find(kActiveHead);
+  if (it != heads_.end() && it->second.open_segment.has_value()) {
+    pages += pages_per_segment - device_->NextFreePage(*it->second.open_segment);
+  }
+  return pages;
+}
+
+const SegmentInfo& LogManager::segment_info(uint64_t segment) const {
+  IOSNAP_CHECK(segment < segments_.size());
+  return segments_[segment];
+}
+
+std::optional<uint64_t> LogManager::OpenSegment(int head) const {
+  auto it = heads_.find(head);
+  if (it == heads_.end()) {
+    return std::nullopt;
+  }
+  return it->second.open_segment;
+}
+
+void LogManager::RebuildFromDevice() {
+  free_segments_.clear();
+  heads_.clear();
+  use_counter_ = 0;
+  for (uint64_t s = 0; s < segments_.size(); ++s) {
+    SegmentInfo& info = segments_[s];
+    info.epoch_pages.clear();
+    info.min_seq = ~uint64_t{0};
+    info.min_data_seq = ~uint64_t{0};
+    const uint64_t next = device_->NextFreePage(s);
+    if (next == 0) {
+      info.state = SegmentState::kFree;
+      free_segments_.push_back(s);
+    } else if (next < device_->config().pages_per_segment &&
+               !heads_[kActiveHead].open_segment.has_value()) {
+      // A segment that was open at crash time: resume appending into it. If several heads
+      // were open at the crash, the first partial segment becomes the active head and the
+      // rest are treated as closed (their free tail is reclaimed at their next clean).
+      info.state = SegmentState::kOpen;
+      info.use_order = ++use_counter_;
+      heads_[kActiveHead].open_segment = s;
+    } else {
+      info.state = SegmentState::kClosed;
+      info.use_order = ++use_counter_;
+    }
+  }
+}
+
+void LogManager::RestoreAccounting(uint64_t segment, uint32_t epoch, uint64_t seq) {
+  IOSNAP_CHECK(segment < segments_.size());
+  SegmentInfo& info = segments_[segment];
+  info.min_seq = std::min(info.min_seq, seq);
+  info.min_data_seq = std::min(info.min_data_seq, seq);
+  ++info.epoch_pages[epoch];
+}
+
+}  // namespace iosnap

@@ -1,0 +1,116 @@
+// Log-structured space management on top of the NAND device (§5.2.1).
+//
+// The LogManager owns segment lifecycle: segments move free -> open -> closed -> (cleaned)
+// -> free. Appends go to a *head*; the user write path and the segment cleaner use
+// different heads so copy-forwarded cold data does not intermix with fresh writes, and the
+// epoch-colocating cleaner policy (§5.4.2 extension) can maintain one head per epoch class.
+//
+// The LogManager assigns physical placement only; logical identity (lba/epoch/seq) lives
+// in the PageHeader supplied by the caller, and validity is tracked by ValidityMap.
+
+#ifndef SRC_FTL_LOG_MANAGER_H_
+#define SRC_FTL_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nand/nand_device.h"
+
+namespace iosnap {
+
+enum class SegmentState : uint8_t { kFree, kOpen, kClosed };
+
+struct SegmentInfo {
+  SegmentState state = SegmentState::kFree;
+  uint64_t use_order = 0;    // Monotonic counter stamped when the segment is opened.
+  uint64_t min_seq = ~uint64_t{0};       // Smallest record seq in the segment (age).
+  uint64_t min_data_seq = ~uint64_t{0};  // Smallest *data* record seq (trim retention).
+  // Data pages per epoch ever appended to this segment since its last erase — a
+  // conservative superset of what is still valid. Used by the epoch-colocation policy and
+  // the activation segment index (ablation A3), both of which tolerate over-counting.
+  std::map<uint32_t, uint32_t> epoch_pages;
+};
+
+struct AppendResult {
+  uint64_t paddr = 0;
+  NandOp op;
+};
+
+class LogManager {
+ public:
+  // Well-known append heads.
+  static constexpr int kActiveHead = 0;  // Foreground user writes + notes.
+  static constexpr int kGcHead = 1;      // Segment-cleaner copy-forward.
+  // The epoch-colocation policy derives additional head ids >= kFirstDynamicHead.
+  static constexpr int kFirstDynamicHead = 2;
+
+  // `gc_reserve_segments`: segments the user head may never consume, so the cleaner always
+  // has room to copy into (classic log-structured deadlock avoidance).
+  LogManager(NandDevice* device, uint64_t gc_reserve_segments);
+
+  // Appends one record through `head`. Fails with kResourceExhausted when the head is
+  // not allowed to take another segment — the signal that cleaning must run. (Free
+  // segments are always pre-erased: factory-fresh or erased by ReleaseSegment.)
+  StatusOr<AppendResult> Append(int head, const PageHeader& header,
+                                std::span<const uint8_t> data, uint64_t issue_ns);
+
+  // True if `head` can accept a record without violating the GC reserve.
+  bool CanAppend(int head) const;
+
+  // --- Cleaner support ---
+
+  // Closed segments eligible for cleaning (never open heads).
+  std::vector<uint64_t> ClosedSegments() const;
+
+  // Erases `segment` and returns it to the free pool. It must be closed.
+  StatusOr<NandOp> ReleaseSegment(uint64_t segment, uint64_t issue_ns);
+
+  // --- Introspection ---
+
+  uint64_t FreeSegmentCount() const { return free_segments_.size(); }
+  uint64_t TotalSegments() const;
+  // Free pages remaining for the active head before it hits the reserve (pacing input).
+  uint64_t ActiveHeadFreePages() const;
+  // Smallest data-record sequence number still present on the log (max u64 when no data).
+  // A trim note older than every surviving data record can kill nothing and is dead —
+  // the retention bound the cleaner uses for trim-note consolidation.
+  uint64_t GlobalMinDataSeq() const;
+  const SegmentInfo& segment_info(uint64_t segment) const;
+  // The segment currently open under `head`, if any.
+  std::optional<uint64_t> OpenSegment(int head) const;
+
+  // --- Recovery bootstrap ---
+
+  // Rebuilds segment states by inspecting the device: partially-programmed segments are
+  // re-opened under the active head, full segments are closed, erased-empty and
+  // never-used segments are free. Epoch accounting and min_seq are rebuilt by the caller
+  // replaying headers via RestoreAccounting.
+  void RebuildFromDevice();
+  void RestoreAccounting(uint64_t segment, uint32_t epoch, uint64_t seq);
+
+ private:
+  struct Head {
+    std::optional<uint64_t> open_segment;
+  };
+
+  // Takes the next free segment for a head.
+  StatusOr<uint64_t> AcquireSegment(int head);
+
+  Head& HeadFor(int head);
+
+  NandDevice* device_;
+  uint64_t gc_reserve_segments_;
+  std::vector<SegmentInfo> segments_;
+  std::deque<uint64_t> free_segments_;
+  std::map<int, Head> heads_;
+  uint64_t use_counter_ = 0;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_FTL_LOG_MANAGER_H_

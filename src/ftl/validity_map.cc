@@ -1,0 +1,245 @@
+#include "src/ftl/validity_map.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+ValidityMap::ValidityMap(uint64_t total_pages, uint64_t chunk_bits, bool naive_full_copy)
+    : total_pages_(total_pages), chunk_bits_(chunk_bits), naive_full_copy_(naive_full_copy) {
+  IOSNAP_CHECK(chunk_bits_ > 0);
+}
+
+void ValidityMap::CreateEpoch(uint32_t epoch) {
+  IOSNAP_CHECK(epochs_.find(epoch) == epochs_.end());
+  epochs_.emplace(epoch, ChunkTable{});
+}
+
+uint64_t ValidityMap::ForkEpoch(uint32_t child, uint32_t parent) {
+  IOSNAP_CHECK(epochs_.find(child) == epochs_.end());
+  auto parent_it = epochs_.find(parent);
+  IOSNAP_CHECK(parent_it != epochs_.end());
+
+  uint64_t copied_bytes = 0;
+  if (naive_full_copy_) {
+    // The paper's rejected design: a full private copy of every chunk per snapshot.
+    ChunkTable table;
+    for (const auto& [index, chunk] : parent_it->second) {
+      auto copy = std::make_shared<Chunk>(*chunk);
+      copy->owner_epoch = child;
+      table.emplace(index, std::move(copy));
+      copied_bytes += ChunkBytes();
+      ++stats_.cow_chunk_copies;
+    }
+    stats_.cow_bytes_copied += copied_bytes;
+    epochs_.emplace(child, std::move(table));
+    return copied_bytes;
+  }
+
+  // CoW design: the child shares every chunk reference with the parent.
+  epochs_.emplace(child, parent_it->second);
+  return 0;
+}
+
+void ValidityMap::DropEpoch(uint32_t epoch) {
+  auto it = epochs_.find(epoch);
+  IOSNAP_CHECK(it != epochs_.end());
+  epochs_.erase(it);
+}
+
+bool ValidityMap::HasEpoch(uint32_t epoch) const { return epochs_.contains(epoch); }
+
+std::vector<uint32_t> ValidityMap::Epochs() const {
+  std::vector<uint32_t> out;
+  out.reserve(epochs_.size());
+  for (const auto& [epoch, table] : epochs_) {
+    out.push_back(epoch);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ValidityMap::Chunk* ValidityMap::MutableChunk(uint32_t epoch, uint64_t chunk_index,
+                                              bool create_if_absent, uint64_t* cow_bytes) {
+  auto epoch_it = epochs_.find(epoch);
+  IOSNAP_CHECK(epoch_it != epochs_.end());
+  ChunkTable& table = epoch_it->second;
+
+  auto chunk_it = table.find(chunk_index);
+  if (chunk_it == table.end()) {
+    if (!create_if_absent) {
+      return nullptr;
+    }
+    auto chunk = std::make_shared<Chunk>();
+    chunk->owner_epoch = epoch;
+    chunk->bits = Bitmap(chunk_bits_);
+    ++stats_.chunk_allocations;
+    Chunk* raw = chunk.get();
+    table.emplace(chunk_index, std::move(chunk));
+    return raw;
+  }
+
+  ChunkRef& ref = chunk_it->second;
+  if (ref.use_count() == 1) {
+    // Exclusive: mutate in place; adopt ownership if inherited from a dropped epoch.
+    ref->owner_epoch = epoch;
+    return ref.get();
+  }
+
+  // Shared with at least one other epoch: copy-on-write.
+  auto copy = std::make_shared<Chunk>(*ref);
+  copy->owner_epoch = epoch;
+  ref = std::move(copy);
+  ++stats_.cow_chunk_copies;
+  stats_.cow_bytes_copied += ChunkBytes();
+  if (cow_bytes != nullptr) {
+    *cow_bytes += ChunkBytes();
+  }
+  return ref.get();
+}
+
+uint64_t ValidityMap::SetValid(uint32_t epoch, uint64_t paddr) {
+  IOSNAP_CHECK(paddr < total_pages_);
+  uint64_t cow_bytes = 0;
+  Chunk* chunk = MutableChunk(epoch, ChunkIndex(paddr), /*create_if_absent=*/true, &cow_bytes);
+  chunk->bits.Set(BitInChunk(paddr));
+  return cow_bytes;
+}
+
+uint64_t ValidityMap::ClearValid(uint32_t epoch, uint64_t paddr) {
+  IOSNAP_CHECK(paddr < total_pages_);
+  uint64_t cow_bytes = 0;
+  Chunk* chunk =
+      MutableChunk(epoch, ChunkIndex(paddr), /*create_if_absent=*/false, &cow_bytes);
+  if (chunk == nullptr) {
+    return 0;  // Bit is implicitly clear.
+  }
+  chunk->bits.Clear(BitInChunk(paddr));
+  return cow_bytes;
+}
+
+bool ValidityMap::Test(uint32_t epoch, uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < total_pages_);
+  auto epoch_it = epochs_.find(epoch);
+  IOSNAP_CHECK(epoch_it != epochs_.end());
+  auto chunk_it = epoch_it->second.find(ChunkIndex(paddr));
+  if (chunk_it == epoch_it->second.end()) {
+    return false;
+  }
+  return chunk_it->second->bits.Test(BitInChunk(paddr));
+}
+
+bool ValidityMap::TestAny(const std::vector<uint32_t>& epochs, uint64_t paddr) const {
+  for (uint32_t epoch : epochs) {
+    auto epoch_it = epochs_.find(epoch);
+    if (epoch_it == epochs_.end()) {
+      continue;
+    }
+    auto chunk_it = epoch_it->second.find(ChunkIndex(paddr));
+    if (chunk_it != epoch_it->second.end() &&
+        chunk_it->second->bits.Test(BitInChunk(paddr))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Bitmap ValidityMap::MergedRange(const std::vector<uint32_t>& epochs, uint64_t begin,
+                                uint64_t end) const {
+  IOSNAP_CHECK(begin <= end && end <= total_pages_);
+  Bitmap merged(end - begin);
+  for (uint32_t epoch : epochs) {
+    auto epoch_it = epochs_.find(epoch);
+    if (epoch_it == epochs_.end()) {
+      continue;  // Deleted epochs simply drop out of the merge (Fig 6C).
+    }
+    const ChunkTable& table = epoch_it->second;
+    const uint64_t first_chunk = begin / chunk_bits_;
+    const uint64_t last_chunk = (end == begin) ? first_chunk : (end - 1) / chunk_bits_;
+    for (auto it = table.lower_bound(first_chunk); it != table.end() && it->first <= last_chunk;
+         ++it) {
+      ++stats_.merge_chunk_visits;
+      const uint64_t chunk_base = it->first * chunk_bits_;
+      const uint64_t lo = std::max(begin, chunk_base);
+      const uint64_t hi = std::min(end, chunk_base + chunk_bits_);
+      for (uint64_t p = lo; p < hi; ++p) {
+        if (it->second->bits.Test(p - chunk_base)) {
+          merged.Set(p - begin);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+size_t ValidityMap::CountValidInRange(const std::vector<uint32_t>& epochs, uint64_t begin,
+                                      uint64_t end) const {
+  return MergedRange(epochs, begin, end).CountOnes();
+}
+
+size_t ValidityMap::CountValidInRange(uint32_t epoch, uint64_t begin, uint64_t end) const {
+  return CountValidInRange(std::vector<uint32_t>{epoch}, begin, end);
+}
+
+uint64_t ValidityMap::MoveBit(const std::vector<uint32_t>& epochs, uint64_t from, uint64_t to) {
+  uint64_t cow_bytes = 0;
+  for (uint32_t epoch : epochs) {
+    auto epoch_it = epochs_.find(epoch);
+    if (epoch_it == epochs_.end()) {
+      continue;
+    }
+    auto chunk_it = epoch_it->second.find(ChunkIndex(from));
+    if (chunk_it == epoch_it->second.end() ||
+        !chunk_it->second->bits.Test(BitInChunk(from))) {
+      continue;
+    }
+    Chunk* from_chunk =
+        MutableChunk(epoch, ChunkIndex(from), /*create_if_absent=*/false, &cow_bytes);
+    from_chunk->bits.Clear(BitInChunk(from));
+    Chunk* to_chunk =
+        MutableChunk(epoch, ChunkIndex(to), /*create_if_absent=*/true, &cow_bytes);
+    to_chunk->bits.Set(BitInChunk(to));
+  }
+  return cow_bytes;
+}
+
+size_t ValidityMap::MemoryBytes() const {
+  std::unordered_set<const Chunk*> seen;
+  size_t bytes = 0;
+  for (const auto& [epoch, table] : epochs_) {
+    bytes += table.size() * (sizeof(uint64_t) + sizeof(ChunkRef) + 3 * sizeof(void*));
+    for (const auto& [index, chunk] : table) {
+      if (seen.insert(chunk.get()).second) {
+        bytes += sizeof(Chunk) + chunk->bits.MemoryBytes();
+      }
+    }
+  }
+  return bytes;
+}
+
+size_t ValidityMap::DistinctChunkCount() const {
+  std::unordered_set<const Chunk*> seen;
+  for (const auto& [epoch, table] : epochs_) {
+    for (const auto& [index, chunk] : table) {
+      seen.insert(chunk.get());
+    }
+  }
+  return seen.size();
+}
+
+void ValidityMap::ForEachValid(uint32_t epoch,
+                               const std::function<void(uint64_t paddr)>& fn) const {
+  auto epoch_it = epochs_.find(epoch);
+  IOSNAP_CHECK(epoch_it != epochs_.end());
+  for (const auto& [index, chunk] : epoch_it->second) {
+    const uint64_t base = index * chunk_bits_;
+    for (uint64_t bit = chunk->bits.FindFirstSet(0); bit < chunk->bits.size();
+         bit = chunk->bits.FindFirstSet(bit + 1)) {
+      fn(base + bit);
+    }
+  }
+}
+
+}  // namespace iosnap

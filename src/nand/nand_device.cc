@@ -1,0 +1,265 @@
+#include "src/nand/nand_device.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kInvalid:
+      return "invalid";
+    case RecordType::kData:
+      return "data";
+    case RecordType::kTrim:
+      return "trim";
+    case RecordType::kSnapCreate:
+      return "snap-create";
+    case RecordType::kSnapDelete:
+      return "snap-delete";
+    case RecordType::kSnapActivate:
+      return "snap-activate";
+    case RecordType::kSnapDeactivate:
+      return "snap-deactivate";
+    case RecordType::kRollback:
+      return "rollback";
+    case RecordType::kTreeSummary:
+      return "tree-summary";
+    case RecordType::kTrimSummary:
+      return "trim-summary";
+    case RecordType::kCheckpoint:
+      return "checkpoint";
+    case RecordType::kPad:
+      return "pad";
+  }
+  return "?";
+}
+
+NandDevice::NandDevice(const NandConfig& config)
+    : config_(config),
+      pages_(config.TotalPages()),
+      segments_(config.num_segments),
+      channel_busy_until_(config.num_channels, 0) {
+  IOSNAP_CHECK(config.num_channels > 0);
+  IOSNAP_CHECK(config.pages_per_segment > 0);
+  IOSNAP_CHECK(config.num_segments > 0);
+  // NAND ships factory-erased: first programs need no erase. (Erases after that are
+  // charged wherever they happen — normally in the cleaner's release path.)
+  for (SegmentState& seg : segments_) {
+    seg.erased = true;
+  }
+}
+
+uint64_t NandDevice::Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns,
+                            uint64_t cell_ns) {
+  uint64_t start = std::max(issue_ns, channel_busy_until_[channel]);
+  if (bus_ns > 0) {
+    const uint64_t bus_start = std::max(start, bus_busy_until_);
+    bus_busy_until_ = bus_start + bus_ns;
+    start = bus_start + bus_ns;
+  }
+  const uint64_t finish = start + cell_ns;
+  channel_busy_until_[channel] = finish;
+  return finish;
+}
+
+StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& header,
+                                         std::span<const uint8_t> data, uint64_t issue_ns,
+                                         uint64_t* paddr_out) {
+  if (segment >= config_.num_segments) {
+    return OutOfRange("program: segment " + std::to_string(segment) + " out of range");
+  }
+  SegmentState& seg = segments_[segment];
+  if (!seg.erased) {
+    return FailedPrecondition("program: segment " + std::to_string(segment) +
+                              " was never erased");
+  }
+  if (seg.next_page >= config_.pages_per_segment) {
+    return ResourceExhausted("program: segment " + std::to_string(segment) + " is full");
+  }
+  if (!data.empty() && data.size() > config_.page_size_bytes) {
+    return InvalidArgument("program: payload larger than a page");
+  }
+
+  const uint64_t paddr = FirstPageOf(segment) + seg.next_page;
+  ++seg.next_page;
+
+  PageState& page = pages_[paddr];
+  IOSNAP_CHECK(!page.programmed);
+  page.programmed = true;
+  page.header = header;
+  // Metadata payloads (checkpoints, summaries, snapshot names) are always retained:
+  // header-only benchmarking mode must still support restarts and note consolidation.
+  if ((config_.store_data || header.type == RecordType::kCheckpoint ||
+       header.type == RecordType::kTreeSummary ||
+       header.type == RecordType::kTrimSummary ||
+       header.type == RecordType::kSnapCreate) &&
+      !data.empty()) {
+    page.data.assign(data.begin(), data.end());
+  } else {
+    page.data.clear();
+  }
+
+  ++stats_.pages_programmed;
+  stats_.bytes_programmed += config_.page_size_bytes;
+
+  NandOp op;
+  op.issue_ns = issue_ns;
+  op.finish_ns = Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page,
+                        config_.program_ns);
+  if (paddr_out != nullptr) {
+    *paddr_out = paddr;
+  }
+  return op;
+}
+
+StatusOr<NandOp> NandDevice::ReadPage(uint64_t paddr, uint64_t issue_ns,
+                                      PageHeader* header_out, std::vector<uint8_t>* data_out) {
+  if (paddr >= config_.TotalPages()) {
+    return OutOfRange("read: paddr out of range");
+  }
+  const PageState& page = pages_[paddr];
+  if (!page.programmed) {
+    return FailedPrecondition("read: page " + std::to_string(paddr) + " is not programmed");
+  }
+  if (header_out != nullptr) {
+    *header_out = page.header;
+  }
+  if (data_out != nullptr) {
+    *data_out = page.data;
+  }
+
+  ++stats_.pages_read;
+  stats_.bytes_read += config_.page_size_bytes;
+
+  NandOp op;
+  op.issue_ns = issue_ns;
+  // Read: cell sense first, then bus transfer; modeled as serialized occupancy.
+  op.finish_ns =
+      Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.read_ns);
+  return op;
+}
+
+StatusOr<NandOp> NandDevice::ReadHeader(uint64_t paddr, uint64_t issue_ns,
+                                        PageHeader* header_out) {
+  if (paddr >= config_.TotalPages()) {
+    return OutOfRange("read-header: paddr out of range");
+  }
+  const PageState& page = pages_[paddr];
+  if (!page.programmed) {
+    return FailedPrecondition("read-header: page not programmed");
+  }
+  if (header_out != nullptr) {
+    *header_out = page.header;
+  }
+  ++stats_.headers_scanned;
+
+  NandOp op;
+  op.issue_ns = issue_ns;
+  // A single OOB read still pays a cell sense but no page-size bus transfer.
+  op.finish_ns = Occupy(ChannelOfPage(paddr), issue_ns, 0, config_.read_ns);
+  return op;
+}
+
+StatusOr<NandOp> NandDevice::ScanSegmentHeaders(
+    uint64_t segment, uint64_t issue_ns, std::vector<std::pair<uint64_t, PageHeader>>* out) {
+  if (segment >= config_.num_segments) {
+    return OutOfRange("scan: segment out of range");
+  }
+  const SegmentState& seg = segments_[segment];
+  const uint64_t first = FirstPageOf(segment);
+  uint64_t scanned = 0;
+  for (uint64_t i = 0; i < seg.next_page; ++i) {
+    const PageState& page = pages_[first + i];
+    if (!page.programmed) {
+      continue;
+    }
+    if (out != nullptr) {
+      out->emplace_back(first + i, page.header);
+    }
+    ++scanned;
+  }
+  stats_.headers_scanned += scanned;
+
+  NandOp op;
+  op.issue_ns = issue_ns;
+  op.finish_ns = Occupy(ChannelOfSegment(segment), issue_ns, 0,
+                        scanned * config_.header_scan_ns_per_page);
+  return op;
+}
+
+StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
+  if (segment >= config_.num_segments) {
+    return OutOfRange("erase: segment out of range");
+  }
+  SegmentState& seg = segments_[segment];
+  if (seg.erase_count >= config_.max_erase_count) {
+    return ResourceExhausted("erase: segment " + std::to_string(segment) + " is worn out");
+  }
+
+  const uint64_t first = FirstPageOf(segment);
+  for (uint64_t i = 0; i < config_.pages_per_segment; ++i) {
+    PageState& page = pages_[first + i];
+    page.programmed = false;
+    page.data.clear();
+    page.header = PageHeader{};
+  }
+  seg.erased = true;
+  seg.next_page = 0;
+  ++seg.erase_count;
+  ++stats_.segments_erased;
+
+  NandOp op;
+  op.issue_ns = issue_ns;
+  op.finish_ns = Occupy(ChannelOfSegment(segment), issue_ns, 0, config_.erase_ns);
+  return op;
+}
+
+bool NandDevice::IsProgrammed(uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  return pages_[paddr].programmed;
+}
+
+const PageHeader& NandDevice::PeekHeader(uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  IOSNAP_CHECK(pages_[paddr].programmed);
+  return pages_[paddr].header;
+}
+
+uint64_t NandDevice::ProgrammedPages(uint64_t segment) const {
+  IOSNAP_CHECK(segment < config_.num_segments);
+  const uint64_t first = FirstPageOf(segment);
+  uint64_t count = 0;
+  for (uint64_t i = 0; i < segments_[segment].next_page; ++i) {
+    if (pages_[first + i].programmed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t NandDevice::NextFreePage(uint64_t segment) const {
+  IOSNAP_CHECK(segment < config_.num_segments);
+  return segments_[segment].next_page;
+}
+
+bool NandDevice::SegmentErased(uint64_t segment) const {
+  IOSNAP_CHECK(segment < config_.num_segments);
+  return segments_[segment].erased;
+}
+
+uint64_t NandDevice::EraseCount(uint64_t segment) const {
+  IOSNAP_CHECK(segment < config_.num_segments);
+  return segments_[segment].erase_count;
+}
+
+uint64_t NandDevice::DrainTimeNs() const {
+  uint64_t t = bus_busy_until_;
+  for (uint64_t busy : channel_busy_until_) {
+    t = std::max(t, busy);
+  }
+  return t;
+}
+
+}  // namespace iosnap

@@ -1,0 +1,136 @@
+// In-memory NAND flash device model.
+//
+// This substitutes for the paper's Fusion-io ioMemory hardware. It models:
+//   * segment (erase-block) geometry with erase-before-program and strictly sequential
+//     page programming within a segment — the constraints that force log structuring;
+//   * per-channel busy horizons plus a shared transfer bus, on a virtual clock, so that
+//     background traffic (GC, snapshot activation) visibly delays foreground I/O exactly
+//     as device-bandwidth contention does in the paper's Figures 9 and 10;
+//   * wear accounting per segment;
+//   * cheap bulk header scans (the OOB area) used by activation and crash recovery.
+//
+// The device never touches the global clock: callers pass the issue time and receive the
+// completion time, then decide how to advance their own notion of time (the workload
+// runner advances for foreground ops; background tasks track a private horizon).
+
+#ifndef SRC_NAND_NAND_DEVICE_H_
+#define SRC_NAND_NAND_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/nand/nand_config.h"
+#include "src/nand/page_header.h"
+
+namespace iosnap {
+
+// Completion report for a single device operation.
+struct NandOp {
+  uint64_t issue_ns = 0;   // When the caller issued the op.
+  uint64_t finish_ns = 0;  // When the device completed it.
+
+  uint64_t LatencyNs() const { return finish_ns - issue_ns; }
+};
+
+// Cumulative device counters.
+struct NandStats {
+  uint64_t pages_programmed = 0;
+  uint64_t pages_read = 0;
+  uint64_t headers_scanned = 0;
+  uint64_t segments_erased = 0;
+  uint64_t bytes_programmed = 0;
+  uint64_t bytes_read = 0;
+};
+
+class NandDevice {
+ public:
+  explicit NandDevice(const NandConfig& config);
+
+  const NandConfig& config() const { return config_; }
+
+  // --- Address helpers ---
+  uint64_t SegmentOf(uint64_t paddr) const { return paddr / config_.pages_per_segment; }
+  uint64_t PageInSegment(uint64_t paddr) const { return paddr % config_.pages_per_segment; }
+  uint64_t FirstPageOf(uint64_t segment) const { return segment * config_.pages_per_segment; }
+
+  // --- Timed operations ---
+
+  // Programs the next free page of `segment`. Pages within a segment must be programmed in
+  // order, so the device (not the caller) picks the page; the chosen physical address is
+  // returned through `paddr_out`. `data` may be empty (header-only benchmarking mode).
+  // Fails with kResourceExhausted if the segment is full and kFailedPrecondition if it has
+  // never been erased.
+  StatusOr<NandOp> ProgramPage(uint64_t segment, const PageHeader& header,
+                               std::span<const uint8_t> data, uint64_t issue_ns,
+                               uint64_t* paddr_out);
+
+  // Reads a programmed page. `data_out` may be nullptr to skip payload copying.
+  StatusOr<NandOp> ReadPage(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
+                            std::vector<uint8_t>* data_out);
+
+  // Reads just the OOB header of one page (used by targeted metadata lookups).
+  StatusOr<NandOp> ReadHeader(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out);
+
+  // Bulk-scans the OOB headers of every programmed page in `segment`, appending
+  // (paddr, header) pairs to `out`. This is the primitive behind snapshot activation and
+  // crash recovery; it costs header_scan_ns_per_page per programmed page.
+  StatusOr<NandOp> ScanSegmentHeaders(uint64_t segment, uint64_t issue_ns,
+                                      std::vector<std::pair<uint64_t, PageHeader>>* out);
+
+  // Erases a whole segment, freeing all of its pages.
+  StatusOr<NandOp> EraseSegment(uint64_t segment, uint64_t issue_ns);
+
+  // --- Untimed inspection (tests, internal bookkeeping; not part of the device timing) ---
+
+  bool IsProgrammed(uint64_t paddr) const;
+  // Header of a programmed page without charging device time. CHECK-fails on free pages.
+  const PageHeader& PeekHeader(uint64_t paddr) const;
+  // Number of programmed pages in a segment.
+  uint64_t ProgrammedPages(uint64_t segment) const;
+  // Next page index to be programmed in a segment (== pages_per_segment when full).
+  uint64_t NextFreePage(uint64_t segment) const;
+  bool SegmentErased(uint64_t segment) const;
+  uint64_t EraseCount(uint64_t segment) const;
+
+  const NandStats& stats() const { return stats_; }
+
+  // Earliest time at which the whole device is idle (max over channels and bus). Workload
+  // drivers use this to convert a stream of async writes into sustained bandwidth.
+  uint64_t DrainTimeNs() const;
+
+ private:
+  struct PageState {
+    bool programmed = false;
+    PageHeader header;
+    std::vector<uint8_t> data;
+  };
+
+  struct SegmentState {
+    bool erased = false;          // True after first erase; programming requires it.
+    uint64_t next_page = 0;       // Next in-order page to program.
+    uint64_t erase_count = 0;
+  };
+
+  uint32_t ChannelOfPage(uint64_t paddr) const {
+    return static_cast<uint32_t>(paddr % config_.num_channels);
+  }
+  uint32_t ChannelOfSegment(uint64_t segment) const {
+    return static_cast<uint32_t>(segment % config_.num_channels);
+  }
+
+  // Serializes an op through a channel and (optionally) the shared bus; returns finish time.
+  uint64_t Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns, uint64_t cell_ns);
+
+  NandConfig config_;
+  std::vector<PageState> pages_;
+  std::vector<SegmentState> segments_;
+  std::vector<uint64_t> channel_busy_until_;
+  uint64_t bus_busy_until_ = 0;
+  NandStats stats_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_NAND_NAND_DEVICE_H_

@@ -1,0 +1,62 @@
+// The out-of-band (OOB) metadata written alongside every page.
+//
+// ioSnap's central trick (§5.3.2) is that snapshot membership is *embedded in the log*:
+// every page carries the epoch in which it was written plus a global sequence number, so
+// snapshot state can be reconstructed by scanning headers alone — no per-snapshot map is
+// maintained online.
+
+#ifndef SRC_NAND_PAGE_HEADER_H_
+#define SRC_NAND_PAGE_HEADER_H_
+
+#include <cstdint>
+
+namespace iosnap {
+
+// Record types that can appear on the log.
+enum class RecordType : uint8_t {
+  kInvalid = 0,
+  kData,            // User block write; lba/epoch/seq valid.
+  kTrim,            // TRIM note: lba range discarded; lba + trim_count valid.
+  kSnapCreate,      // Snapshot-create note (§5.8): snap_id, epoch = frozen epoch,
+                    // lba = id of the successor epoch.
+  kSnapDelete,      // Snapshot-delete note; snap_id valid.
+  kSnapActivate,    // Snapshot-activate note: snap_id, lba = id of the view's epoch.
+  kSnapDeactivate,  // Snapshot-deactivate note; snap_id + epoch (view epoch) valid.
+  kRollback,        // Primary rolled back to a snapshot: snap_id, epoch = the snapshot's
+                    // epoch, lba = the primary's fresh epoch id.
+  kTreeSummary,     // Consolidated snapshot-tree record written by the cleaner; payload
+                    // holds the serialized tree. Supersedes all earlier snapshot notes
+                    // (and earlier summaries), which lets the cleaner drop them instead
+                    // of copying them forward forever. Grouping fields as kCheckpoint.
+  kTrimSummary,     // Dense batch of trim entries (src/core/trim_summary.h) written by
+                    // the cleaner in place of copying single-page trim notes 1:1.
+  kCheckpoint,      // Clean-shutdown checkpoint payload page. snap_id = group id,
+                    // lba = page index within the group, trim_count = group page count.
+  kPad,             // Filler written to close out a segment.
+};
+
+const char* RecordTypeName(RecordType type);
+
+// Fixed-size header stored in each page's OOB area.
+struct PageHeader {
+  RecordType type = RecordType::kInvalid;
+  uint64_t lba = 0;         // Logical block address (kData), or range start (kTrim).
+  uint32_t epoch = 0;       // Epoch the record logically belongs to (survives GC moves).
+  uint64_t seq = 0;         // Global write sequence number; preserved by copy-forward.
+  uint32_t snap_id = 0;     // Snapshot id for snapshot notes.
+  uint32_t trim_count = 0;  // Number of LBAs trimmed (kTrim).
+  uint32_t payload_len = 0; // Bytes of payload stored in the page (checkpoint chaining).
+
+  bool IsSnapshotNote() const {
+    return type == RecordType::kSnapCreate || type == RecordType::kSnapDelete ||
+           type == RecordType::kSnapActivate || type == RecordType::kSnapDeactivate ||
+           type == RecordType::kRollback;
+  }
+};
+
+// Serialized OOB footprint charged by the device model (bytes per page of header traffic).
+inline constexpr uint64_t kPageHeaderBytes = 40;
+
+}  // namespace iosnap
+
+#endif  // SRC_NAND_PAGE_HEADER_H_

@@ -1,0 +1,71 @@
+#include "src/workload/runner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace iosnap {
+
+StatusOr<IoResult> FtlTarget::DoOp(const IoOp& op, uint64_t issue_ns) {
+  switch (op.kind) {
+    case IoKind::kRead:
+      if (view_id_ == kPrimaryView) {
+        return ftl_->Read(op.lba, issue_ns, nullptr);
+      }
+      return ftl_->ReadView(view_id_, op.lba, issue_ns, nullptr);
+    case IoKind::kWrite:
+      if (view_id_ == kPrimaryView) {
+        return ftl_->Write(op.lba, {}, issue_ns);
+      }
+      return ftl_->WriteView(view_id_, op.lba, {}, issue_ns);
+    case IoKind::kTrim:
+      return ftl_->Trim(op.lba, op.count, issue_ns);
+  }
+  return InvalidArgument("unknown op kind");
+}
+
+StatusOr<RunResult> Runner::Run(Workload* workload, uint64_t ops, const RunOptions& options) {
+  RunResult result;
+  result.start_ns = clock_->NowNs();
+
+  const uint64_t queue_depth = std::max<uint64_t>(1, options.queue_depth);
+  uint64_t issued = 0;
+  while (issued < ops) {
+    const uint64_t now = clock_->NowNs();
+    target_->Pump(now);
+
+    // Issue a batch of queue_depth ops at the same instant; they queue per channel in the
+    // device, modeling a multi-threaded submitter. The clock advances to the slowest
+    // completion.
+    const uint64_t batch = std::min(queue_depth, ops - issued);
+    uint64_t batch_end = now;
+    for (uint64_t i = 0; i < batch; ++i) {
+      const std::optional<IoOp> op = workload->Next();
+      if (!op.has_value()) {
+        issued = ops;  // Workload exhausted.
+        break;
+      }
+      ASSIGN_OR_RETURN(IoResult io, target_->DoOp(*op, now));
+      const uint64_t latency = io.LatencyNs();
+      result.latency.Add(latency);
+      if (options.record_timeline) {
+        result.timeline.Add(now, NsToUs(latency));
+      }
+      result.bytes += page_bytes_;
+      batch_end = std::max(batch_end, io.CompletionNs());
+      ++result.ops;
+      ++issued;
+      if (options.after_op) {
+        options.after_op(result.ops - 1, batch_end);
+      }
+    }
+    clock_->AdvanceTo(batch_end);
+  }
+
+  result.end_ns = clock_->NowNs();
+  result.drain_end_ns = std::max(result.end_ns, target_->DrainNs());
+  return result;
+}
+
+}  // namespace iosnap

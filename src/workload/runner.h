@@ -1,0 +1,92 @@
+// Closed-loop workload runner on the virtual clock.
+//
+// The runner is the "foreground application" of the paper's experiments: it issues one
+// operation after another (optionally at queue depth > 1), gives the FTL's background
+// machinery a chance to run between operations, advances the shared SimClock to each
+// completion, and records per-op latency timelines — the raw material of Figures 7 and
+// 9-12.
+//
+// It drives any BlockTarget: the ioSnap FTL (primary view or an activated view) and the
+// Btrfs-like baseline store both implement the interface, so comparison benchmarks run
+// the identical loop.
+
+#ifndef SRC_WORKLOAD_RUNNER_H_
+#define SRC_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/common/sim_clock.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/core/ftl.h"
+#include "src/workload/workload.h"
+
+namespace iosnap {
+
+// Device abstraction the runner drives.
+class BlockTarget {
+ public:
+  virtual ~BlockTarget() = default;
+  virtual StatusOr<IoResult> DoOp(const IoOp& op, uint64_t issue_ns) = 0;
+  // Advance background work to `now_ns` (default: nothing).
+  virtual void Pump(uint64_t now_ns) {}
+  virtual uint64_t LbaCount() const = 0;
+  // Earliest time all queued device work completes (throughput accounting).
+  virtual uint64_t DrainNs() const = 0;
+};
+
+// Adapts an Ftl view (default: primary) to BlockTarget.
+class FtlTarget : public BlockTarget {
+ public:
+  explicit FtlTarget(Ftl* ftl, uint32_t view_id = kPrimaryView)
+      : ftl_(ftl), view_id_(view_id) {}
+
+  StatusOr<IoResult> DoOp(const IoOp& op, uint64_t issue_ns) override;
+  void Pump(uint64_t now_ns) override { ftl_->PumpBackground(now_ns); }
+  uint64_t LbaCount() const override { return ftl_->LbaCount(); }
+  uint64_t DrainNs() const override { return ftl_->device().DrainTimeNs(); }
+
+ private:
+  Ftl* ftl_;
+  uint32_t view_id_;
+};
+
+struct RunOptions {
+  uint64_t queue_depth = 1;   // Ops issued with a shared issue time per batch.
+  bool record_timeline = false;
+  // Invoked after each completed op with (op index, virtual now). Benchmarks use this to
+  // create snapshots on a cadence, start activations, etc.
+  std::function<void(uint64_t index, uint64_t now_ns)> after_op;
+};
+
+struct RunResult {
+  uint64_t ops = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;           // Clock when the last op completed.
+  uint64_t drain_end_ns = 0;     // Device fully idle (>= end_ns).
+  LatencyHistogram latency;
+  Timeline timeline;             // (issue time, latency in usec) when recorded.
+  uint64_t bytes = 0;
+
+  uint64_t ElapsedNs() const { return drain_end_ns > start_ns ? drain_end_ns - start_ns : 0; }
+};
+
+class Runner {
+ public:
+  Runner(BlockTarget* target, SimClock* clock, uint64_t page_bytes)
+      : target_(target), clock_(clock), page_bytes_(page_bytes) {}
+
+  // Runs `ops` operations from `workload` (or fewer if it is exhausted).
+  StatusOr<RunResult> Run(Workload* workload, uint64_t ops, const RunOptions& options);
+
+ private:
+  BlockTarget* target_;
+  SimClock* clock_;
+  uint64_t page_bytes_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_WORKLOAD_RUNNER_H_

@@ -1,0 +1,86 @@
+#include "src/workload/workload.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+SequentialWorkload::SequentialWorkload(IoKind kind, uint64_t start_lba, uint64_t count,
+                                       bool wrap)
+    : kind_(kind), start_lba_(start_lba), count_(count), wrap_(wrap) {}
+
+std::optional<IoOp> SequentialWorkload::Next() {
+  if (!wrap_ && issued_ >= count_) {
+    return std::nullopt;
+  }
+  IoOp op;
+  op.kind = kind_;
+  op.lba = start_lba_ + (issued_ % count_);
+  ++issued_;
+  return op;
+}
+
+RandomWorkload::RandomWorkload(IoKind kind, uint64_t lba_space, uint64_t seed)
+    : kind_(kind), lba_space_(lba_space), rng_(seed) {
+  IOSNAP_CHECK(lba_space > 0);
+}
+
+std::optional<IoOp> RandomWorkload::Next() {
+  IoOp op;
+  op.kind = kind_;
+  op.lba = rng_.NextBelow(lba_space_);
+  return op;
+}
+
+MixedWorkload::MixedWorkload(double read_fraction, uint64_t lba_space, uint64_t seed)
+    : read_fraction_(read_fraction), lba_space_(lba_space), rng_(seed) {
+  IOSNAP_CHECK(lba_space > 0);
+}
+
+std::optional<IoOp> MixedWorkload::Next() {
+  IoOp op;
+  op.kind = rng_.NextBool(read_fraction_) ? IoKind::kRead : IoKind::kWrite;
+  op.lba = rng_.NextBelow(lba_space_);
+  return op;
+}
+
+ZipfWorkload::ZipfWorkload(IoKind kind, uint64_t lba_space, double theta, uint64_t seed)
+    : kind_(kind), lba_space_(lba_space), theta_(theta), rng_(seed) {
+  IOSNAP_CHECK(lba_space > 0);
+  IOSNAP_CHECK(theta > 0.0 && theta < 1.0);
+  // Gray et al. quick Zipf generator setup.
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= lba_space_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = 1.0 + std::pow(0.5, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(lba_space_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfWorkload::Sample() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(lba_space_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= lba_space_ ? lba_space_ - 1 : rank;
+}
+
+std::optional<IoOp> ZipfWorkload::Next() {
+  IoOp op;
+  op.kind = kind_;
+  // Scramble ranks so hot blocks are scattered across the LBA space.
+  const uint64_t rank = Sample();
+  op.lba = (rank * 0x9e3779b97f4a7c15ULL) % lba_space_;
+  return op;
+}
+
+}  // namespace iosnap

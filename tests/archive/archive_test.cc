@@ -1,0 +1,201 @@
+// Snapshot destaging to archival storage (§7 future work): full and incremental
+// archives, restore, and flash-space reclamation.
+
+#include "src/archive/snapshot_archiver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace iosnap {
+namespace {
+
+struct ArchiveFixture {
+  ArchiveFixture() : harness(SmallConfig()), store(ArchiveConfig{}) {
+    archiver = std::make_unique<SnapshotArchiver>(&harness.ftl(), &store);
+  }
+
+  FtlHarness harness;
+  ArchiveStore store;
+  std::unique_ptr<SnapshotArchiver> archiver;
+};
+
+TEST(ArchiveStoreTest, PutGetDelete) {
+  ArchiveStore store(ArchiveConfig{});
+  ArchiveImage image;
+  image.archive_id = store.NextId();
+  image.name = "x";
+  image.blocks[3] = {1, 2, 3};
+  const uint64_t finish = store.Put(std::move(image), 4096, 0);
+  EXPECT_GT(finish, 0u);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_EQ(store.ImageCount(), 1u);
+  ASSERT_OK_AND_ASSIGN(const ArchiveImage* got, store.Get(1));
+  EXPECT_EQ(got->name, "x");
+  EXPECT_OK(store.Delete(1));
+  EXPECT_EQ(store.Delete(1).code(), StatusCode::kNotFound);
+}
+
+TEST(ArchiveStoreTest, DeleteRefusesBreakingParentChain) {
+  ArchiveStore store(ArchiveConfig{});
+  ArchiveImage base;
+  base.archive_id = store.NextId();
+  store.Put(std::move(base), 4096, 0);
+  ArchiveImage delta;
+  delta.archive_id = store.NextId();
+  delta.parent_id = 1;
+  store.Put(std::move(delta), 4096, 0);
+  EXPECT_EQ(store.Delete(1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_OK(store.Delete(2));
+  EXPECT_OK(store.Delete(1));
+}
+
+TEST(ArchiveStoreTest, StreamingTimeScalesWithBytes) {
+  ArchiveConfig config;
+  ArchiveStore store(config);
+  ArchiveImage small;
+  small.archive_id = store.NextId();
+  small.blocks[0] = std::vector<uint8_t>(4096);
+  ArchiveImage large;
+  large.archive_id = store.NextId();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    large.blocks[i] = std::vector<uint8_t>(4096);
+  }
+  const uint64_t t1 = store.Put(std::move(small), 4096, 0);
+  const uint64_t t2 = store.Put(std::move(large), 4096, t1);
+  // The small put is dominated by the seek; the large one must pay at least the
+  // streaming time of its 1000 pages at the configured bandwidth (plus its own seek).
+  const auto expected_transfer = static_cast<uint64_t>(
+      1000.0 * 4096.0 / static_cast<double>(config.bandwidth_bytes_per_sec) * kNsPerSec);
+  EXPECT_GE(t2 - t1, config.seek_ns + expected_transfer);
+  EXPECT_LE(t1, config.seek_ns + expected_transfer / 100);
+}
+
+TEST(ArchiverTest, FullArchiveRoundTrip) {
+  ArchiveFixture f;
+  ReferenceModel model;
+  for (uint64_t lba = 0; lba < 30; ++lba) {
+    ASSERT_OK(f.harness.Write(lba, lba + 1));
+    model.Write(lba, lba + 1);
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, f.harness.Snapshot("gold"));
+  model.Snapshot(snap);
+
+  ASSERT_OK_AND_ASSIGN(ArchiveResult archived,
+                       f.archiver->ArchiveFull(snap, f.harness.now()));
+  f.harness.AdvanceTo(archived.finish_ns);
+  EXPECT_EQ(archived.blocks, 30u);
+  ASSERT_OK_AND_ASSIGN(const ArchiveImage* image, f.store.Get(archived.archive_id));
+  EXPECT_EQ(image->name, "gold");
+
+  // Corrupt the live volume, then restore from the archive.
+  for (uint64_t lba = 0; lba < 40; ++lba) {
+    ASSERT_OK(f.harness.Write(lba, 999));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t finish,
+                       f.archiver->RestoreToPrimary(archived.archive_id, 40,
+                                                    f.harness.now()));
+  f.harness.AdvanceTo(finish);
+  EXPECT_TRUE(f.harness.CheckView(kPrimaryView, model.snapshot_state(snap), 40));
+}
+
+TEST(ArchiverTest, DiffFindsChangesAdditionsDeletions) {
+  ArchiveFixture f;
+  ASSERT_OK(f.harness.Write(1, 1));
+  ASSERT_OK(f.harness.Write(2, 1));
+  ASSERT_OK(f.harness.Write(3, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t base, f.harness.Snapshot("base"));
+
+  ASSERT_OK(f.harness.Write(2, 2));   // Changed.
+  ASSERT_OK(f.harness.Write(7, 1));   // Added.
+  ASSERT_OK(f.harness.Trim(3, 1));    // Deleted.
+  ASSERT_OK_AND_ASSIGN(uint32_t target, f.harness.Snapshot("target"));
+
+  uint64_t finish = f.harness.now();
+  ASSERT_OK_AND_ASSIGN(SnapshotDiff diff,
+                       f.archiver->Diff(base, target, f.harness.now(), &finish));
+  f.harness.AdvanceTo(finish);
+  EXPECT_EQ(diff.changed_or_added, (std::vector<uint64_t>{2, 7}));
+  EXPECT_EQ(diff.deleted, (std::vector<uint64_t>{3}));
+}
+
+TEST(ArchiverTest, IncrementalChainRestores) {
+  ArchiveFixture f;
+  ReferenceModel model;
+  Rng rng(7);
+  uint64_t version = 0;
+  const uint64_t lba_space = 40;
+
+  auto churn = [&](int ops) {
+    for (int i = 0; i < ops; ++i) {
+      const uint64_t lba = rng.NextBelow(lba_space);
+      ++version;
+      IOSNAP_CHECK(f.harness.Write(lba, version).ok());
+      model.Write(lba, version);
+    }
+  };
+
+  churn(60);
+  ASSERT_OK_AND_ASSIGN(uint32_t s1, f.harness.Snapshot("full"));
+  model.Snapshot(s1);
+  ASSERT_OK_AND_ASSIGN(ArchiveResult full, f.archiver->ArchiveFull(s1, f.harness.now()));
+  f.harness.AdvanceTo(full.finish_ns);
+
+  churn(20);
+  ASSERT_OK(f.harness.Trim(5, 2));
+  model.Trim(5, 2);
+  ASSERT_OK_AND_ASSIGN(uint32_t s2, f.harness.Snapshot("incr"));
+  model.Snapshot(s2);
+  ASSERT_OK_AND_ASSIGN(
+      ArchiveResult incr,
+      f.archiver->ArchiveIncremental(s1, full.archive_id, s2, f.harness.now()));
+  f.harness.AdvanceTo(incr.finish_ns);
+
+  // The delta is much smaller than the full image.
+  EXPECT_LT(incr.blocks, full.blocks);
+
+  // Restore the incremental image over a trashed volume and verify s2's exact state.
+  churn(100);
+  ASSERT_OK_AND_ASSIGN(uint64_t finish,
+                       f.archiver->RestoreToPrimary(incr.archive_id, lba_space,
+                                                    f.harness.now()));
+  f.harness.AdvanceTo(finish);
+  EXPECT_TRUE(f.harness.CheckView(kPrimaryView, model.snapshot_state(s2), lba_space));
+}
+
+TEST(ArchiverTest, DestageFreesFlashSpace) {
+  ArchiveFixture f;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(f.harness.Write(rng.NextBelow(48), static_cast<uint64_t>(i + 1)));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, f.harness.Snapshot("old"));
+  // Overwrite everything: the snapshot's generation is now pinned only by the snapshot.
+  for (uint64_t lba = 0; lba < 48; ++lba) {
+    ASSERT_OK(f.harness.Write(lba, 1000 + lba));
+  }
+
+  const auto live_before = f.harness.ftl().LiveEpochs().size();
+  ASSERT_OK_AND_ASSIGN(
+      ArchiveResult archived,
+      f.archiver->ArchiveFull(snap, f.harness.now(), /*delete_after=*/true));
+  f.harness.AdvanceTo(archived.finish_ns);
+  // The snapshot is gone from flash (its epoch left the live set) but fully retrievable.
+  EXPECT_LT(f.harness.ftl().LiveEpochs().size(), live_before);
+  EXPECT_FALSE(f.harness.ftl().snapshot_tree().LiveSnapshotIds().size() > 0);
+  EXPECT_TRUE(f.store.Contains(archived.archive_id));
+  EXPECT_EQ(f.harness.Activate(snap).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArchiverTest, ArchiveErrorsSurface) {
+  ArchiveFixture f;
+  EXPECT_EQ(f.archiver->ArchiveFull(99, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.archiver->ArchiveIncremental(1, 99, 2, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(f.archiver->RestoreToPrimary(99, 10, 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,189 @@
+// The Btrfs-like baseline: functional correctness (it must be a fair comparator, not a
+// strawman) and the cost characteristics the Figure 11/12 benchmarks rely on.
+
+#include "src/baseline/cow_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace iosnap {
+namespace {
+
+struct BaselineFixture {
+  explicit BaselineFixture(uint64_t commit_every = 64) {
+    FtlConfig config = SmallConfig();
+    config.snapshots_enabled = false;  // The baseline runs on a vanilla FTL.
+    config.nand.store_data = false;
+    auto ftl_or = Ftl::Create(config);
+    IOSNAP_CHECK(ftl_or.ok());
+    ftl = std::move(ftl_or).value();
+
+    CowStoreOptions opts;
+    opts.commit_every_ops = commit_every;
+    opts.node_fanout = 16;
+    auto store_or = CowStore::Create(ftl.get(), opts);
+    IOSNAP_CHECK(store_or.ok());
+    store = std::move(store_or).value();
+  }
+
+  uint64_t Now() const { return now; }
+  void Advance(const IoResult& io) { now = std::max(now, io.CompletionNs()); }
+
+  std::unique_ptr<Ftl> ftl;
+  std::unique_ptr<CowStore> store;
+  uint64_t now = 0;
+};
+
+TEST(CowStoreTest, WriteReadMapping) {
+  BaselineFixture f;
+  ASSERT_OK_AND_ASSIGN(IoResult w, f.store->Write(5, f.Now()));
+  f.Advance(w);
+  ASSERT_OK_AND_ASSIGN(IoResult r, f.store->Read(5, f.Now()));
+  f.Advance(r);
+  EXPECT_EQ(f.store->stats().data_block_writes, 1u);
+  // Unwritten block: no device read.
+  ASSERT_OK_AND_ASSIGN(IoResult miss, f.store->Read(6, f.Now()));
+  EXPECT_EQ(miss.op.finish_ns, miss.op.issue_ns);
+}
+
+TEST(CowStoreTest, OutOfRangeRejected) {
+  BaselineFixture f;
+  EXPECT_EQ(f.store->Write(f.store->volume_blocks(), 0).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(f.store->Read(f.store->volume_blocks(), 0).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(CowStoreTest, CommitBackpressureSlowsSubsequentWrites) {
+  BaselineFixture f(/*commit_every=*/8);
+  uint64_t max_latency = 0;
+  uint64_t min_latency = ~uint64_t{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_OK_AND_ASSIGN(IoResult io, f.store->Write(static_cast<uint64_t>(i), f.Now()));
+    f.Advance(io);
+    max_latency = std::max(max_latency, io.LatencyNs());
+    min_latency = std::min(min_latency, io.LatencyNs());
+  }
+  EXPECT_EQ(f.store->stats().commits, 2u);
+  // The transaction flush runs "in the background" but occupies the device: writes that
+  // land while it drains queue noticeably longer than uncontended ones.
+  EXPECT_GT(max_latency, min_latency * 3 / 2);
+}
+
+TEST(CowStoreTest, SnapshotIsolatesHistory) {
+  BaselineFixture f;
+  ASSERT_OK_AND_ASSIGN(IoResult w1, f.store->Write(1, f.Now()));
+  f.Advance(w1);
+  IoResult snap_io;
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, f.store->CreateSnapshot(f.Now(), &snap_io));
+  f.Advance(snap_io);
+
+  // Overwrite after the snapshot; snapshot read must hit the old data block.
+  ASSERT_OK_AND_ASSIGN(IoResult w2, f.store->Write(1, f.Now()));
+  f.Advance(w2);
+  ASSERT_OK_AND_ASSIGN(IoResult sr, f.store->ReadSnapshot(snap, 1, f.Now()));
+  f.Advance(sr);
+  EXPECT_GT(sr.op.finish_ns, sr.op.issue_ns);  // Real device read.
+  // Snapshot of unwritten block reads as a miss.
+  ASSERT_OK_AND_ASSIGN(IoResult miss, f.store->ReadSnapshot(snap, 3, f.Now()));
+  EXPECT_EQ(miss.op.finish_ns, miss.op.issue_ns);
+
+  EXPECT_EQ(f.store->ReadSnapshot(99, 0, f.Now()).status().code(), StatusCode::kNotFound);
+}
+
+TEST(CowStoreTest, PostSnapshotWritesPayCowAmplification) {
+  BaselineFixture f(/*commit_every=*/1000000);  // No commits during measurement.
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK_AND_ASSIGN(IoResult io, f.store->Write(rng.NextBelow(200), f.Now()));
+    f.Advance(io);
+  }
+  ASSERT_OK_AND_ASSIGN(IoResult sync, f.store->Sync(f.Now()));
+  f.Advance(sync);
+  const uint64_t clones_before = f.store->stats().node_cow_clones;
+  IoResult snap_io;
+  ASSERT_OK(f.store->CreateSnapshot(f.Now(), &snap_io).status());
+  f.Advance(snap_io);
+  // First touch of each path after the snapshot re-CoWs the path.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(IoResult io, f.store->Write(rng.NextBelow(200), f.Now()));
+    f.Advance(io);
+  }
+  EXPECT_GT(f.store->stats().node_cow_clones, clones_before);
+}
+
+TEST(CowStoreTest, DeleteSnapshotReleasesBlocks) {
+  BaselineFixture f(/*commit_every=*/32);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(IoResult io, f.store->Write(rng.NextBelow(64), f.Now()));
+    f.Advance(io);
+  }
+  IoResult snap_io;
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, f.store->CreateSnapshot(f.Now(), &snap_io));
+  f.Advance(snap_io);
+  // Overwrite everything so the snapshot pins a full old generation.
+  for (uint64_t b = 0; b < 64; ++b) {
+    ASSERT_OK_AND_ASSIGN(IoResult io, f.store->Write(b, f.Now()));
+    f.Advance(io);
+  }
+  const uint64_t pinned = f.store->stats().allocated_blocks;
+  ASSERT_OK(f.store->DeleteSnapshot(snap, f.Now()));
+  EXPECT_LT(f.store->stats().allocated_blocks, pinned);
+  EXPECT_EQ(f.store->DeleteSnapshot(snap, f.Now()).code(), StatusCode::kNotFound);
+}
+
+TEST(CowStoreTest, SnapshotsPinBlocksAndGrowAllocation) {
+  BaselineFixture f(/*commit_every=*/64);
+  Rng rng(3);
+  auto churn = [&](int ops) {
+    for (int i = 0; i < ops; ++i) {
+      auto io = f.store->Write(rng.NextBelow(64), f.Now());
+      IOSNAP_CHECK(io.ok());
+      f.Advance(*io);
+    }
+  };
+  churn(128);
+  const uint64_t before = f.store->stats().allocated_blocks;
+  for (int s = 0; s < 3; ++s) {
+    IoResult snap_io;
+    ASSERT_OK(f.store->CreateSnapshot(f.Now(), &snap_io).status());
+    f.Advance(snap_io);
+    churn(128);
+  }
+  // Each snapshot pins the pre-snapshot generation: allocation grows with count.
+  EXPECT_GT(f.store->stats().allocated_blocks, before + 64);
+}
+
+TEST(CowStoreTest, ManySnapshotsManyWritesStayConsistent) {
+  BaselineFixture f(/*commit_every=*/32);
+  Rng rng(4);
+  std::vector<uint32_t> snaps;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_OK_AND_ASSIGN(IoResult io, f.store->Write(rng.NextBelow(128), f.Now()));
+      f.Advance(io);
+    }
+    IoResult snap_io;
+    ASSERT_OK_AND_ASSIGN(uint32_t snap, f.store->CreateSnapshot(f.Now(), &snap_io));
+    f.Advance(snap_io);
+    snaps.push_back(snap);
+  }
+  // All snapshots remain readable.
+  for (uint32_t snap : snaps) {
+    for (uint64_t b = 0; b < 8; ++b) {
+      ASSERT_OK(f.store->ReadSnapshot(snap, b, f.Now()).status());
+    }
+  }
+  // And deleting them all releases space back towards the live set.
+  const uint64_t with_snaps = f.store->stats().allocated_blocks;
+  for (uint32_t snap : snaps) {
+    ASSERT_OK(f.store->DeleteSnapshot(snap, f.Now()));
+  }
+  EXPECT_LT(f.store->stats().allocated_blocks, with_snaps);
+}
+
+}  // namespace
+}  // namespace iosnap

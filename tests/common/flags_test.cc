@@ -1,0 +1,57 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace iosnap {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  Flags flags = ParseArgs({"--ops=100", "--verbose", "--rate=0.5", "--name=abc"});
+  EXPECT_EQ(flags.GetInt("ops", 0), 100);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, PositionalArgsPreserved) {
+  Flags flags = ParseArgs({"cmd", "--x=1", "file.txt"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"cmd", "file.txt"}));
+}
+
+TEST(FlagsTest, BoolValueSpellings) {
+  Flags flags = ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  Flags flags = ParseArgs({"--ops=1", "--typo=2"});
+  const auto unknown = flags.UnknownFlags({"ops", "other"});
+  EXPECT_EQ(unknown, (std::vector<std::string>{"typo"}));
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,88 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace iosnap {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanMinMax) {
+  OnlineStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(7.0), 1e-9);
+}
+
+TEST(LatencyHistogramTest, PercentilesApproximateSamples) {
+  LatencyHistogram hist;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    hist.Add(i * 1000);  // 1us .. 1000us
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+  // Log-bucketed percentiles are accurate to within one bucket (~7%).
+  EXPECT_NEAR(static_cast<double>(hist.PercentileNs(50.0)), 500e3, 500e3 * 0.10);
+  EXPECT_NEAR(static_cast<double>(hist.PercentileNs(99.0)), 990e3, 990e3 * 0.10);
+  EXPECT_EQ(hist.MaxNs(), 1000000u);
+  EXPECT_NEAR(hist.MeanNs(), 500500.0, 1.0);
+}
+
+TEST(LatencyHistogramTest, ZeroAndHugeValues) {
+  LatencyHistogram hist;
+  hist.Add(0);
+  hist.Add(~uint64_t{0});
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_GT(hist.PercentileNs(100.0), 0u);
+}
+
+TEST(TimelineTest, BucketizeAggregates) {
+  Timeline tl;
+  tl.Add(SecToNs(0), 10.0);
+  tl.Add(SecToNs(0) + MsToNs(100), 20.0);
+  tl.Add(SecToNs(1), 30.0);
+  tl.Add(SecToNs(3), 40.0);
+  const auto buckets = tl.Bucketize(SecToNs(1));
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 15.0);
+  EXPECT_DOUBLE_EQ(buckets[0].max, 20.0);
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].mean, 30.0);
+  EXPECT_EQ(buckets[2].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[2].mean, 40.0);
+}
+
+TEST(TimelineTest, CsvHasHeaderAndRows) {
+  Timeline tl;
+  tl.Add(0, 1.0);
+  tl.Add(SecToNs(2), 3.0);
+  const std::string csv = tl.ToCsv(SecToNs(1), "t_sec", "lat_us");
+  EXPECT_NE(csv.find("t_sec,lat_us_mean,lat_us_max,count"), std::string::npos);
+  EXPECT_NE(csv.find("\n0,1,1,1\n"), std::string::npos);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(UsToNs(3), 3000u);
+  EXPECT_EQ(MsToNs(2), 2000000u);
+  EXPECT_EQ(SecToNs(1), 1000000000u);
+  EXPECT_DOUBLE_EQ(NsToUs(1500), 1.5);
+  // 1 GB moved in 1 second = 1000 MB/s.
+  EXPECT_NEAR(MbPerSec(1000000000ull, SecToNs(1)), 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,226 @@
+// Snapshot semantics: create/delete/activate, point-in-time isolation, writable views,
+// chains and forks — all verified against the brute-force ReferenceModel.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/ftl.h"
+#include "tests/test_util.h"
+
+namespace iosnap {
+namespace {
+
+TEST(SnapshotTest, CreateIsCheapAndWritesOneNote) {
+  FtlHarness h(SmallConfig());
+  for (uint64_t lba = 0; lba < 50; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  const uint64_t pages_before = h.ftl().stats().total_pages_programmed;
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s1"));
+  EXPECT_EQ(snap, 1u);
+  // Exactly one note page, independent of the 50 pages of data (§6.2.1).
+  EXPECT_EQ(h.ftl().stats().total_pages_programmed, pages_before + 1);
+  EXPECT_EQ(h.ftl().stats().snapshots_created, 1u);
+}
+
+TEST(SnapshotTest, SnapshotPreservesPointInTimeState) {
+  FtlHarness h(SmallConfig());
+  ReferenceModel model;
+  for (uint64_t lba = 0; lba < 20; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+    model.Write(lba, 1);
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s1"));
+  model.Snapshot(snap);
+
+  // Diverge the active view: overwrites and trims.
+  for (uint64_t lba = 0; lba < 10; ++lba) {
+    ASSERT_OK(h.Write(lba, 2));
+    model.Write(lba, 2);
+  }
+  ASSERT_OK(h.Trim(15, 3));
+  model.Trim(15, 3);
+
+  EXPECT_TRUE(h.CheckView(kPrimaryView, model.current_state(), 20));
+
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap));
+  EXPECT_TRUE(h.CheckView(view, model.snapshot_state(snap), 20));
+}
+
+TEST(SnapshotTest, ChainedSnapshotsEachKeepTheirState) {
+  FtlHarness h(SmallConfig());
+  ReferenceModel model;
+  std::vector<uint32_t> snaps;
+  uint64_t version = 0;
+  Rng rng(3);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      const uint64_t lba = rng.NextBelow(40);
+      ++version;
+      ASSERT_OK(h.Write(lba, version));
+      model.Write(lba, version);
+    }
+    ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("round"));
+    model.Snapshot(snap);
+    snaps.push_back(snap);
+  }
+  for (uint32_t snap : snaps) {
+    ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap));
+    EXPECT_TRUE(h.CheckView(view, model.snapshot_state(snap), 40)) << "snapshot " << snap;
+    ASSERT_OK(h.ftl().Deactivate(view, h.now()));
+  }
+}
+
+TEST(SnapshotTest, EmptySnapshotActivates) {
+  FtlHarness h(SmallConfig());
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("empty"));
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap));
+  EXPECT_TRUE(h.CheckLba(view, 0, 0));
+  ASSERT_OK_AND_ASSIGN(uint64_t entries, h.ftl().ViewMapEntryCount(view));
+  EXPECT_EQ(entries, 0u);
+}
+
+TEST(SnapshotTest, DeleteRemovesSnapshotAndRejectsActivation) {
+  FtlHarness h(SmallConfig());
+  ASSERT_OK(h.Write(0, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s"));
+  ASSERT_OK(h.Delete(snap));
+  EXPECT_EQ(h.ftl().stats().snapshots_deleted, 1u);
+  EXPECT_EQ(h.Activate(snap).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(h.Delete(snap).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(h.Delete(99).code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, DeleteWithActiveViewRefused) {
+  FtlHarness h(SmallConfig());
+  ASSERT_OK(h.Write(0, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s"));
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap));
+  EXPECT_EQ(h.Delete(snap).code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(h.ftl().Deactivate(view, h.now()));
+  EXPECT_OK(h.Delete(snap));
+}
+
+TEST(SnapshotTest, ReadOnlyViewRejectsWrites) {
+  FtlHarness h(SmallConfig());
+  ASSERT_OK(h.Write(0, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s"));
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap, /*writable=*/false));
+  EXPECT_EQ(h.ftl().WriteView(view, 0, {}, h.now()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, WritableViewDivergesWithoutDisturbingSnapshot) {
+  // §5.6 design extension: a writable activation absorbs writes on a forked epoch and
+  // "never overwrites the snapshot".
+  FtlConfig config = SmallConfig();
+  FtlHarness h(config);
+  for (uint64_t lba = 0; lba < 10; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s"));
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap, /*writable=*/true));
+
+  // Write through the view.
+  const auto data = PageData(config.nand.page_size_bytes, 3, 99);
+  ASSERT_OK_AND_ASSIGN(IoResult io, h.ftl().WriteView(view, 3, data, h.now()));
+  h.AdvanceTo(io.CompletionNs());
+
+  EXPECT_TRUE(h.CheckLba(view, 3, 99));        // View sees its own write.
+  EXPECT_TRUE(h.CheckLba(kPrimaryView, 3, 1)); // Primary is unaffected.
+
+  // Re-activating the snapshot still shows the original state.
+  ASSERT_OK(h.ftl().Deactivate(view, h.now()));
+  ASSERT_OK_AND_ASSIGN(uint32_t view2, h.Activate(snap));
+  EXPECT_TRUE(h.CheckLba(view2, 3, 1));
+}
+
+TEST(SnapshotTest, ParallelActivationsCoexist) {
+  // §5.6: "ioSnap in theory does not impose any limit on the number of snapshots that
+  // may be activated in parallel" — this implementation supports it.
+  FtlHarness h(SmallConfig());
+  ReferenceModel model;
+  ASSERT_OK(h.Write(0, 1));
+  model.Write(0, 1);
+  ASSERT_OK_AND_ASSIGN(uint32_t s1, h.Snapshot("s1"));
+  model.Snapshot(s1);
+  ASSERT_OK(h.Write(0, 2));
+  model.Write(0, 2);
+  ASSERT_OK_AND_ASSIGN(uint32_t s2, h.Snapshot("s2"));
+  model.Snapshot(s2);
+  ASSERT_OK(h.Write(0, 3));
+
+  ASSERT_OK_AND_ASSIGN(uint32_t v1, h.Activate(s1));
+  ASSERT_OK_AND_ASSIGN(uint32_t v2, h.Activate(s2));
+  EXPECT_TRUE(h.CheckLba(v1, 0, 1));
+  EXPECT_TRUE(h.CheckLba(v2, 0, 2));
+  EXPECT_TRUE(h.CheckLba(kPrimaryView, 0, 3));
+  EXPECT_EQ(h.ftl().ActiveViewIds().size(), 3u);
+}
+
+TEST(SnapshotTest, ForkedHistoryViaWritableView) {
+  // Figure 4's fork: activate an old snapshot writable, diverge, snapshot the branch...
+  // here we verify the two branches stay independent.
+  FtlHarness h(SmallConfig());
+  ASSERT_OK(h.Write(1, 10));
+  ASSERT_OK_AND_ASSIGN(uint32_t s1, h.Snapshot("s1"));
+  ASSERT_OK(h.Write(1, 20));  // Main branch diverges.
+
+  ASSERT_OK_AND_ASSIGN(uint32_t branch, h.Activate(s1, /*writable=*/true));
+  const auto data = PageData(SmallConfig().nand.page_size_bytes, 1, 30);
+  ASSERT_OK_AND_ASSIGN(IoResult io, h.ftl().WriteView(branch, 1, data, h.now()));
+  h.AdvanceTo(io.CompletionNs());
+
+  EXPECT_TRUE(h.CheckLba(kPrimaryView, 1, 20));
+  EXPECT_TRUE(h.CheckLba(branch, 1, 30));
+}
+
+TEST(SnapshotTest, UnlimitedSnapshotsOnlyBoundByCapacity) {
+  // Many snapshots with small deltas: all must be created without error and metadata
+  // stays one note page each.
+  FtlHarness h(SmallConfig());
+  const uint64_t pages_before = h.ftl().stats().total_pages_programmed;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(h.Write(static_cast<uint64_t>(i), 1));
+    ASSERT_OK(h.Snapshot("s").status());
+  }
+  EXPECT_EQ(h.ftl().stats().snapshots_created, 40u);
+  EXPECT_EQ(h.ftl().stats().total_pages_programmed, pages_before + 80u);
+}
+
+TEST(SnapshotTest, ActivationMapIsCompact) {
+  // Table 3: the activated tree bulk-loads packed nodes, so with identical contents it
+  // uses no more memory than the organically grown active tree.
+  FtlConfig config = SmallConfig();
+  FtlHarness h(config);
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(h.Write(rng.NextBelow(h.ftl().LbaCount()), 1));
+    h.ftl().PumpBackground(h.now());
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("s"));
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap));
+
+  ASSERT_OK_AND_ASSIGN(uint64_t active_bytes, h.ftl().ViewMapMemoryBytes(kPrimaryView));
+  ASSERT_OK_AND_ASSIGN(uint64_t view_bytes, h.ftl().ViewMapMemoryBytes(view));
+  ASSERT_OK_AND_ASSIGN(uint64_t active_entries, h.ftl().ViewMapEntryCount(kPrimaryView));
+  ASSERT_OK_AND_ASSIGN(uint64_t view_entries, h.ftl().ViewMapEntryCount(view));
+  EXPECT_EQ(view_entries, active_entries);
+  EXPECT_LE(view_bytes, active_bytes);
+}
+
+TEST(SnapshotTest, SnapshotOfSnapshotChainsDepth) {
+  FtlHarness h(SmallConfig());
+  ASSERT_OK(h.Write(0, 1));
+  ASSERT_OK_AND_ASSIGN(uint32_t s1, h.Snapshot("s1"));
+  ASSERT_OK(h.Write(0, 2));
+  ASSERT_OK_AND_ASSIGN(uint32_t s2, h.Snapshot("s2"));
+  ASSERT_OK(h.Write(0, 3));
+  ASSERT_OK_AND_ASSIGN(uint32_t s3, h.Snapshot("s3"));
+  EXPECT_EQ(h.ftl().snapshot_tree().SnapshotDepth(s1), 0);
+  EXPECT_EQ(h.ftl().snapshot_tree().SnapshotDepth(s2), 1);
+  EXPECT_EQ(h.ftl().snapshot_tree().SnapshotDepth(s3), 2);
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,194 @@
+#include "src/ftl/btree.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace iosnap {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Lookup(5).has_value());
+  EXPECT_EQ(tree.LeafNodeCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(10, 100));
+  EXPECT_TRUE(tree.Insert(20, 200));
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Lookup(10).value(), 100u);
+  EXPECT_EQ(tree.Lookup(20).value(), 200u);
+  EXPECT_EQ(tree.Lookup(5).value(), 50u);
+  EXPECT_FALSE(tree.Lookup(15).has_value());
+}
+
+TEST(BPlusTreeTest, OverwriteReplacesInPlace) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(7, 70));
+  EXPECT_FALSE(tree.Insert(7, 71));  // Not a new key.
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Lookup(7).value(), 71u);
+}
+
+TEST(BPlusTreeTest, SplitsKeepOrder) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    tree.Insert(i, i * 10);
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.Height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(tree.Lookup(i).value(), i * 10) << i;
+  }
+}
+
+TEST(BPlusTreeTest, ReverseAndZigZagInserts) {
+  BPlusTree tree;
+  for (uint64_t i = 1000; i-- > 0;) {
+    tree.Insert(i, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  BPlusTree zigzag;
+  for (uint64_t i = 0; i < 500; ++i) {
+    zigzag.Insert(i, i);
+    zigzag.Insert(10000 - i, i);
+  }
+  EXPECT_TRUE(zigzag.CheckInvariants());
+  EXPECT_EQ(zigzag.size(), 1000u);
+}
+
+TEST(BPlusTreeTest, EraseRemovesKeys) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 200; ++i) {
+    tree.Insert(i, i);
+  }
+  for (uint64_t i = 0; i < 200; i += 2) {
+    EXPECT_TRUE(tree.Erase(i));
+  }
+  EXPECT_FALSE(tree.Erase(0));  // Already gone.
+  EXPECT_EQ(tree.size(), 100u);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(tree.Lookup(i).has_value(), i % 2 == 1);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, ForEachVisitsInOrder) {
+  BPlusTree tree;
+  Rng rng(1);
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = rng.NextBelow(100000);
+    ref[k] = static_cast<uint64_t>(i);
+    tree.Insert(k, static_cast<uint64_t>(i));
+  }
+  auto it = ref.begin();
+  tree.ForEach([&](uint64_t k, uint64_t v) {
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, ref.end());
+}
+
+TEST(BPlusTreeTest, BulkLoadMatchesContents) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    pairs.emplace_back(i * 3, i);
+  }
+  BPlusTree tree = BPlusTree::BulkLoad(pairs);
+  EXPECT_EQ(tree.size(), pairs.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (const auto& [k, v] : pairs) {
+    ASSERT_EQ(tree.Lookup(k).value(), v);
+  }
+  EXPECT_FALSE(tree.Lookup(1).has_value());
+}
+
+TEST(BPlusTreeTest, BulkLoadEmptyAndSingle) {
+  BPlusTree empty = BPlusTree::BulkLoad({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.CheckInvariants());
+  BPlusTree one = BPlusTree::BulkLoad({{9, 90}});
+  EXPECT_EQ(one.Lookup(9).value(), 90u);
+  EXPECT_TRUE(one.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, BulkLoadIsMoreCompactThanRandomInserts) {
+  // The Table 3 effect: an organically grown tree is fragmented; a bulk-loaded tree with
+  // identical content packs its nodes full.
+  Rng rng(2);
+  BPlusTree grown;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t k = rng.NextBelow(1u << 30);
+    ref[k] = k + 1;
+    grown.Insert(k, k + 1);
+  }
+  pairs.assign(ref.begin(), ref.end());
+  BPlusTree packed = BPlusTree::BulkLoad(pairs);
+  EXPECT_EQ(packed.size(), grown.size());
+  EXPECT_LT(packed.MemoryBytes(), grown.MemoryBytes());
+  EXPECT_TRUE(packed.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, RandomizedAgainstStdMap) {
+  Rng rng(3);
+  BPlusTree tree;
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t k = rng.NextBelow(5000);
+    const int action = static_cast<int>(rng.NextBelow(3));
+    if (action == 0) {
+      const bool inserted = tree.Insert(k, static_cast<uint64_t>(i));
+      EXPECT_EQ(inserted, !ref.contains(k));
+      ref[k] = static_cast<uint64_t>(i);
+    } else if (action == 1) {
+      EXPECT_EQ(tree.Erase(k), ref.erase(k) > 0);
+    } else {
+      const auto got = tree.Lookup(k);
+      const auto it = ref.find(k);
+      EXPECT_EQ(got.has_value(), it != ref.end());
+      if (got.has_value() && it != ref.end()) {
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), ref.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, MoveTransfersOwnership) {
+  BPlusTree a;
+  a.Insert(1, 10);
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(b.Lookup(1).value(), 10u);
+  BPlusTree c;
+  c = std::move(b);
+  EXPECT_EQ(c.Lookup(1).value(), 10u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(BPlusTreeTest, BoundaryKeys) {
+  BPlusTree tree;
+  tree.Insert(0, 1);
+  tree.Insert(~uint64_t{0}, 2);
+  EXPECT_EQ(tree.Lookup(0).value(), 1u);
+  EXPECT_EQ(tree.Lookup(~uint64_t{0}).value(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace iosnap

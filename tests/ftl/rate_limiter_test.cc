@@ -1,0 +1,44 @@
+#include "src/ftl/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace iosnap {
+namespace {
+
+TEST(RateLimiterTest, RunsImmediatelyAtStart) {
+  RateLimiter limiter(RateLimit::Of(50, 250));
+  EXPECT_TRUE(limiter.CanRun(0));
+}
+
+TEST(RateLimiterTest, SleepWindowBlocksNextBurst) {
+  RateLimiter limiter(RateLimit::Of(50, 250));
+  limiter.OnBurstComplete(UsToNs(100));
+  EXPECT_FALSE(limiter.CanRun(UsToNs(100)));
+  EXPECT_FALSE(limiter.CanRun(UsToNs(100) + MsToNs(249)));
+  EXPECT_TRUE(limiter.CanRun(UsToNs(100) + MsToNs(250)));
+  EXPECT_EQ(limiter.NextAllowedNs(), UsToNs(100) + MsToNs(250));
+}
+
+TEST(RateLimiterTest, UnlimitedHasNoSleep) {
+  RateLimiter limiter(RateLimit::Unlimited());
+  limiter.OnBurstComplete(12345);
+  EXPECT_TRUE(limiter.CanRun(12345));
+}
+
+TEST(RateLimiterTest, OfMatchesPaperNotation) {
+  // "50usec/250msec": 50 usec of work per 250 msec sleep (Fig 9b).
+  const RateLimit limit = RateLimit::Of(50, 250);
+  EXPECT_EQ(limit.work_quantum_ns, UsToNs(50));
+  EXPECT_EQ(limit.sleep_ns, MsToNs(250));
+}
+
+TEST(RateLimiterTest, ResetReopensWindow) {
+  RateLimiter limiter(RateLimit::Of(1, 1000));
+  limiter.OnBurstComplete(SecToNs(5));
+  EXPECT_FALSE(limiter.CanRun(SecToNs(5)));
+  limiter.Reset();
+  EXPECT_TRUE(limiter.CanRun(0));
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,206 @@
+#include "src/ftl/validity_map.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace iosnap {
+namespace {
+
+TEST(ValidityMapTest, RootEpochSetClearTest) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  EXPECT_FALSE(vm.Test(0, 5));
+  EXPECT_EQ(vm.SetValid(0, 5), 0u);  // Fresh chunk: no CoW.
+  EXPECT_TRUE(vm.Test(0, 5));
+  EXPECT_EQ(vm.ClearValid(0, 5), 0u);
+  EXPECT_FALSE(vm.Test(0, 5));
+  EXPECT_EQ(vm.stats().cow_chunk_copies, 0u);
+}
+
+TEST(ValidityMapTest, ClearOnMissingChunkIsNoop) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  EXPECT_EQ(vm.ClearValid(0, 999), 0u);
+  EXPECT_EQ(vm.DistinctChunkCount(), 0u);
+}
+
+TEST(ValidityMapTest, ForkSharesChunksUntilWrite) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  vm.SetValid(0, 10);
+  vm.SetValid(0, 100);
+
+  EXPECT_EQ(vm.ForkEpoch(1, 0), 0u);  // CoW fork copies nothing.
+  EXPECT_TRUE(vm.Test(1, 10));
+  EXPECT_TRUE(vm.Test(1, 100));
+  EXPECT_EQ(vm.DistinctChunkCount(), 2u);  // Shared.
+
+  // Modifying the child's chunk triggers exactly one chunk copy; the parent's frozen
+  // view is untouched (the Fig 5 scenario).
+  const uint64_t cow = vm.ClearValid(1, 10);
+  EXPECT_EQ(cow, 64 / 8u);
+  EXPECT_FALSE(vm.Test(1, 10));
+  EXPECT_TRUE(vm.Test(0, 10));
+  EXPECT_EQ(vm.DistinctChunkCount(), 3u);
+  EXPECT_EQ(vm.stats().cow_chunk_copies, 1u);
+
+  // Second write to the same chunk in the same epoch: no further copy.
+  EXPECT_EQ(vm.SetValid(1, 11), 0u);
+  EXPECT_EQ(vm.stats().cow_chunk_copies, 1u);
+}
+
+TEST(ValidityMapTest, NaiveModeCopiesEverythingAtFork) {
+  ValidityMap vm(4096, 64, /*naive_full_copy=*/true);
+  vm.CreateEpoch(0);
+  for (uint64_t p = 0; p < 4096; p += 64) {
+    vm.SetValid(0, p);
+  }
+  const uint64_t copied = vm.ForkEpoch(1, 0);
+  EXPECT_EQ(copied, 64u * (64 / 8));  // 64 chunks x 8 bytes.
+  EXPECT_EQ(vm.DistinctChunkCount(), 128u);
+}
+
+TEST(ValidityMapTest, DroppedEpochLeavesSharedChunksIntact) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  vm.SetValid(0, 7);
+  vm.ForkEpoch(1, 0);
+  vm.DropEpoch(0);
+  EXPECT_FALSE(vm.HasEpoch(0));
+  EXPECT_TRUE(vm.Test(1, 7));
+  // The surviving epoch now owns the chunk exclusively: mutation needs no copy.
+  EXPECT_EQ(vm.ClearValid(1, 7), 0u);
+  EXPECT_EQ(vm.stats().cow_chunk_copies, 0u);
+}
+
+TEST(ValidityMapTest, MergedRangeOrsEpochs) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  vm.SetValid(0, 1);
+  vm.ForkEpoch(1, 0);
+  vm.ClearValid(1, 1);
+  vm.SetValid(1, 2);
+
+  const Bitmap merged = vm.MergedRange({0, 1}, 0, 64);
+  EXPECT_TRUE(merged.Test(1));  // Valid in epoch 0 (snapshot).
+  EXPECT_TRUE(merged.Test(2));  // Valid in epoch 1 (active).
+  EXPECT_EQ(merged.CountOnes(), 2u);
+
+  // A deleted (missing) epoch silently drops out of the merge — Fig 6C.
+  const Bitmap merged2 = vm.MergedRange({0, 1, 99}, 0, 64);
+  EXPECT_EQ(merged2.CountOnes(), 2u);
+
+  EXPECT_EQ(vm.CountValidInRange({0, 1}, 0, 64), 2u);
+  EXPECT_EQ(vm.CountValidInRange(1u, 0, 64), 1u);
+}
+
+TEST(ValidityMapTest, MergedRangeUnalignedWindow) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  vm.SetValid(0, 63);
+  vm.SetValid(0, 64);
+  vm.SetValid(0, 200);
+  const Bitmap merged = vm.MergedRange({0}, 60, 130);
+  EXPECT_TRUE(merged.Test(63 - 60));
+  EXPECT_TRUE(merged.Test(64 - 60));
+  EXPECT_EQ(merged.CountOnes(), 2u);
+}
+
+TEST(ValidityMapTest, TestAnyAcrossEpochs) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  vm.SetValid(0, 5);
+  vm.ForkEpoch(1, 0);
+  vm.ClearValid(1, 5);
+  EXPECT_TRUE(vm.TestAny({0, 1}, 5));
+  EXPECT_FALSE(vm.TestAny({1}, 5));
+  EXPECT_FALSE(vm.TestAny({42}, 5));  // Unknown epoch.
+}
+
+TEST(ValidityMapTest, MoveBitUpdatesEveryReferencingEpoch) {
+  ValidityMap vm(1024, 64);
+  vm.CreateEpoch(0);
+  vm.SetValid(0, 30);
+  vm.ForkEpoch(1, 0);
+  vm.ForkEpoch(2, 1);
+  vm.ClearValid(2, 30);  // Epoch 2 no longer references page 30.
+
+  vm.MoveBit({0, 1, 2}, 30, 500);
+  EXPECT_FALSE(vm.Test(0, 30));
+  EXPECT_TRUE(vm.Test(0, 500));
+  EXPECT_FALSE(vm.Test(1, 30));
+  EXPECT_TRUE(vm.Test(1, 500));
+  EXPECT_FALSE(vm.Test(2, 30));
+  EXPECT_FALSE(vm.Test(2, 500));  // Was not referencing: stays clear.
+}
+
+TEST(ValidityMapTest, ForEachValidVisitsAscending) {
+  ValidityMap vm(4096, 64);
+  vm.CreateEpoch(0);
+  const std::vector<uint64_t> pages = {3, 64, 65, 1000, 4000};
+  for (uint64_t p : pages) {
+    vm.SetValid(0, p);
+  }
+  std::vector<uint64_t> seen;
+  vm.ForEachValid(0, [&seen](uint64_t p) { seen.push_back(p); });
+  EXPECT_EQ(seen, pages);
+}
+
+TEST(ValidityMapTest, CowForksFarCheaperThanNaiveCopies) {
+  // The §5.4.1 memory argument: dormant snapshots must not multiply bitmap memory.
+  // Non-diverging CoW forks add only per-epoch chunk *references*; naive forks add full
+  // chunk copies.
+  auto fork_cost = [](bool naive) {
+    ValidityMap vm(1 << 20, 4096, naive);
+    vm.CreateEpoch(0);
+    for (uint64_t p = 0; p < (1 << 20); p += 4096) {
+      vm.SetValid(0, p);
+    }
+    const size_t base = vm.MemoryBytes();
+    for (uint32_t e = 1; e <= 10; ++e) {
+      vm.ForkEpoch(e, e - 1);
+    }
+    return vm.MemoryBytes() - base;
+  };
+  const size_t cow_growth = fork_cost(false);
+  const size_t naive_growth = fork_cost(true);
+  EXPECT_LT(cow_growth * 3, naive_growth);
+}
+
+TEST(ValidityMapTest, RandomizedTwoEpochSemantics) {
+  // Active epoch diverges from a frozen snapshot; both views must match brute-force sets.
+  ValidityMap vm(512, 32);
+  vm.CreateEpoch(0);
+  Rng rng(77);
+  std::vector<bool> frozen(512, false);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t p = rng.NextBelow(512);
+    if (rng.NextBool(0.7)) {
+      vm.SetValid(0, p);
+      frozen[p] = true;
+    } else {
+      vm.ClearValid(0, p);
+      frozen[p] = false;
+    }
+  }
+  vm.ForkEpoch(1, 0);
+  std::vector<bool> active = frozen;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t p = rng.NextBelow(512);
+    if (rng.NextBool(0.5)) {
+      vm.SetValid(1, p);
+      active[p] = true;
+    } else {
+      vm.ClearValid(1, p);
+      active[p] = false;
+    }
+  }
+  for (uint64_t p = 0; p < 512; ++p) {
+    EXPECT_EQ(vm.Test(0, p), frozen[p]) << "frozen page " << p;
+    EXPECT_EQ(vm.Test(1, p), active[p]) << "active page " << p;
+  }
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,105 @@
+#include "src/workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace iosnap {
+namespace {
+
+TEST(RunnerTest, RunsRequestedOps) {
+  FtlConfig config = SmallConfig();
+  config.nand.store_data = false;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Ftl> ftl, Ftl::Create(config));
+  SimClock clock;
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+  RandomWorkload workload(IoKind::kWrite, 100, 1);
+  ASSERT_OK_AND_ASSIGN(RunResult result, runner.Run(&workload, 500, RunOptions{}));
+  EXPECT_EQ(result.ops, 500u);
+  EXPECT_EQ(result.latency.count(), 500u);
+  EXPECT_EQ(result.bytes, 500 * config.nand.page_size_bytes);
+  EXPECT_GT(result.ElapsedNs(), 0u);
+  EXPECT_GE(result.drain_end_ns, result.end_ns);
+  EXPECT_EQ(ftl->stats().user_writes, 500u);
+}
+
+TEST(RunnerTest, WorkloadExhaustionStopsEarly) {
+  FtlConfig config = SmallConfig();
+  config.nand.store_data = false;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Ftl> ftl, Ftl::Create(config));
+  SimClock clock;
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+  SequentialWorkload workload(IoKind::kWrite, 0, 10);
+  ASSERT_OK_AND_ASSIGN(RunResult result, runner.Run(&workload, 500, RunOptions{}));
+  EXPECT_EQ(result.ops, 10u);
+}
+
+TEST(RunnerTest, TimelineRecordsWhenEnabled) {
+  FtlConfig config = SmallConfig();
+  config.nand.store_data = false;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Ftl> ftl, Ftl::Create(config));
+  SimClock clock;
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+  RandomWorkload workload(IoKind::kWrite, 100, 2);
+  RunOptions options;
+  options.record_timeline = true;
+  ASSERT_OK_AND_ASSIGN(RunResult result, runner.Run(&workload, 50, options));
+  EXPECT_EQ(result.timeline.samples().size(), 50u);
+}
+
+TEST(RunnerTest, QueueDepthImprovesReadThroughput) {
+  auto throughput = [](uint64_t queue_depth) {
+    FtlConfig config = SmallConfig();
+    config.nand.store_data = false;
+    auto ftl_or = Ftl::Create(config);
+    IOSNAP_CHECK(ftl_or.ok());
+    std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+    SimClock clock;
+    FtlTarget target(ftl.get());
+    Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+    // Preload, then random reads.
+    SequentialWorkload fill(IoKind::kWrite, 0, 512);
+    IOSNAP_CHECK(runner.Run(&fill, 512, RunOptions{}).ok());
+    const uint64_t start = clock.NowNs();
+    RandomWorkload reads(IoKind::kRead, 512, 3);
+    RunOptions options;
+    options.queue_depth = queue_depth;
+    auto result = runner.Run(&reads, 400, options);
+    IOSNAP_CHECK(result.ok());
+    return static_cast<double>(result->bytes) /
+           static_cast<double>(clock.NowNs() - start);
+  };
+  EXPECT_GT(throughput(8), throughput(1) * 1.5);
+}
+
+TEST(RunnerTest, AfterOpCallbackFires) {
+  FtlConfig config = SmallConfig();
+  config.nand.store_data = false;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Ftl> ftl, Ftl::Create(config));
+  SimClock clock;
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+  uint64_t calls = 0;
+  uint64_t last_index = 0;
+  RunOptions options;
+  options.after_op = [&](uint64_t index, uint64_t now_ns) {
+    ++calls;
+    last_index = index;
+  };
+  RandomWorkload workload(IoKind::kWrite, 10, 4);
+  ASSERT_OK(runner.Run(&workload, 25, options).status());
+  EXPECT_EQ(calls, 25u);
+  EXPECT_EQ(last_index, 24u);
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -1,0 +1,68 @@
+#include "src/workload/workload.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace iosnap {
+namespace {
+
+TEST(SequentialWorkloadTest, EmitsRangeThenExhausts) {
+  SequentialWorkload w(IoKind::kWrite, 10, 3);
+  EXPECT_EQ(w.Next()->lba, 10u);
+  EXPECT_EQ(w.Next()->lba, 11u);
+  EXPECT_EQ(w.Next()->lba, 12u);
+  EXPECT_FALSE(w.Next().has_value());
+}
+
+TEST(SequentialWorkloadTest, WrapsWhenAsked) {
+  SequentialWorkload w(IoKind::kRead, 0, 2, /*wrap=*/true);
+  for (int i = 0; i < 10; ++i) {
+    const auto op = w.Next();
+    ASSERT_TRUE(op.has_value());
+    EXPECT_EQ(op->lba, static_cast<uint64_t>(i % 2));
+    EXPECT_EQ(op->kind, IoKind::kRead);
+  }
+}
+
+TEST(RandomWorkloadTest, StaysInBoundsAndCoversSpace) {
+  RandomWorkload w(IoKind::kWrite, 16, 1);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = w.Next();
+    ASSERT_TRUE(op.has_value());
+    ASSERT_LT(op->lba, 16u);
+    ++seen[op->lba];
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(MixedWorkloadTest, RespectsReadFraction) {
+  MixedWorkload w(0.7, 100, 2);
+  int reads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    reads += (w.Next()->kind == IoKind::kRead) ? 1 : 0;
+  }
+  EXPECT_NEAR(reads / 10000.0, 0.7, 0.03);
+}
+
+TEST(ZipfWorkloadTest, SkewsTowardsHotBlocks) {
+  ZipfWorkload w(IoKind::kWrite, 1000, 0.9, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = w.Next();
+    ASSERT_LT(op->lba, 1000u);
+    ++counts[op->lba];
+  }
+  // The hottest block should see far more than the uniform share (20 hits).
+  int hottest = 0;
+  for (const auto& [lba, count] : counts) {
+    hottest = std::max(hottest, count);
+  }
+  EXPECT_GT(hottest, 200);
+  // But the tail is still touched.
+  EXPECT_GT(counts.size(), 250u);
+}
+
+}  // namespace
+}  // namespace iosnap

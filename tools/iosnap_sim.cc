@@ -1,0 +1,301 @@
+// iosnap_sim — interactive exploration of the ioSnap FTL from the command line.
+//
+// Builds a simulated device from flags, runs a workload with optional snapshot cadence,
+// and prints a full statistics report: throughput, latency percentiles, GC and
+// snapshot-machinery counters, write amplification, wear, and memory footprints.
+//
+// Examples:
+//   iosnap_sim --workload=randwrite --ops=500000 --snapshot_every=50000
+//   iosnap_sim --device_mib=1024 --workload=zipf --policy=colocate --timeline
+//   iosnap_sim --workload=mixed --read_frac=0.7 --crash_and_recover
+//   iosnap_sim --vanilla --workload=seqwrite      # snapshots compiled out of the path
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/sim_clock.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/core/ftl.h"
+#include "src/workload/runner.h"
+#include "src/workload/workload.h"
+
+using namespace iosnap;
+
+namespace {
+
+constexpr const char* kUsage = R"(iosnap_sim: drive the ioSnap FTL simulator
+
+Device:
+  --device_mib=N         device capacity in MiB               (default 1024)
+  --page_kib=N           page size in KiB                     (default 4)
+  --segment_pages=N      pages per erase segment              (default 1024)
+  --channels=N           flash channels                       (default 16)
+  --overprovision=F      reserved physical fraction           (default 0.25)
+  --chunk_bits=N         validity chunk granularity           (default 8192)
+  --policy=NAME          greedy | costbenefit | colocate      (default greedy)
+  --vanilla              disable the snapshot machinery
+  --vanilla_gc_rate      use the snapshot-unaware GC pacing estimate
+
+Workload:
+  --workload=NAME        seqwrite | randwrite | randread | mixed | zipf (default randwrite)
+  --ops=N                operations to run                    (default 200000)
+  --lba_frac=F           fraction of the LBA space used       (default 0.75)
+  --read_frac=F          read fraction for mixed              (default 0.5)
+  --zipf_theta=F         skew for zipf                        (default 0.9)
+  --qd=N                 queue depth                          (default 1)
+  --seed=N               workload RNG seed                    (default 42)
+
+Snapshots:
+  --snapshot_every=N     create a snapshot every N ops        (default 0 = never)
+  --keep_snapshots=N     live-snapshot rotation window        (default 4)
+  --activate_last        activate + verify the newest snapshot at the end
+
+Lifecycle:
+  --crash_and_recover    crash (no checkpoint) and reopen at the end
+  --checkpoint           clean shutdown + reopen at the end
+  --timeline             print a latency timeline CSV (100 ms buckets)
+  --help                 this text
+)";
+
+const std::vector<std::string> kKnownFlags = {
+    "device_mib", "page_kib", "segment_pages", "channels", "overprovision",
+    "chunk_bits", "policy", "vanilla", "vanilla_gc_rate", "workload", "ops",
+    "lba_frac", "read_frac", "zipf_theta", "qd", "seed", "snapshot_every",
+    "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
+    "help"};
+
+void PrintStats(const Ftl& ftl, const RunResult& result) {
+  const FtlStats& s = ftl.stats();
+  const NandStats& n = ftl.device().stats();
+  std::printf("\n--- run summary ------------------------------------------\n");
+  std::printf("ops                     %12llu\n", (unsigned long long)result.ops);
+  std::printf("virtual elapsed         %12.3f s\n", NsToSec(result.ElapsedNs()));
+  std::printf("throughput              %12.1f MB/s\n",
+              MbPerSec(result.bytes, result.ElapsedNs()));
+  std::printf("latency mean/p50/p99    %9.1f / %.1f / %.1f us\n",
+              result.latency.MeanNs() / 1000.0, NsToUs(result.latency.PercentileNs(50)),
+              NsToUs(result.latency.PercentileNs(99)));
+  std::printf("latency max             %12.1f us\n", NsToUs(result.latency.MaxNs()));
+  std::printf("--- ftl --------------------------------------------------\n");
+  std::printf("user writes/reads/trims %llu / %llu / %llu\n",
+              (unsigned long long)s.user_writes, (unsigned long long)s.user_reads,
+              (unsigned long long)s.user_trims);
+  if (s.user_writes > 0) {
+    std::printf("write amplification     %12.3f\n",
+                (double)s.total_pages_programmed / (double)s.user_writes);
+  }
+  std::printf("snapshots create/del    %llu / %llu (rollbacks %llu, activations %llu)\n",
+              (unsigned long long)s.snapshots_created,
+              (unsigned long long)s.snapshots_deleted, (unsigned long long)s.rollbacks,
+              (unsigned long long)s.activations);
+  std::printf("validity CoW            %llu events, %llu bytes\n",
+              (unsigned long long)s.validity_cow_events,
+              (unsigned long long)s.validity_cow_bytes);
+  std::printf("--- cleaner ----------------------------------------------\n");
+  std::printf("segments cleaned        %12llu\n", (unsigned long long)s.gc_segments_cleaned);
+  std::printf("pages copied forward    %12llu\n", (unsigned long long)s.gc_pages_copied);
+  std::printf("notes copied/dropped    %llu / %llu (summaries %llu)\n",
+              (unsigned long long)s.gc_notes_copied,
+              (unsigned long long)s.gc_notes_dropped,
+              (unsigned long long)s.gc_summaries_written);
+  std::printf("inline write stalls     %12llu\n", (unsigned long long)s.gc_inline_stalls);
+  std::printf("validity merge host     %12.2f ms\n", NsToMs(s.gc_merge_host_ns));
+  std::printf("--- device -----------------------------------------------\n");
+  std::printf("pages programmed/read   %llu / %llu\n",
+              (unsigned long long)n.pages_programmed, (unsigned long long)n.pages_read);
+  std::printf("segments erased         %12llu\n", (unsigned long long)n.segments_erased);
+  uint64_t max_wear = 0;
+  uint64_t total_wear = 0;
+  for (uint64_t seg = 0; seg < ftl.config().nand.num_segments; ++seg) {
+    const uint64_t wear = ftl.device().EraseCount(seg);
+    max_wear = std::max(max_wear, wear);
+    total_wear += wear;
+  }
+  std::printf("wear mean/max           %.2f / %llu erases per segment\n",
+              (double)total_wear / (double)ftl.config().nand.num_segments,
+              (unsigned long long)max_wear);
+  std::printf("--- memory -----------------------------------------------\n");
+  std::printf("forward map             %12llu bytes (%llu entries)\n",
+              (unsigned long long)*ftl.ViewMapMemoryBytes(kPrimaryView),
+              (unsigned long long)*ftl.ViewMapEntryCount(kPrimaryView));
+  std::printf("validity maps           %12llu bytes (%zu distinct chunks)\n",
+              (unsigned long long)ftl.validity().MemoryBytes(),
+              ftl.validity().DistinctChunkCount());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const auto unknown = flags.UnknownFlags(kKnownFlags);
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  FtlConfig config;
+  config.nand.page_size_bytes = (uint64_t)flags.GetInt("page_kib", 4) * kKiB;
+  config.nand.pages_per_segment = (uint64_t)flags.GetInt("segment_pages", 1024);
+  const uint64_t device_bytes = (uint64_t)flags.GetInt("device_mib", 1024) * kMiB;
+  config.nand.num_segments = std::max<uint64_t>(
+      8, device_bytes / (config.nand.page_size_bytes * config.nand.pages_per_segment));
+  config.nand.num_channels = (uint32_t)flags.GetInt("channels", 16);
+  config.nand.store_data = false;
+  config.overprovision = flags.GetDouble("overprovision", 0.25);
+  config.validity_chunk_bits = (uint64_t)flags.GetInt("chunk_bits", 8192);
+  config.snapshots_enabled = !flags.GetBool("vanilla", false);
+  config.snapshot_aware_gc_rate = !flags.GetBool("vanilla_gc_rate", false);
+
+  const std::string policy = flags.GetString("policy", "greedy");
+  if (policy == "costbenefit") {
+    config.cleaner_policy = CleanerPolicy::kCostBenefit;
+  } else if (policy == "colocate") {
+    config.cleaner_policy = CleanerPolicy::kEpochColocate;
+    config.gc_reserve_segments = 8;
+    config.gc_low_free_segments = 20;
+    config.gc_high_free_segments = 36;
+  } else if (policy != "greedy") {
+    std::fprintf(stderr, "unknown --policy=%s\n", policy.c_str());
+    return 2;
+  }
+
+  auto ftl_or = Ftl::Create(config);
+  if (!ftl_or.ok()) {
+    std::fprintf(stderr, "Ftl::Create: %s\n", ftl_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  SimClock clock;
+
+  const uint64_t lba_space = std::max<uint64_t>(
+      1, (uint64_t)((double)ftl->LbaCount() * flags.GetDouble("lba_frac", 0.75)));
+  const uint64_t ops = (uint64_t)flags.GetInt("ops", 200000);
+  const uint64_t seed = (uint64_t)flags.GetInt("seed", 42);
+  const std::string workload_name = flags.GetString("workload", "randwrite");
+
+  std::unique_ptr<Workload> workload;
+  if (workload_name == "seqwrite") {
+    workload = std::make_unique<SequentialWorkload>(IoKind::kWrite, 0, lba_space, true);
+  } else if (workload_name == "randwrite") {
+    workload = std::make_unique<RandomWorkload>(IoKind::kWrite, lba_space, seed);
+  } else if (workload_name == "randread") {
+    workload = std::make_unique<RandomWorkload>(IoKind::kRead, lba_space, seed);
+  } else if (workload_name == "mixed") {
+    workload = std::make_unique<MixedWorkload>(flags.GetDouble("read_frac", 0.5),
+                                               lba_space, seed);
+  } else if (workload_name == "zipf") {
+    workload = std::make_unique<ZipfWorkload>(IoKind::kWrite, lba_space,
+                                              flags.GetDouble("zipf_theta", 0.9), seed);
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload_name.c_str());
+    return 2;
+  }
+
+  if (workload_name == "randread" || workload_name == "mixed") {
+    std::printf("prefilling %llu blocks for reads...\n", (unsigned long long)lba_space);
+    FtlTarget target(ftl.get());
+    Runner prefill(&target, &clock, config.nand.page_size_bytes);
+    SequentialWorkload fill(IoKind::kWrite, 0, lba_space);
+    RunOptions fill_options;
+    fill_options.queue_depth = 16;
+    auto filled = prefill.Run(&fill, lba_space, fill_options);
+    IOSNAP_CHECK(filled.ok());
+    clock.AdvanceTo(filled->drain_end_ns);
+  }
+
+  // Snapshot cadence + rotation via the runner's per-op hook.
+  const uint64_t snapshot_every = (uint64_t)flags.GetInt("snapshot_every", 0);
+  const size_t keep = (size_t)flags.GetInt("keep_snapshots", 4);
+  std::vector<uint32_t> live_snaps;
+  RunOptions options;
+  options.queue_depth = (uint64_t)flags.GetInt("qd", 1);
+  options.record_timeline = flags.GetBool("timeline", false);
+  if (snapshot_every > 0 && config.snapshots_enabled) {
+    options.after_op = [&](uint64_t index, uint64_t now_ns) {
+      if ((index + 1) % snapshot_every != 0) {
+        return;
+      }
+      while (live_snaps.size() >= keep) {
+        IOSNAP_CHECK_OK(ftl->DeleteSnapshot(live_snaps.front(), now_ns).status());
+        live_snaps.erase(live_snaps.begin());
+      }
+      auto snap = ftl->CreateSnapshot("auto-" + std::to_string(index + 1), now_ns);
+      IOSNAP_CHECK_OK(snap.status());
+      live_snaps.push_back(snap->snap_id);
+    };
+  }
+
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+  auto result = runner.Run(workload.get(), ops, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintStats(*ftl, *result);
+  if (!live_snaps.empty()) {
+    std::printf("--- live snapshots ---------------------------------------\n");
+    for (uint32_t snap : live_snaps) {
+      auto space = ftl->SnapshotSpaceReport(snap);
+      auto info = ftl->snapshot_tree().Get(snap);
+      IOSNAP_CHECK(space.ok() && info.ok());
+      std::printf("  %u (\"%s\"): %llu referenced, %llu exclusive pages\n", snap,
+                  info->name.c_str(), (unsigned long long)space->referenced_pages,
+                  (unsigned long long)space->exclusive_pages);
+    }
+  }
+
+  if (flags.GetBool("activate_last", false) && !live_snaps.empty()) {
+    const uint64_t start = clock.NowNs();
+    uint64_t finish = start;
+    auto view = ftl->ActivateBlocking(live_snaps.back(), start, false, &finish);
+    IOSNAP_CHECK_OK(view.status());
+    clock.AdvanceTo(finish);
+    std::printf("activated snapshot %u in %.2f ms (%llu map entries)\n",
+                live_snaps.back(), NsToMs(finish - start),
+                (unsigned long long)*ftl->ViewMapEntryCount(*view));
+    IOSNAP_CHECK_OK(ftl->Deactivate(*view, clock.NowNs()));
+  }
+
+  if (flags.GetBool("timeline", false)) {
+    std::printf("\nlatency timeline (100 ms buckets):\n%s",
+                result->timeline.ToCsv(MsToNs(100), "t_sec", "lat_us").c_str());
+  }
+
+  if (flags.GetBool("crash_and_recover", false)) {
+    std::printf("\nsimulating crash + reopen...\n");
+    std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
+    const uint64_t start = clock.NowNs();
+    uint64_t finish = start;
+    auto reopened = Ftl::Open(config, std::move(media), start, &finish);
+    IOSNAP_CHECK(reopened.ok());
+    ftl = std::move(reopened).value();
+    std::printf("recovered in %.2f ms: %llu mapped blocks, %zu live snapshots\n",
+                NsToMs(finish - start),
+                (unsigned long long)*ftl->ViewMapEntryCount(kPrimaryView),
+                ftl->snapshot_tree().LiveSnapshotIds().size());
+  } else if (flags.GetBool("checkpoint", false)) {
+    std::printf("\ncheckpoint + clean reopen...\n");
+    IOSNAP_CHECK_OK(ftl->CheckpointAndClose(clock.NowNs()));
+    std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
+    const uint64_t start = clock.NowNs();
+    uint64_t finish = start;
+    auto reopened = Ftl::Open(config, std::move(media), start, &finish);
+    IOSNAP_CHECK(reopened.ok());
+    ftl = std::move(reopened).value();
+    std::printf("reopened from checkpoint in %.2f ms\n", NsToMs(finish - start));
+  }
+  return 0;
+}
