@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitmap_cow.dir/bench_ablation_bitmap_cow.cc.o"
+  "CMakeFiles/bench_ablation_bitmap_cow.dir/bench_ablation_bitmap_cow.cc.o.d"
+  "bench_ablation_bitmap_cow"
+  "bench_ablation_bitmap_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitmap_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_archive_destage.dir/bench_archive_destage.cc.o"
+  "CMakeFiles/bench_archive_destage.dir/bench_archive_destage.cc.o.d"
+  "bench_archive_destage"
+  "bench_archive_destage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_archive_destage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

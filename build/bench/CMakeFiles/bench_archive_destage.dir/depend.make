@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_archive_destage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_create_latency_vs_btrfs.dir/bench_fig11_create_latency_vs_btrfs.cc.o"
+  "CMakeFiles/bench_fig11_create_latency_vs_btrfs.dir/bench_fig11_create_latency_vs_btrfs.cc.o.d"
+  "bench_fig11_create_latency_vs_btrfs"
+  "bench_fig11_create_latency_vs_btrfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_create_latency_vs_btrfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_activation_ratelimit.dir/bench_fig9_activation_ratelimit.cc.o"
+  "CMakeFiles/bench_fig9_activation_ratelimit.dir/bench_fig9_activation_ratelimit.cc.o.d"
+  "bench_fig9_activation_ratelimit"
+  "bench_fig9_activation_ratelimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_activation_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

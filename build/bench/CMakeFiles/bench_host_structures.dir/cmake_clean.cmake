@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_structures.dir/bench_host_structures.cc.o"
+  "CMakeFiles/bench_host_structures.dir/bench_host_structures.cc.o.d"
+  "bench_host_structures"
+  "bench_host_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

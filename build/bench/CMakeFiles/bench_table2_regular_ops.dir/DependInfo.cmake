@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_regular_ops.cc" "bench/CMakeFiles/bench_table2_regular_ops.dir/bench_table2_regular_ops.cc.o" "gcc" "bench/CMakeFiles/bench_table2_regular_ops.dir/bench_table2_regular_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/iosnap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosnap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iosnap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/iosnap_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/iosnap_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iosnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cleaning.dir/bench_table4_cleaning.cc.o"
+  "CMakeFiles/bench_table4_cleaning.dir/bench_table4_cleaning.cc.o.d"
+  "bench_table4_cleaning"
+  "bench_table4_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

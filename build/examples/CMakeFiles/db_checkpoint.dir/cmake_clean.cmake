@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_checkpoint.dir/db_checkpoint.cpp.o"
+  "CMakeFiles/db_checkpoint.dir/db_checkpoint.cpp.o.d"
+  "db_checkpoint"
+  "db_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_backup.dir/tiered_backup.cpp.o"
+  "CMakeFiles/tiered_backup.dir/tiered_backup.cpp.o.d"
+  "tiered_backup"
+  "tiered_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_fork.dir/volume_fork.cpp.o"
+  "CMakeFiles/volume_fork.dir/volume_fork.cpp.o.d"
+  "volume_fork"
+  "volume_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

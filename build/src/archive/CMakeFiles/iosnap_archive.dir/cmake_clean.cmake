@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_archive.dir/archive_store.cc.o"
+  "CMakeFiles/iosnap_archive.dir/archive_store.cc.o.d"
+  "CMakeFiles/iosnap_archive.dir/snapshot_archiver.cc.o"
+  "CMakeFiles/iosnap_archive.dir/snapshot_archiver.cc.o.d"
+  "libiosnap_archive.a"
+  "libiosnap_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_baseline.dir/cow_store.cc.o"
+  "CMakeFiles/iosnap_baseline.dir/cow_store.cc.o.d"
+  "libiosnap_baseline.a"
+  "libiosnap_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

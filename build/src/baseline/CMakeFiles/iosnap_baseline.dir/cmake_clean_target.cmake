@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiosnap_baseline.a"
+)

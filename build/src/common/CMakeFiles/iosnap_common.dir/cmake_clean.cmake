@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_common.dir/bitmap.cc.o"
+  "CMakeFiles/iosnap_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/iosnap_common.dir/flags.cc.o"
+  "CMakeFiles/iosnap_common.dir/flags.cc.o.d"
+  "CMakeFiles/iosnap_common.dir/logging.cc.o"
+  "CMakeFiles/iosnap_common.dir/logging.cc.o.d"
+  "CMakeFiles/iosnap_common.dir/rng.cc.o"
+  "CMakeFiles/iosnap_common.dir/rng.cc.o.d"
+  "CMakeFiles/iosnap_common.dir/stats.cc.o"
+  "CMakeFiles/iosnap_common.dir/stats.cc.o.d"
+  "CMakeFiles/iosnap_common.dir/status.cc.o"
+  "CMakeFiles/iosnap_common.dir/status.cc.o.d"
+  "libiosnap_common.a"
+  "libiosnap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

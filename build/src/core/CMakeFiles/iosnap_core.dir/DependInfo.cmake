@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activation.cc" "src/core/CMakeFiles/iosnap_core.dir/activation.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/activation.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/iosnap_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/ftl.cc" "src/core/CMakeFiles/iosnap_core.dir/ftl.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/ftl.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/iosnap_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/segment_cleaner.cc" "src/core/CMakeFiles/iosnap_core.dir/segment_cleaner.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/segment_cleaner.cc.o.d"
+  "/root/repo/src/core/snapshot_tree.cc" "src/core/CMakeFiles/iosnap_core.dir/snapshot_tree.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/snapshot_tree.cc.o.d"
+  "/root/repo/src/core/trim_summary.cc" "src/core/CMakeFiles/iosnap_core.dir/trim_summary.cc.o" "gcc" "src/core/CMakeFiles/iosnap_core.dir/trim_summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iosnap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/iosnap_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/iosnap_ftl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_core.dir/activation.cc.o"
+  "CMakeFiles/iosnap_core.dir/activation.cc.o.d"
+  "CMakeFiles/iosnap_core.dir/checkpoint.cc.o"
+  "CMakeFiles/iosnap_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/iosnap_core.dir/ftl.cc.o"
+  "CMakeFiles/iosnap_core.dir/ftl.cc.o.d"
+  "CMakeFiles/iosnap_core.dir/recovery.cc.o"
+  "CMakeFiles/iosnap_core.dir/recovery.cc.o.d"
+  "CMakeFiles/iosnap_core.dir/segment_cleaner.cc.o"
+  "CMakeFiles/iosnap_core.dir/segment_cleaner.cc.o.d"
+  "CMakeFiles/iosnap_core.dir/snapshot_tree.cc.o"
+  "CMakeFiles/iosnap_core.dir/snapshot_tree.cc.o.d"
+  "CMakeFiles/iosnap_core.dir/trim_summary.cc.o"
+  "CMakeFiles/iosnap_core.dir/trim_summary.cc.o.d"
+  "libiosnap_core.a"
+  "libiosnap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

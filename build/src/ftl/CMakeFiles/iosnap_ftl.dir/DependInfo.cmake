@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/btree.cc" "src/ftl/CMakeFiles/iosnap_ftl.dir/btree.cc.o" "gcc" "src/ftl/CMakeFiles/iosnap_ftl.dir/btree.cc.o.d"
+  "/root/repo/src/ftl/log_manager.cc" "src/ftl/CMakeFiles/iosnap_ftl.dir/log_manager.cc.o" "gcc" "src/ftl/CMakeFiles/iosnap_ftl.dir/log_manager.cc.o.d"
+  "/root/repo/src/ftl/validity_map.cc" "src/ftl/CMakeFiles/iosnap_ftl.dir/validity_map.cc.o" "gcc" "src/ftl/CMakeFiles/iosnap_ftl.dir/validity_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iosnap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/iosnap_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

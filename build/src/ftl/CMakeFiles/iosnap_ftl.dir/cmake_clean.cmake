@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_ftl.dir/btree.cc.o"
+  "CMakeFiles/iosnap_ftl.dir/btree.cc.o.d"
+  "CMakeFiles/iosnap_ftl.dir/log_manager.cc.o"
+  "CMakeFiles/iosnap_ftl.dir/log_manager.cc.o.d"
+  "CMakeFiles/iosnap_ftl.dir/validity_map.cc.o"
+  "CMakeFiles/iosnap_ftl.dir/validity_map.cc.o.d"
+  "libiosnap_ftl.a"
+  "libiosnap_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

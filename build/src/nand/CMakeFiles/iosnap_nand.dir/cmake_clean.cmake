@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_nand.dir/nand_device.cc.o"
+  "CMakeFiles/iosnap_nand.dir/nand_device.cc.o.d"
+  "libiosnap_nand.a"
+  "libiosnap_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/iosnap_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/iosnap_workload.dir/runner.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/iosnap_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/iosnap_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iosnap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/iosnap_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/iosnap_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iosnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_workload.dir/runner.cc.o"
+  "CMakeFiles/iosnap_workload.dir/runner.cc.o.d"
+  "CMakeFiles/iosnap_workload.dir/workload.cc.o"
+  "CMakeFiles/iosnap_workload.dir/workload.cc.o.d"
+  "libiosnap_workload.a"
+  "libiosnap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

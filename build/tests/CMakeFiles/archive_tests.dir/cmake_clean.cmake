@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_tests.dir/archive/archive_test.cc.o"
+  "CMakeFiles/archive_tests.dir/archive/archive_test.cc.o.d"
+  "archive_tests"
+  "archive_tests.pdb"
+  "archive_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

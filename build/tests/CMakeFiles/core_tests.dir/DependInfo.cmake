@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/activation_test.cc" "tests/CMakeFiles/core_tests.dir/core/activation_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/activation_test.cc.o.d"
+  "/root/repo/tests/core/cleaner_test.cc" "tests/CMakeFiles/core_tests.dir/core/cleaner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cleaner_test.cc.o.d"
+  "/root/repo/tests/core/ftl_basic_test.cc" "tests/CMakeFiles/core_tests.dir/core/ftl_basic_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ftl_basic_test.cc.o.d"
+  "/root/repo/tests/core/geometry_test.cc" "tests/CMakeFiles/core_tests.dir/core/geometry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/geometry_test.cc.o.d"
+  "/root/repo/tests/core/recovery_test.cc" "tests/CMakeFiles/core_tests.dir/core/recovery_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/recovery_test.cc.o.d"
+  "/root/repo/tests/core/rollback_test.cc" "tests/CMakeFiles/core_tests.dir/core/rollback_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rollback_test.cc.o.d"
+  "/root/repo/tests/core/snapshot_test.cc" "tests/CMakeFiles/core_tests.dir/core/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/snapshot_test.cc.o.d"
+  "/root/repo/tests/core/snapshot_tree_test.cc" "tests/CMakeFiles/core_tests.dir/core/snapshot_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/snapshot_tree_test.cc.o.d"
+  "/root/repo/tests/core/trim_summary_test.cc" "tests/CMakeFiles/core_tests.dir/core/trim_summary_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/trim_summary_test.cc.o.d"
+  "/root/repo/tests/core/wear_leveling_test.cc" "tests/CMakeFiles/core_tests.dir/core/wear_leveling_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wear_leveling_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/iosnap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/iosnap_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iosnap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iosnap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/iosnap_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/iosnap_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iosnap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/activation_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/activation_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/cleaner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cleaner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/ftl_basic_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ftl_basic_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/geometry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/geometry_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/recovery_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/recovery_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rollback_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rollback_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/snapshot_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/snapshot_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/snapshot_tree_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/snapshot_tree_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/trim_summary_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/trim_summary_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/wear_leveling_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/wear_leveling_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

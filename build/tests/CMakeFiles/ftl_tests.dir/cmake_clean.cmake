@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_tests.dir/ftl/btree_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/btree_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/log_manager_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/log_manager_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/rate_limiter_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/rate_limiter_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/validity_map_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/validity_map_test.cc.o.d"
+  "ftl_tests"
+  "ftl_tests.pdb"
+  "ftl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

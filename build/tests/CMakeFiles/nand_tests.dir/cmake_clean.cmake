@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_tests.dir/nand/nand_device_test.cc.o"
+  "CMakeFiles/nand_tests.dir/nand/nand_device_test.cc.o.d"
+  "nand_tests"
+  "nand_tests.pdb"
+  "nand_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosnap_sim.dir/iosnap_sim.cc.o"
+  "CMakeFiles/iosnap_sim.dir/iosnap_sim.cc.o.d"
+  "iosnap_sim"
+  "iosnap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosnap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
