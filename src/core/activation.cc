@@ -45,13 +45,17 @@ StatusOr<uint64_t> ActivationTask::ScanOneSegment(uint64_t now_ns) {
   std::vector<std::pair<uint64_t, PageHeader>> headers;
   ASSIGN_OR_RETURN(NandOp op, ftl_->device_->ScanSegmentHeaders(seg, now_ns, &headers));
   ++ftl_->stats_.activation_segments_scanned;
+  // The scan walks the segment in paddr order, so a chunk-caching cursor resolves the
+  // filter epoch's chunk once per chunk instead of once per page. No validity mutation
+  // can interleave within this scan, so the cursor's cached chunk stays valid.
+  ValidityMap::EpochReader reader(ftl_->validity_, filter_epoch_);
   for (const auto& [paddr, header] : headers) {
     if (header.type != RecordType::kData) {
       continue;
     }
     // The snapshot's frozen validity bitmap is the exact membership test (§5.6): one
     // valid physical page per LBA, wherever the cleaner may have moved it.
-    if (ftl_->validity_.Test(filter_epoch_, paddr)) {
+    if (reader.Test(paddr)) {
       entries_.emplace_back(header.lba, paddr);
     }
   }

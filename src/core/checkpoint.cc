@@ -23,6 +23,8 @@ std::vector<uint8_t> SerializeCheckpoint(const CheckpointState& state) {
     PutU64(&out, paddr);
   }
 
+  // One valid-paddr set per live epoch. Open replays these through SetValid, which also
+  // rebuilds the incremental utilization counters — no counter state is serialized.
   PutU32(&out, static_cast<uint32_t>(state.validity.size()));
   for (const auto& [epoch, paddrs] : state.validity) {
     PutU32(&out, epoch);

@@ -25,7 +25,7 @@ Ftl::Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device)
       device_(std::move(device)),
       log_(device_.get(), config.gc_reserve_segments),
       validity_(config.nand.TotalPages(), config.validity_chunk_bits,
-                config.naive_validity_copy),
+                config.naive_validity_copy, config.nand.pages_per_segment),
       lba_count_(config.LbaCount()),
       gc_idle_limiter_(RateLimit::Of(100, 5)) {}
 
@@ -88,6 +88,11 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
   }
 
   ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
+#ifndef NDEBUG
+  // The per-segment utilization counters were rebuilt implicitly by the SetValid replay
+  // above; cross-check them against a from-scratch recount in debug builds.
+  IOSNAP_CHECK(ftl->validity_.VerifyCounters());
+#endif
   if (recovery_finish_ns != nullptr) {
     *recovery_finish_ns = state.finish_ns;
   }
@@ -350,6 +355,7 @@ StatusOr<SnapshotOpResult> Ftl::CreateSnapshot(std::string name, uint64_t issue_
   const uint64_t cow_bytes = validity_.ForkEpoch(new_epoch, frozen_epoch);
   active_epoch_ = new_epoch;
   FindView(kPrimaryView)->epoch = new_epoch;
+  ++epoch_set_version_;
 
   ++stats_.snapshots_created;
 
@@ -381,6 +387,7 @@ StatusOr<IoResult> Ftl::DeleteSnapshot(uint32_t snap_id, uint64_t issue_ns) {
   // The frozen validity view goes away; shared chunks survive via their other refs and
   // the epoch's exclusive blocks become garbage at the next clean of their segments.
   validity_.DropEpoch(info.epoch);
+  ++epoch_set_version_;
   ++stats_.snapshots_deleted;
 
   IoResult result;
@@ -419,6 +426,7 @@ StatusOr<uint64_t> Ftl::RollbackToSnapshot(uint32_t snap_id, uint64_t issue_ns) 
   primary->epoch = new_epoch;
   primary->ready = false;
   active_epoch_ = new_epoch;
+  ++epoch_set_version_;
 
   // Rebuild the primary forward map with the standard activation scan (same cost
   // profile, same compact bulk-loaded result).
@@ -476,6 +484,7 @@ StatusOr<uint32_t> Ftl::BeginActivation(uint32_t snap_id, RateLimit limit, uint6
   // the view never disturb the snapshot itself.
   const uint32_t view_epoch = tree_.NewEpoch(info.epoch);
   validity_.ForkEpoch(view_epoch, info.epoch);
+  ++epoch_set_version_;
 
   View view;
   view.view_id = next_view_id_++;
@@ -531,6 +540,7 @@ Status Ftl::Deactivate(uint32_t view_id, uint64_t issue_ns) {
   MaybeClearRelocations();
   validity_.DropEpoch(view->epoch);
   views_.erase(view_id);
+  ++epoch_set_version_;
   ++stats_.deactivations;
   return OkStatus();
 }

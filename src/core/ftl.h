@@ -220,6 +220,10 @@ class Ftl {
   uint64_t seq_counter_ = 0;
   uint32_t active_epoch_ = kRootEpoch;
   uint32_t next_view_id_ = 1;
+  // Bumped whenever the live-epoch set changes (snapshot create/delete, activation
+  // begin/end, rollback). The cleaner keys its per-victim caches (live-epoch list,
+  // lineage-filtered view lists) off this so they refresh exactly when stale.
+  uint64_t epoch_set_version_ = 0;
   std::map<uint32_t, View> views_;
 
   std::unique_ptr<SegmentCleaner> cleaner_;

@@ -31,7 +31,11 @@ struct FtlStats {
   uint64_t gc_summaries_written = 0;   // Consolidated tree-summary records written.
   uint64_t gc_inline_stalls = 0;       // Writes that had to clean synchronously.
   uint64_t gc_wear_level_cleans = 0;   // Victims chosen by static wear leveling.
+  uint64_t gc_victim_selections = 0;   // SelectVictim passes (utilization-counter scans).
   uint64_t gc_merge_host_ns = 0;       // Host time spent merging validity maps (Table 4).
+                                       // With incremental utilization counters this is
+                                       // the residual plane-rebuild/range-recount work,
+                                       // not full per-candidate merges.
   uint64_t gc_total_host_ns = 0;       // All cleaner host time.
   uint64_t gc_device_busy_ns = 0;      // Device time consumed by cleaning traffic.
 

@@ -351,6 +351,10 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
     }
   }
 
+  // Exactly the live epochs get a validity set: Ftl::Open replays them through
+  // ValidityMap::SetValid, which both reconstructs the per-epoch bitmaps and rebuilds
+  // the incremental per-segment utilization counters (the counters cover the map's
+  // registered epoch set, which must equal the FTL's live-epoch set).
   std::unordered_set<uint32_t> capture_epochs;
   for (uint32_t epoch : out.tree.LiveSnapshotEpochs()) {
     capture_epochs.insert(epoch);

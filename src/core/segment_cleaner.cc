@@ -27,9 +27,11 @@ std::optional<uint64_t> SegmentCleaner::SelectVictim(uint64_t now_ns) {
   if (candidates.empty()) {
     return std::nullopt;
   }
-  const std::vector<uint32_t> live = ftl_->LiveEpochs();
   const uint64_t pages_per_segment = ftl_->config_.nand.pages_per_segment;
+  ++ftl_->stats_.gc_victim_selections;
 
+  // Utilization reads below are O(1) counter lookups; the delta still charges the
+  // residual merge work (lazy range recounts after epoch drops) as host time.
   const uint64_t merge_visits_before = ftl_->validity_.stats().merge_chunk_visits;
 
   uint64_t newest_use_order = 0;
@@ -53,9 +55,8 @@ std::optional<uint64_t> SegmentCleaner::SelectVictim(uint64_t now_ns) {
   std::optional<uint64_t> best;
   double best_score = -std::numeric_limits<double>::infinity();
   for (uint64_t seg : candidates) {
-    const uint64_t first = ftl_->device_->FirstPageOf(seg);
-    const uint64_t valid =
-        ftl_->validity_.CountValidInRange(live, first, first + pages_per_segment);
+    // Counter ranges are segment-sized, so range index == segment index.
+    const uint64_t valid = ftl_->validity_.MergedValidCount(seg);
     if (valid >= pages_per_segment) {
       continue;  // Nothing reclaimable here.
     }
@@ -96,10 +97,7 @@ std::optional<uint64_t> SegmentCleaner::SelectVictim(uint64_t now_ns) {
 }
 
 std::optional<uint64_t> SegmentCleaner::WearLevelingCandidate() const {
-  uint64_t max_erase = 0;
-  for (uint64_t seg = 0; seg < ftl_->config_.nand.num_segments; ++seg) {
-    max_erase = std::max(max_erase, ftl_->device_->EraseCount(seg));
-  }
+  const uint64_t max_erase = ftl_->device_->MaxEraseCount();
   std::optional<uint64_t> coldest;
   uint64_t coldest_erase = ~uint64_t{0};
   for (uint64_t seg : ftl_->log_.ClosedSegments()) {
@@ -158,15 +156,14 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   }
 
   // Pacing estimate (Fig 10 knob): merged validity when snapshot-aware, the active
-  // epoch's validity only under the vanilla rate policy.
-  const uint64_t first = ftl_->device_->FirstPageOf(*seg);
-  const uint64_t last = first + ftl_->config_.nand.pages_per_segment;
+  // epoch's validity only under the vanilla rate policy. Both are now counter reads
+  // over the victim's segment-sized range.
   const uint64_t merge_visits_before = ftl_->validity_.stats().merge_chunk_visits;
   if (ftl_->config_.snapshot_aware_gc_rate) {
-    victim.pacing_estimate = ftl_->validity_.CountValidInRange(ftl_->LiveEpochs(), first, last);
+    victim.pacing_estimate = ftl_->validity_.MergedValidCount(*seg);
   } else {
     victim.pacing_estimate =
-        ftl_->validity_.CountValidInRange(ftl_->FindView(kPrimaryView)->epoch, first, last);
+        ftl_->validity_.EpochValidCount(ftl_->FindView(kPrimaryView)->epoch, *seg);
   }
   const uint64_t merge_visits =
       ftl_->validity_.stats().merge_chunk_visits - merge_visits_before;
@@ -178,7 +175,38 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   return true;
 }
 
-bool SegmentCleaner::TrimStillNeeded(uint32_t epoch, uint64_t seq) const {
+void SegmentCleaner::RefreshEpochCaches() {
+  if (victim_->epoch_set_version == ftl_->epoch_set_version_) {
+    return;
+  }
+  victim_->live_epochs = ftl_->LiveEpochs();
+  victim_->views_for_epoch.clear();
+  victim_->epoch_set_version = ftl_->epoch_set_version_;
+}
+
+const std::vector<uint32_t>& SegmentCleaner::LiveEpochsCached() {
+  RefreshEpochCaches();
+  return victim_->live_epochs;
+}
+
+const std::vector<uint32_t>& SegmentCleaner::ViewsForEpoch(uint32_t epoch) {
+  RefreshEpochCaches();
+  auto it = victim_->views_for_epoch.find(epoch);
+  if (it == victim_->views_for_epoch.end()) {
+    // A view's forward map can only reference records whose epoch lies on the view
+    // epoch's lineage; all other views are skipped during copy-forward fix-up.
+    std::vector<uint32_t> ids;
+    for (const auto& [id, view] : ftl_->views_) {
+      if (ftl_->tree_.InLineage(view.epoch, epoch)) {
+        ids.push_back(id);
+      }
+    }
+    it = victim_->views_for_epoch.emplace(epoch, std::move(ids)).first;
+  }
+  return it->second;
+}
+
+bool SegmentCleaner::TrimStillNeeded(uint32_t epoch, uint64_t seq) {
   // A trim record must survive only while a data record it kills might still be
   // replayed. Two drop conditions: (1) the record is older than every surviving data
   // record (it kills nothing); (2) its epoch is on no live epoch's lineage (dead
@@ -186,7 +214,7 @@ bool SegmentCleaner::TrimStillNeeded(uint32_t epoch, uint64_t seq) const {
   if (seq < victim_->trim_retention_seq) {
     return false;
   }
-  for (uint32_t live : ftl_->LiveEpochs()) {
+  for (uint32_t live : LiveEpochsCached()) {
     if (ftl_->tree_.InLineage(live, epoch)) {
       return true;
     }
@@ -236,10 +264,12 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
 
   switch (header.type) {
     case RecordType::kData: {
-      const std::vector<uint32_t> live = ftl_->LiveEpochs();
-      if (!ftl_->validity_.TestAny(live, paddr)) {
+      // Liveness under the merged view, served from the cached merge plane (the
+      // ValidityMap's epoch set is exactly the live-epoch set).
+      if (!ftl_->validity_.MergedTest(paddr)) {
         return now_ns;  // Invalid in every live epoch: drop.
       }
+      const std::vector<uint32_t>& live = LiveEpochsCached();
       // Copy-forward with the original identity (lba, epoch, seq).
       std::vector<uint8_t> data;
       ASSIGN_OR_RETURN(NandOp read_op, ftl_->device_->ReadPage(paddr, now_ns, nullptr, &data));
@@ -259,11 +289,13 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
         ftl_->gc_relocations_.emplace_back(header.lba, ar.paddr);
       }
 
-      // Fix any view whose forward map pointed at the old location.
-      for (auto& [id, view] : ftl_->views_) {
-        const std::optional<uint64_t> mapped = view.map.Lookup(header.lba);
+      // Fix any view whose forward map pointed at the old location — only views whose
+      // epoch lineage can reference this record's epoch need consulting.
+      for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
+        auto* view = ftl_->FindView(view_id);
+        const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
         if (mapped.has_value() && *mapped == paddr) {
-          view.map.Insert(header.lba, ar.paddr);
+          view->map.Insert(header.lba, ar.paddr);
         }
       }
 

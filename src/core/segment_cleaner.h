@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -78,10 +79,25 @@ class SegmentCleaner {
     // Still-needed trim records gathered from the victim (single notes and entries of
     // older kTrimSummary pages); compacted into fresh summary pages at completion.
     std::vector<TrimEntry> live_trims;
+    // Per-victim caches keyed off the FTL's epoch-set version: the live-epoch list
+    // (instead of a fresh tree walk per page) and, per record epoch, the views whose
+    // lineage can reference that epoch (the only forward maps a copy-forward of such a
+    // record can invalidate). Refreshed lazily when the version moves — snapshot
+    // create/delete or view changes mid-victim.
+    uint64_t epoch_set_version = ~uint64_t{0};
+    std::vector<uint32_t> live_epochs;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> views_for_epoch;
   };
 
+  // Drops stale per-victim epoch caches when the FTL's epoch set changed.
+  void RefreshEpochCaches();
+  // The live-epoch list, cached per victim (see Victim::live_epochs).
+  const std::vector<uint32_t>& LiveEpochsCached();
+  // View ids whose epoch lineage includes `epoch`, cached per victim.
+  const std::vector<uint32_t>& ViewsForEpoch(uint32_t epoch);
+
   // True if a trim record must be kept (see Victim::trim_retention_seq).
-  bool TrimStillNeeded(uint32_t epoch, uint64_t seq) const;
+  bool TrimStillNeeded(uint32_t epoch, uint64_t seq);
 
   // Writes the victim's gathered trims as dense summary pages. Returns device finish.
   StatusOr<uint64_t> FlushTrimSummaries(uint64_t now_ns);

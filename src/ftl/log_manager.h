@@ -33,6 +33,10 @@ struct SegmentInfo {
   // Data pages per epoch ever appended to this segment since its last erase — a
   // conservative superset of what is still valid. Used by the epoch-colocation policy and
   // the activation segment index (ablation A3), both of which tolerate over-counting.
+  // Exact per-segment *valid* counts live in ValidityMap's utilization accounting
+  // (MergedValidCount/EpochValidCount, segment-sized ranges), not here: validity flips on
+  // overwrite/trim/GC-move without any log append, so the bitmap layer is the only place
+  // that can maintain them incrementally.
   std::map<uint32_t, uint32_t> epoch_pages;
 };
 

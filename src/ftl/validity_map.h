@@ -15,6 +15,29 @@
 // Mutation rule: a chunk may be modified in place only if this epoch holds the unique
 // reference; otherwise the chunk is copied first. A uniquely-held chunk inherited from a
 // since-dropped epoch is safely adopted without copying.
+//
+// Cleaner-side queries are O(1)-amortised via two cooperating structures maintained
+// incrementally by every mutation (see DESIGN.md "Utilization accounting"):
+//
+//   * Per-range utilization counters. The device is divided into fixed page ranges
+//     (the FTL uses one range per NAND segment). For every range we keep the number of
+//     pages valid under the *merged* view (OR of all registered epochs — the epoch set
+//     here is exactly the FTL's live-epoch set) and, per epoch, the number of pages valid
+//     in that epoch alone. Victim selection and GC pacing read these counters instead of
+//     merging bitmaps. DropEpoch may retire the last reference to a chunk whose bits then
+//     leave the merged view; rather than recomputing eagerly, the overlapping ranges are
+//     marked dirty and lazily recounted from the distinct-chunk registry on next read.
+//
+//   * A distinct-chunk registry + cached merge planes. For each chunk index the registry
+//     tracks the set of distinct chunk objects referenced by any epoch (with reference
+//     counts), so merged point queries cost O(distinct versions) — typically 1 — instead
+//     of O(epochs). On top of it, each index caches a "merge plane": the OR of all
+//     distinct chunks, kept up to date in place by bit flips and invalidated only when a
+//     chunk object leaves the registry with live bits (epoch drop). MergedTest — the
+//     cleaner's per-page liveness test — is a cached-plane bit test.
+//
+// Counters and registry are exact at all times; VerifyCounters() cross-checks them
+// against a from-scratch recount (used by tests and debug builds).
 
 #ifndef SRC_FTL_VALIDITY_MAP_H_
 #define SRC_FTL_VALIDITY_MAP_H_
@@ -36,17 +59,25 @@ struct ValidityStats {
   uint64_t cow_bytes_copied = 0;   // Total bytes those copies moved.
   uint64_t chunk_allocations = 0;  // Fresh (zero-filled) chunks allocated.
   uint64_t merge_chunk_visits = 0; // Chunk visits performed by merge queries (Table 4).
+  uint64_t merge_plane_rebuilds = 0;  // Cached merge planes recomputed from chunks.
+  uint64_t merge_plane_hits = 0;      // MergedTest answered from a cached plane.
+  uint64_t range_recounts = 0;        // Dirty utilization ranges lazily recounted.
 };
 
 class ValidityMap {
  public:
   // `total_pages`: physical pages covered. `chunk_bits`: pages covered per chunk.
   // `naive_full_copy`: reproduce the paper's rejected design — deep-copy every chunk at
-  // fork time (ablation A4).
-  ValidityMap(uint64_t total_pages, uint64_t chunk_bits, bool naive_full_copy = false);
+  // fork time (ablation A4). `counter_range_pages`: granularity of the per-range
+  // utilization counters (the FTL passes pages_per_segment; 0 = one range for the whole
+  // device).
+  ValidityMap(uint64_t total_pages, uint64_t chunk_bits, bool naive_full_copy = false,
+              uint64_t counter_range_pages = 0);
 
   uint64_t total_pages() const { return total_pages_; }
   uint64_t chunk_bits() const { return chunk_bits_; }
+  uint64_t range_pages() const { return range_pages_; }
+  uint64_t NumRanges() const { return (total_pages_ + range_pages_ - 1) / range_pages_; }
 
   // --- Epoch lifecycle ---
 
@@ -77,6 +108,11 @@ class ValidityMap {
   // True if the bit is set in any of the listed epochs (missing epochs are skipped).
   bool TestAny(const std::vector<uint32_t>& epochs, uint64_t paddr) const;
 
+  // True if the bit is set in *any registered epoch* (the merged live view). Served from
+  // the cached merge plane of the page's chunk — the segment cleaner's per-page liveness
+  // test (§5.4.3) without per-epoch chunk walks.
+  bool MergedTest(uint64_t paddr) const;
+
   // --- Merge queries (segment cleaner, activation) ---
 
   // OR of the given epochs' validity over physical pages [begin, end); result bit i
@@ -86,6 +122,21 @@ class ValidityMap {
   size_t CountValidInRange(const std::vector<uint32_t>& epochs, uint64_t begin,
                            uint64_t end) const;
   size_t CountValidInRange(uint32_t epoch, uint64_t begin, uint64_t end) const;
+
+  // --- Utilization counters (O(1)-amortised cleaner accounting) ---
+
+  // Pages valid under the merged view in counter range `range_index`. Counter read;
+  // lazily recounts the range only if an epoch drop dirtied it.
+  uint64_t MergedValidCount(uint64_t range_index) const;
+
+  // Pages valid in `epoch` alone within the range (vanilla GC rate policy). Exact
+  // counter read; returns 0 for unknown epochs.
+  uint64_t EpochValidCount(uint32_t epoch, uint64_t range_index) const;
+
+  // Cross-checks every incremental structure (per-epoch counters, merged counters,
+  // distinct-chunk registry, cached planes) against a from-scratch recount. Returns
+  // false and logs details on any mismatch. O(epochs x chunks); debug/test use only.
+  bool VerifyCounters() const;
 
   // Moves a valid bit from `from` to `to` in every listed epoch that has it set (segment
   // cleaner copy-forward fix-up, §5.4.3 "move and reset validity bits"). Returns bytes
@@ -106,6 +157,23 @@ class ValidityMap {
   // from scratch on load, so we only expose enumeration of set bits per epoch.
   void ForEachValid(uint32_t epoch, const std::function<void(uint64_t paddr)>& fn) const;
 
+  // Chunk-caching membership cursor over a single epoch: consecutive Test calls with
+  // nearby addresses (activation's sequential segment scans) reuse the resolved chunk
+  // instead of re-walking the chunk table per page. The cursor caches a raw chunk
+  // pointer, so it must not outlive any mutation of the map — create one per scan.
+  class EpochReader {
+   public:
+    EpochReader(const ValidityMap& map, uint32_t epoch) : map_(map), epoch_(epoch) {}
+    bool Test(uint64_t paddr);
+
+   private:
+    const ValidityMap& map_;
+    uint32_t epoch_;
+    bool cached_ = false;
+    uint64_t cached_index_ = 0;
+    const Bitmap* cached_bits_ = nullptr;  // nullptr: epoch has no chunk at the index.
+  };
+
  private:
   struct Chunk {
     uint32_t owner_epoch;
@@ -115,8 +183,17 @@ class ValidityMap {
   // chunk index -> chunk. std::map keeps deterministic iteration for serialization.
   using ChunkTable = std::map<uint64_t, ChunkRef>;
 
+  // Per-chunk-index registry of distinct chunk objects (keyed by identity, valued by the
+  // number of epoch tables referencing each) plus the cached merge plane.
+  struct RegistryEntry {
+    std::unordered_map<const Chunk*, uint32_t> refs;
+    Bitmap plane;             // OR of all chunks in `refs` when plane_valid.
+    bool plane_valid = false;
+  };
+
   uint64_t ChunkIndex(uint64_t paddr) const { return paddr / chunk_bits_; }
   uint64_t BitInChunk(uint64_t paddr) const { return paddr % chunk_bits_; }
+  uint64_t RangeOf(uint64_t paddr) const { return paddr / range_pages_; }
 
   // Returns a mutable chunk for (epoch, chunk_index), performing CoW or allocation as
   // needed. `create_if_absent` controls behaviour for missing chunks (Clear on a missing
@@ -124,12 +201,41 @@ class ValidityMap {
   Chunk* MutableChunk(uint32_t epoch, uint64_t chunk_index, bool create_if_absent,
                       uint64_t* cow_bytes);
 
+  // Registry bookkeeping: called for every epoch-table reference created or destroyed.
+  void RegistryAddRef(uint64_t chunk_index, const Chunk* chunk);
+  void RegistryDropRef(uint64_t chunk_index, const Chunk* chunk);
+
+  // True if any distinct chunk at `chunk_index` has `bit` set, scanning chunk objects
+  // (never the plane — used mid-mutation when the plane may be stale).
+  bool ScanChunksForBit(uint64_t chunk_index, uint64_t bit) const;
+
+  // Plane-accelerated variant for pre-mutation queries (plane is accurate if valid).
+  bool AnyChunkHasBit(uint64_t chunk_index, uint64_t bit) const;
+
+  // Recomputes entry's plane as the OR of its distinct chunks. Meters chunk visits.
+  void RebuildPlane(RegistryEntry* entry) const;
+
+  // Marks every counter range overlapping `chunk_index` dirty.
+  void MarkRangesDirty(uint64_t chunk_index);
+
+  // From-registry recount of one range's merged-valid pages (lazy repair path).
+  uint64_t RecountRange(uint64_t range_index) const;
+
   uint64_t ChunkBytes() const { return (chunk_bits_ + 7) / 8; }
 
   uint64_t total_pages_;
   uint64_t chunk_bits_;
   bool naive_full_copy_;
+  uint64_t range_pages_;
   std::unordered_map<uint32_t, ChunkTable> epochs_;
+  // Distinct-chunk registry + cached merge planes, by chunk index. Mutable: planes are
+  // rebuilt lazily from const queries.
+  mutable std::unordered_map<uint64_t, RegistryEntry> registry_;
+  // Per-range merged-valid counters with lazy dirty repair (see header comment).
+  mutable std::vector<uint64_t> merged_count_;
+  mutable std::vector<uint8_t> range_dirty_;
+  // Per-epoch per-range valid counters (always exact).
+  std::unordered_map<uint32_t, std::vector<uint64_t>> epoch_count_;
   // Mutable: merge queries from const contexts still meter their chunk visits (Table 4).
   mutable ValidityStats stats_;
 };

@@ -208,6 +208,7 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
   seg.erased = true;
   seg.next_page = 0;
   ++seg.erase_count;
+  max_erase_count_ = std::max(max_erase_count_, seg.erase_count);
   ++stats_.segments_erased;
 
   NandOp op;

@@ -93,6 +93,9 @@ class NandDevice {
   uint64_t NextFreePage(uint64_t segment) const;
   bool SegmentErased(uint64_t segment) const;
   uint64_t EraseCount(uint64_t segment) const;
+  // Highest per-segment erase count on the device, maintained incrementally so wear
+  // checks need not rescan every segment.
+  uint64_t MaxEraseCount() const { return max_erase_count_; }
 
   const NandStats& stats() const { return stats_; }
 
@@ -128,6 +131,7 @@ class NandDevice {
   std::vector<SegmentState> segments_;
   std::vector<uint64_t> channel_busy_until_;
   uint64_t bus_busy_until_ = 0;
+  uint64_t max_erase_count_ = 0;
   NandStats stats_;
 };
 
