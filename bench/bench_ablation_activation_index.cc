@@ -46,8 +46,9 @@ void Row(uint64_t post_snapshot_pages) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Ablation A3: activation segment index (32 MiB snapshot + growing churn)",
               "full scan cost grows with log size; the index keeps activation near-flat");
   std::printf("%12s %14s %14s %9s %10s %10s\n", "churn after", "full scan(ms)",
@@ -59,5 +60,6 @@ int main() {
   PrintRule();
   std::printf("(the skip is conservative: a segment is read unless its epoch summary\n"
               " proves it holds no lineage data)\n");
+  BenchFinish();
   return 0;
 }

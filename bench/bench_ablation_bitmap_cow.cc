@@ -41,13 +41,15 @@ void Run(bool naive) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Ablation A4: CoW validity bitmaps vs naive full copies (5 snapshots)",
               "naive creates get slower and memory multiplies; CoW stays flat");
   Run(false);
   Run(true);
   PrintRule();
   std::printf("(paper: naive would need e.g. 512 MB of bitmap per snapshot on 2 TB)\n");
+  BenchFinish();
   return 0;
 }

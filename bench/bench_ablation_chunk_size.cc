@@ -43,8 +43,9 @@ void Row(uint64_t chunk_bits) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Ablation A2: validity chunk size vs CoW cost (Fig 7 scenario)",
               "small chunks: many cheap copies; large chunks: few expensive copies"
               " (bigger worst-case write latency)");
@@ -56,5 +57,6 @@ int main() {
   }
   PrintRule();
   std::printf("(paper uses 4 KiB bitmap pages = 32768 bits per chunk)\n");
+  BenchFinish();
   return 0;
 }

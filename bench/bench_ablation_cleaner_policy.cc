@@ -92,8 +92,9 @@ void RunRow(const Row& row) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Ablation A1: cleaner segment-selection policy (Zipf 0.9, 2 rotating snaps)",
               "epoch colocation reduces intermixing; cost-benefit helps hot/cold split");
   RunRow({"greedy", CleanerPolicy::kGreedy});
@@ -101,5 +102,6 @@ int main() {
   RunRow({"epoch-coloc", CleanerPolicy::kEpochColocate});
   PrintRule();
   std::printf("(paper: policies called out as future work in sec 5.4.2)\n");
+  BenchFinish();
   return 0;
 }

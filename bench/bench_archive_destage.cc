@@ -54,8 +54,9 @@ void Row(uint64_t delta_pages) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Extension: snapshot destaging to archival storage (128 MiB base image)",
               "incremental destage cost tracks the delta, not the volume size");
   std::printf("%10s %12s %13s %12s %13s %11s\n", "churn", "full blks", "full time",
@@ -67,5 +68,6 @@ int main() {
   PrintRule();
   std::printf("(sec 7: \"schemes to destage snapshots to archival disks are required\";\n"
               " incremental time includes the two activations used to diff the maps)\n");
+  BenchFinish();
   return 0;
 }

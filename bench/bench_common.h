@@ -14,19 +14,117 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/common/sim_clock.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/core/ftl.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_bindings.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/workload/runner.h"
 #include "src/workload/workload.h"
 
 namespace iosnap {
+
+// Bench default trace window: smaller than TraceRecorder::kDefaultCapacity because the
+// bench overhead budget is tight — the end-to-end cost of --trace_out is dominated by
+// the one-time export write (~120 bytes/event of JSON), and a 32Ki-event window keeps
+// that under ~2% of a multi-second bench while still covering the measured phase
+// (prefill is untraced, see Prefill below). Override with --trace_capacity=N.
+inline constexpr size_t kBenchTraceCapacity = 1 << 15;
+
+// Shared observability state for one bench binary. Every FTL built through MustCreate
+// gets the recorder attached, so a single --trace_out captures the whole run even when
+// the bench constructs several devices back to back.
+struct BenchEnv {
+  std::string trace_out;
+  std::string metrics_out;
+  std::unique_ptr<TraceRecorder> trace;
+};
+
+inline BenchEnv& GlobalBenchEnv() {
+  static BenchEnv env;
+  return env;
+}
+
+// Parses the shared bench flags (--trace_out=, --trace_capacity=, --metrics_out=,
+// --log_level=) plus any bench-specific `extra_known` flags, rejecting typos. Call
+// first in main(); the returned Flags serves the bench's own lookups.
+inline Flags BenchInit(int argc, char** argv,
+                       const std::vector<std::string>& extra_known = {}) {
+  Flags flags = Flags::Parse(argc, argv);
+  std::vector<std::string> known = {"trace_out", "trace_capacity", "metrics_out",
+                                    "log_level"};
+  known.insert(known.end(), extra_known.begin(), extra_known.end());
+  const auto unknown = flags.UnknownFlags(known);
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    }
+    std::exit(2);
+  }
+  const std::string log_level = flags.GetString("log_level", "info");
+  const std::optional<LogLevel> parsed_level = ParseLogLevel(log_level);
+  if (!parsed_level.has_value()) {
+    std::fprintf(stderr, "unknown --log_level=%s\n", log_level.c_str());
+    std::exit(2);
+  }
+  SetLogLevel(*parsed_level);
+
+  BenchEnv& env = GlobalBenchEnv();
+  env.trace_out = flags.GetString("trace_out", "");
+  env.metrics_out = flags.GetString("metrics_out", "");
+  if (!env.trace_out.empty()) {
+    env.trace = std::make_unique<TraceRecorder>(
+        (size_t)flags.GetInt("trace_capacity", kBenchTraceCapacity));
+  }
+  return flags;
+}
+
+// Dumps every FtlStats/NandStats/ValidityStats counter of `ftl` to --metrics_out.
+// No-op when the flag is unset. Registers against the live ftl, so call it while the
+// device of interest still exists (typically on the last configuration measured).
+inline void BenchDumpMetrics(const Ftl& ftl) {
+  BenchEnv& env = GlobalBenchEnv();
+  if (env.metrics_out.empty()) {
+    return;
+  }
+  MetricsRegistry registry;
+  RegisterFtlStats(&registry, ftl.stats());
+  RegisterNandStats(&registry, ftl.device().stats());
+  RegisterValidityStats(&registry, ftl.validity().stats());
+  if (registry.WriteFile(env.metrics_out)) {
+    std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
+                env.metrics_out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write --metrics_out=%s\n", env.metrics_out.c_str());
+  }
+}
+
+// Writes the accumulated trace to --trace_out (no-op when unset). Call once at the end
+// of main.
+inline void BenchFinish() {
+  BenchEnv& env = GlobalBenchEnv();
+  if (env.trace == nullptr) {
+    return;
+  }
+  if (WriteTraceFile(*env.trace, env.trace_out)) {
+    std::printf("trace: %llu events to %s (%llu recorded, %llu dropped)\n",
+                (unsigned long long)env.trace->size(), env.trace_out.c_str(),
+                (unsigned long long)env.trace->total_recorded(),
+                (unsigned long long)env.trace->dropped());
+  } else {
+    std::fprintf(stderr, "failed to write --trace_out=%s\n", env.trace_out.c_str());
+  }
+}
 
 // Default bench device: 3 GiB, 4 KiB pages, 4 MiB segments, 16 channels, header-only.
 inline FtlConfig BenchConfig() {
@@ -54,11 +152,16 @@ inline FtlConfig BenchConfigSmall() {
 inline std::unique_ptr<Ftl> MustCreate(const FtlConfig& config) {
   auto ftl_or = Ftl::Create(config);
   IOSNAP_CHECK(ftl_or.ok());
-  return std::move(ftl_or).value();
+  std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  ftl->SetTraceRecorder(GlobalBenchEnv().trace.get());
+  return ftl;
 }
 
 // Sequentially prefills `pages` pages starting at LBA 0 and drains the device.
 inline void Prefill(Ftl* ftl, SimClock* clock, uint64_t pages, uint64_t queue_depth = 16) {
+  // Prefill traffic would only be overwritten in the ring before the measured phase;
+  // pause tracing so it costs nothing and the ring holds the interesting window.
+  TracePauseGuard pause(GlobalBenchEnv().trace.get());
   FtlTarget target(ftl);
   Runner runner(&target, clock, ftl->config().nand.page_size_bytes);
   SequentialWorkload fill(IoKind::kWrite, 0, pages);
@@ -72,6 +175,7 @@ inline void Prefill(Ftl* ftl, SimClock* clock, uint64_t pages, uint64_t queue_de
 // Randomly prefills `pages` writes over [0, lba_space) and drains.
 inline void PrefillRandom(Ftl* ftl, SimClock* clock, uint64_t pages, uint64_t lba_space,
                           uint64_t seed) {
+  TracePauseGuard pause(GlobalBenchEnv().trace.get());
   FtlTarget target(ftl);
   Runner runner(&target, clock, ftl->config().nand.page_size_bytes);
   RandomWorkload fill(IoKind::kWrite, lba_space, seed);

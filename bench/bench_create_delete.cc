@@ -35,8 +35,9 @@ void Row(uint64_t prefill_pages) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Snapshot create/delete cost vs pre-existing data volume (sec 6.2.1)",
               "~50 us and one 4K note page regardless of data volume");
   std::printf("%10s %21s %21s %17s\n", "data", "create latency", "delete latency",
@@ -47,5 +48,6 @@ int main() {
   }
   PrintRule();
   std::printf("(paper: ~50 us, 4 KB metadata, independent of data written)\n");
+  BenchFinish();
   return 0;
 }

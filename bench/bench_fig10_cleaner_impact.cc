@@ -91,6 +91,8 @@ void RunCase(const Case& c, bool print_timeline) {
     std::printf("  timeline (100 ms buckets):\n%s\n",
                 latency.ToCsv(MsToNs(100), "t_sec", "write_lat_us").c_str());
   }
+  // With --metrics_out the file reflects the last case measured.
+  BenchDumpMetrics(*ftl);
 }
 
 }  // namespace
@@ -98,7 +100,8 @@ void RunCase(const Case& c, bool print_timeline) {
 
 int main(int argc, char** argv) {
   using namespace iosnap;
-  const bool timelines = argc > 1 && std::string(argv[1]) == "--timeline";
+  Flags flags = BenchInit(argc, argv, {"timeline"});
+  const bool timelines = flags.GetBool("timeline", false);
   PrintHeader("Figure 10: write latency under concurrent segment cleaning",
               "(b) vanilla rate policy with snapshots ~2x latency; (c) snapshot-aware"
               " pacing restores (a)'s baseline");
@@ -108,5 +111,6 @@ int main(int argc, char** argv) {
   RunCase({"(d) 8 snapshots, snapshot-aware", true, true, 8}, timelines);
   PrintRule();
   std::printf("(paper: (b) doubles write latency vs (a); (c) brings it back down)\n");
+  BenchFinish();
   return 0;
 }

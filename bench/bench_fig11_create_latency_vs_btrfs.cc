@@ -127,7 +127,8 @@ SeriesResult RunBtrfsLike() {
 
 int main(int argc, char** argv) {
   using namespace iosnap;
-  const bool timelines = argc > 1 && std::string(argv[1]) == "--timeline";
+  Flags flags = BenchInit(argc, argv, {"timeline"});
+  const bool timelines = flags.GetBool("timeline", false);
   PrintHeader("Figure 11: write latency around snapshot creates — Btrfs-like vs ioSnap",
               "Btrfs-like degrades up to ~3x from its baseline around creates; ioSnap"
               " deviates only a few percent");
@@ -149,5 +150,6 @@ int main(int argc, char** argv) {
   }
   PrintRule();
   std::printf("(paper: Btrfs up to 3x latency around each create; ioSnap ~5%% deviation)\n");
+  BenchFinish();
   return 0;
 }

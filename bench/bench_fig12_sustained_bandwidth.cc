@@ -132,8 +132,9 @@ Series RunBtrfsLike() {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Figure 12: sustained write bandwidth with a snapshot every 15 s",
               "Btrfs-like bandwidth sags as snapshots accumulate; ioSnap stays flat");
 
@@ -156,5 +157,6 @@ int main() {
               iosnap_series.first > 0 ? 100.0 * iosnap_series.last / iosnap_series.first
                                       : 0);
   std::printf("(paper: Btrfs declines steadily; ioSnap delivers consistent bandwidth)\n");
+  BenchFinish();
   return 0;
 }

@@ -32,8 +32,9 @@ FtlConfig Fig7Config() {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader(
       "Figure 7: write latency and validity-bitmap CoW after snapshot creation",
       "latency spikes briefly (~3x) right after each create, then returns to baseline;"
@@ -91,5 +92,6 @@ int main() {
   }
   std::printf("(paper: 196 copies / 784 KB per snapshot on a device ~8x larger;\n"
               " latency 100 -> 350 us for ~50 ms after each create)\n");
+  BenchFinish();
   return 0;
 }

@@ -47,8 +47,9 @@ void Row(uint64_t bytes_per_snapshot) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Figure 8: activation latency (ms) for snapshots 1..5",
               "grows with log size; within a cluster, deeper snapshots activate slower");
   std::printf("%8s %9s %9s %9s %9s %9s\n", "data/snap", "snap_1", "snap_2", "snap_3",
@@ -60,5 +61,6 @@ int main() {
   PrintRule();
   std::printf("(paper, 4M..1.6G per snapshot: 10s of ms up to ~1.4 s, rising with both\n"
               " volume and snapshot index; scan phase constant per log size)\n");
+  BenchFinish();
   return 0;
 }

@@ -106,7 +106,8 @@ void RunCase(const LimitCase& c, bool print_timeline) {
 
 int main(int argc, char** argv) {
   using namespace iosnap;
-  const bool timelines = argc > 1 && std::string(argv[1]) == "--timeline";
+  Flags flags = BenchInit(argc, argv, {"timeline"});
+  const bool timelines = flags.GetBool("timeline", false);
   PrintHeader("Figure 9: random-read latency during activation, by rate limit",
               "no limit: ~10x latency, short activation; stricter limits: small spikes,"
               " activation stretched by an order of magnitude");
@@ -116,5 +117,6 @@ int main(int argc, char** argv) {
   PrintRule();
   std::printf("(paper: 100 us baseline; 10x spikes for 0.3 s unthrottled; 2x spikes with\n"
               " activation stretched to ~3.5 s under 50usec/250msec pacing)\n");
+  BenchFinish();
   return 0;
 }

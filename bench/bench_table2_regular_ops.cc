@@ -47,6 +47,9 @@ double RunCase(bool snapshots_enabled, const std::string& pattern, IoKind kind,
   auto result = runner.Run(workload.get(), kIoPages, options);
   IOSNAP_CHECK(result.ok());
   const uint64_t end = std::max(result->drain_end_ns, clock.NowNs());
+  // With --metrics_out the file reflects the last case measured (each case rebuilds
+  // the device, so a shared registry would dangle).
+  BenchDumpMetrics(*ftl);
   return MbPerSec(result->bytes, end - start);
 }
 
@@ -64,8 +67,9 @@ void Row(const char* label, const std::string& pattern, IoKind kind) {
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Table 2: Regular operations (4K I/O, 256 MiB per run, 5 runs)",
               "ioSnap within noise of vanilla on all four patterns");
   std::printf("%-18s %-24s %-24s\n", "", "Vanilla", "ioSnap");
@@ -77,5 +81,6 @@ int main() {
   PrintRule();
   std::printf("(paper, 1.2TB testbed: seq write 1617 vs 1615; rand write 1375 vs 1380;\n"
               " seq read 1238 vs 1240; rand read 312 vs 310 MB/s)\n");
+  BenchFinish();
   return 0;
 }

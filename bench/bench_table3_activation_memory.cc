@@ -19,8 +19,9 @@ constexpr uint64_t kBytesPerSnapshot = 64 * kMiB;
 }  // namespace
 }  // namespace iosnap
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iosnap;
+  BenchInit(argc, argv);
   PrintHeader("Table 3: forward-map memory at create vs after activation (MB)",
               "activated tree is more compact than the active tree at the same state");
 
@@ -65,5 +66,6 @@ int main() {
   PrintRule();
   std::printf("(paper, 1.6 GB/snapshot: creation 1.38..14.44 MB vs activation\n"
               " 0.84..13.72 MB — activated tree consistently smaller)\n");
+  BenchFinish();
   return 0;
 }

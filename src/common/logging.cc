@@ -23,6 +23,22 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_log_level; }
 void SetLogLevel(LogLevel level) { g_log_level = level; }
 
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  if (name == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (name == "info") {
+    return LogLevel::kInfo;
+  }
+  if (name == "warning" || name == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (name == "error") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {

@@ -8,7 +8,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
 
 namespace iosnap {
 
@@ -17,6 +19,10 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
 // Global threshold; messages below it are dropped. Default: kInfo.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Parses "debug" | "info" | "warning"/"warn" | "error" (case-sensitive, as typed on a
+// --log_level= flag). Returns nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
 
 class LogMessage {
  public:

@@ -69,8 +69,9 @@ uint64_t LatencyHistogram::PercentileNs(double p) const {
     return 0;
   }
   p = std::clamp(p, 0.0, 100.0);
-  const auto target =
-      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  // Clamp to >= 1 so p = 0 lands on the first occupied bucket rather than bucket 0.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[static_cast<size_t>(i)];

@@ -33,8 +33,13 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
-// Histogram over latencies in nanoseconds. Buckets grow geometrically (factor ~1.13,
-// 16 sub-buckets per power of two) so percile error stays under ~7% across ns..minutes.
+// Histogram over latencies in nanoseconds. Buckets grow geometrically: each power of
+// two is split into 16 equal sub-buckets, and a percentile query returns the midpoint
+// of the bucket holding the p-th sample. For values >= 32 ns the sub-bucket spans
+// 1/16 of its power-of-two range, so the midpoint is off by at most half a sub-bucket:
+// relative error <= 1/32 (3.125%) across the whole ns..minutes range. Below 32 ns the
+// ranges are too narrow to split; whole powers of two are single buckets whose
+// representative is the lower edge, so the result can be up to 2x under the true value.
 class LatencyHistogram {
  public:
   LatencyHistogram();
@@ -46,7 +51,8 @@ class LatencyHistogram {
   uint64_t MaxNs() const { return max_ns_; }
 
   // Latency at percentile p in [0, 100]. Returns the representative value of the bucket
-  // containing the p-th sample.
+  // containing the p-th sample; p = 0 reports the smallest recorded bucket, p = 100 the
+  // largest. Returns 0 when no samples were recorded.
   uint64_t PercentileNs(double p) const;
 
  private:

@@ -12,6 +12,7 @@ ActivationTask::ActivationTask(Ftl* ftl, uint32_t view_id, uint32_t filter_epoch
                                RateLimit limit, uint64_t start_ns)
     : ftl_(ftl), view_id_(view_id), filter_epoch_(filter_epoch), limiter_(limit) {
   IOSNAP_CHECK(ftl != nullptr);
+  limiter_.SetTraceRecorder(ftl_->trace_);
   // First burst may not start before the activate note hit the log.
   limiter_.OnBurstComplete(start_ns > limit.sleep_ns ? start_ns - limit.sleep_ns : 0);
   lineage_ = ftl_->tree_.Lineage(filter_epoch_);
@@ -98,6 +99,7 @@ uint64_t ActivationTask::BuildMap(uint64_t now_ns) {
 
 StatusOr<uint64_t> ActivationTask::Burst(uint64_t now_ns) {
   const uint64_t quantum = limiter_.limit().work_quantum_ns;
+  const uint64_t first_segment = next_segment_;
   uint64_t t = now_ns;
   while (phase_ == Phase::kScan && t - now_ns < quantum) {
     if (next_segment_ >= ftl_->config_.nand.num_segments) {
@@ -106,10 +108,20 @@ StatusOr<uint64_t> ActivationTask::Burst(uint64_t now_ns) {
     }
     ASSIGN_OR_RETURN(t, ScanOneSegment(t));
   }
+  if (ftl_->trace_ != nullptr && next_segment_ > first_segment) {
+    ftl_->trace_->Record(TraceEventType::kActivationBurst, now_ns, t, view_id_,
+                         first_segment, next_segment_ - first_segment);
+  }
   if (phase_ == Phase::kBuild) {
+    const uint64_t build_start = t;
+    const size_t entry_count = entries_.size();
     t = BuildMap(t);
     phase_ = Phase::kDone;
     finish_ns_ = t;
+    if (ftl_->trace_ != nullptr) {
+      ftl_->trace_->Record(TraceEventType::kActivateEnd, build_start, t, view_id_,
+                           entry_count);
+    }
   }
   return t;
 }

@@ -53,11 +53,16 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Create(const FtlConfig& config) {
 
 StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
                                          std::unique_ptr<NandDevice> device,
-                                         uint64_t issue_ns, uint64_t* recovery_finish_ns) {
+                                         uint64_t issue_ns, uint64_t* recovery_finish_ns,
+                                         TraceRecorder* trace) {
   if (device == nullptr) {
     return InvalidArgument("ftl: no device");
   }
   ASSIGN_OR_RETURN(RecoveredState state, RecoverFromDevice(device.get(), issue_ns));
+  if (trace != nullptr) {
+    trace->Record(TraceEventType::kRecoveryRun, issue_ns, state.finish_ns,
+                  state.from_checkpoint ? 1 : 0, state.primary_map.size());
+  }
 
   std::unique_ptr<Ftl> ftl(new Ftl(config, std::move(device)));
   ftl->seq_counter_ = state.seq_counter;
@@ -88,6 +93,7 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
   }
 
   ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
+  ftl->SetTraceRecorder(trace);
 #ifndef NDEBUG
   // The per-segment utilization counters were rebuilt implicitly by the SetValid replay
   // above; cross-check them against a from-scratch recount in debug builds.
@@ -97,6 +103,15 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
     *recovery_finish_ns = state.finish_ns;
   }
   return ftl;
+}
+
+void Ftl::SetTraceRecorder(TraceRecorder* trace) {
+  trace_ = trace;
+  validity_.SetTraceRecorder(trace);
+  gc_idle_limiter_.SetTraceRecorder(trace);
+  if (device_ != nullptr) {
+    device_->SetTraceRecorder(trace);
+  }
 }
 
 Ftl::View* Ftl::FindView(uint32_t view_id) {
@@ -130,6 +145,10 @@ Status Ftl::EnsureAppendSpace(uint64_t issue_ns) {
     ASSIGN_OR_RETURN(uint64_t finish, cleaner_->CleanOneBlocking(t));
     if (finish == t) {
       return ResourceExhausted("ftl: device full (no victim segment)");
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kGcInlineStall, t, finish,
+                     static_cast<uint64_t>(rounds));
     }
     t = finish;
   }
@@ -178,7 +197,7 @@ void Ftl::PaceCleanerOnWrite(uint64_t now_ns) {
     if (result.ok()) {
       gc_budget_accum_ -= static_cast<double>(pages);
     } else {
-      IOSNAP_LOG(kWarning) << "paced GC step failed: " << result.status();
+      IOSNAP_LOG(kWarning) << "[cleaner] paced GC step failed: " << result.status();
     }
   }
 }
@@ -200,6 +219,7 @@ StatusOr<IoResult> Ftl::WriteInternal(View* view, uint64_t lba, std::span<const 
 
   uint64_t host_ns = config_.host_map_lookup_ns;
   RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+  validity_.NoteTimeNs(issue_ns);
 
   PageHeader header;
   header.type = RecordType::kData;
@@ -233,6 +253,10 @@ StatusOr<IoResult> Ftl::WriteInternal(View* view, uint64_t lba, std::span<const 
   IoResult result;
   result.op = ar.op;
   result.host_ns = host_ns;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kUserWrite, issue_ns, result.CompletionNs(), lba,
+                   view->view_id);
+  }
   return result;
 }
 
@@ -261,9 +285,13 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
     }
     result.op.issue_ns = issue_ns;
     result.op.finish_ns = issue_ns;
-    return result;
+  } else {
+    ASSIGN_OR_RETURN(result.op, device_->ReadPage(*paddr, issue_ns, nullptr, data_out));
   }
-  ASSIGN_OR_RETURN(result.op, device_->ReadPage(*paddr, issue_ns, nullptr, data_out));
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kUserRead, issue_ns, result.CompletionNs(), lba,
+                   view.view_id);
+  }
   return result;
 }
 
@@ -286,6 +314,7 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
   }
   View* view = FindView(kPrimaryView);
   RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+  validity_.NoteTimeNs(issue_ns);
 
   PageHeader header;
   header.type = RecordType::kTrim;
@@ -312,6 +341,9 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
   IoResult result;
   result.op = ar.op;
   result.host_ns = host_ns;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kUserTrim, issue_ns, result.CompletionNs(), lba, count);
+  }
   return result;
 }
 
@@ -352,6 +384,7 @@ StatusOr<SnapshotOpResult> Ftl::CreateSnapshot(std::string name, uint64_t issue_
   ++stats_.total_pages_programmed;
 
   const uint32_t new_epoch = tree_.NewEpoch(frozen_epoch);
+  validity_.NoteTimeNs(issue_ns);
   const uint64_t cow_bytes = validity_.ForkEpoch(new_epoch, frozen_epoch);
   active_epoch_ = new_epoch;
   FindView(kPrimaryView)->epoch = new_epoch;
@@ -363,6 +396,10 @@ StatusOr<SnapshotOpResult> Ftl::CreateSnapshot(std::string name, uint64_t issue_
   result.snap_id = snap_id;
   result.io.op = ar.op;
   result.io.host_ns = config_.host_note_ns + cow_bytes * config_.host_cow_ns_per_byte;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kSnapCreate, issue_ns, result.io.CompletionNs(), snap_id,
+                   frozen_epoch, new_epoch);
+  }
   return result;
 }
 
@@ -393,6 +430,10 @@ StatusOr<IoResult> Ftl::DeleteSnapshot(uint32_t snap_id, uint64_t issue_ns) {
   IoResult result;
   result.op = ar.op;
   result.host_ns = config_.host_note_ns;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kSnapDelete, issue_ns, result.CompletionNs(), snap_id,
+                   info.epoch);
+  }
   return result;
 }
 
@@ -419,6 +460,7 @@ StatusOr<uint64_t> Ftl::RollbackToSnapshot(uint32_t snap_id, uint64_t issue_ns) 
                                                new_epoch_id, issue_ns));
   const uint32_t new_epoch = tree_.NewEpoch(info.epoch);
   IOSNAP_CHECK(new_epoch == new_epoch_id);
+  validity_.NoteTimeNs(issue_ns);
   validity_.ForkEpoch(new_epoch, info.epoch);
 
   View* primary = FindView(kPrimaryView);
@@ -439,6 +481,10 @@ StatusOr<uint64_t> Ftl::RollbackToSnapshot(uint32_t snap_id, uint64_t issue_ns) 
                 [raw](const std::unique_ptr<ActivationTask>& t) { return t.get() == raw; });
   MaybeClearRelocations();
   ++stats_.rollbacks;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kSnapRollback, issue_ns, finish, snap_id, info.epoch,
+                   new_epoch);
+  }
   return finish;
 }
 
@@ -483,6 +529,7 @@ StatusOr<uint32_t> Ftl::BeginActivation(uint32_t snap_id, RateLimit limit, uint6
   // The activated view lives on a fresh epoch forked off the snapshot (§5.6): writes to
   // the view never disturb the snapshot itself.
   const uint32_t view_epoch = tree_.NewEpoch(info.epoch);
+  validity_.NoteTimeNs(issue_ns);
   validity_.ForkEpoch(view_epoch, info.epoch);
   ++epoch_set_version_;
 
@@ -498,6 +545,10 @@ StatusOr<uint32_t> Ftl::BeginActivation(uint32_t snap_id, RateLimit limit, uint6
   activations_.push_back(std::make_unique<ActivationTask>(this, view_id, info.epoch, limit,
                                                           ar.op.finish_ns));
   ++stats_.activations;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kActivateBegin, issue_ns, ar.op.finish_ns, snap_id,
+                   view_id, view_epoch);
+  }
   return view_id;
 }
 
@@ -538,6 +589,10 @@ Status Ftl::Deactivate(uint32_t view_id, uint64_t issue_ns) {
     return t->view_id() == view_id;
   });
   MaybeClearRelocations();
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kSnapDeactivate, issue_ns, issue_ns, view->snap_id,
+                   view_id);
+  }
   validity_.DropEpoch(view->epoch);
   views_.erase(view_id);
   ++epoch_set_version_;
@@ -580,7 +635,7 @@ void Ftl::PumpBackground(uint64_t now_ns) {
     if (!task->done()) {
       auto result = task->Pump(now_ns);
       if (!result.ok()) {
-        IOSNAP_LOG(kWarning) << "activation pump failed: " << result.status();
+        IOSNAP_LOG(kWarning) << "[activation] activation pump failed: " << result.status();
       }
     }
   }
@@ -660,6 +715,9 @@ Status Ftl::CheckpointAndClose(uint64_t issue_ns) {
                      log_.Append(LogManager::kActiveHead, header, payload, t));
     ++stats_.total_pages_programmed;
     t = ar.op.finish_ns;
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kCheckpointWrite, issue_ns, t, total_pages, bytes.size());
   }
   closed_ = true;
   return OkStatus();

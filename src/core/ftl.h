@@ -42,6 +42,7 @@
 #include "src/ftl/rate_limiter.h"
 #include "src/ftl/validity_map.h"
 #include "src/nand/nand_device.h"
+#include "src/obs/trace.h"
 
 namespace iosnap {
 
@@ -70,10 +71,12 @@ class Ftl {
   // Re-attaches an existing device (restart). If the device tail holds a complete
   // checkpoint the state is loaded from it; otherwise full crash recovery (§5.5) runs.
   // `recovery_finish_ns` (optional) reports the virtual time when recovery completed.
+  // `trace` (optional) is attached before recovery so the recovery phase is recorded.
   static StatusOr<std::unique_ptr<Ftl>> Open(const FtlConfig& config,
                                              std::unique_ptr<NandDevice> device,
                                              uint64_t issue_ns,
-                                             uint64_t* recovery_finish_ns = nullptr);
+                                             uint64_t* recovery_finish_ns = nullptr,
+                                             TraceRecorder* trace = nullptr);
 
   ~Ftl();
   Ftl(const Ftl&) = delete;
@@ -81,6 +84,12 @@ class Ftl {
 
   const FtlConfig& config() const { return config_; }
   const FtlStats& stats() const { return stats_; }
+  // Attaches (or detaches, with nullptr) a flight recorder. Propagates to every
+  // instrumented component (device, validity map, pacing limiters). Tracing is purely
+  // observational: all event timestamps ride the virtual clock the instrumented code
+  // already computed, so behaviour and reported latencies are unchanged.
+  void SetTraceRecorder(TraceRecorder* trace);
+  TraceRecorder* trace_recorder() const { return trace_; }
   const NandDevice& device() const { return *device_; }
   const SnapshotTree& snapshot_tree() const { return tree_; }
   const ValidityMap& validity() const { return validity_; }
@@ -238,6 +247,7 @@ class Ftl {
   // Cleared whenever no activation is pending.
   std::vector<std::pair<uint64_t, uint64_t>> gc_relocations_;
   bool closed_ = false;
+  TraceRecorder* trace_ = nullptr;
 
   void MaybeClearRelocations() {
     if (activations_.empty()) {

@@ -110,7 +110,7 @@ StatusOr<bool> TryLoadCheckpoint(NandDevice* device,
   }
   auto parsed = ParseCheckpoint(bytes);
   if (!parsed.ok()) {
-    IOSNAP_LOG(kWarning) << "checkpoint parse failed (" << parsed.status()
+    IOSNAP_LOG(kWarning) << "[recovery] checkpoint parse failed (" << parsed.status()
                          << "); running full recovery";
     return false;
   }
@@ -147,7 +147,7 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
       clock_ns = op.finish_ns;
       auto entries = DecodeTrimSummary(payload);
       if (!entries.ok()) {
-        IOSNAP_LOG(kWarning) << "recovery: unreadable trim summary ignored: "
+        IOSNAP_LOG(kWarning) << "[recovery] unreadable trim summary ignored: "
                              << entries.status();
         continue;
       }
@@ -259,7 +259,7 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
           out.tree = std::move(tree_or).value();
           out.active_epoch = summary_active;
         } else {
-          IOSNAP_LOG(kWarning) << "recovery: unreadable tree summary ignored";
+          IOSNAP_LOG(kWarning) << "[recovery] unreadable tree summary ignored";
           summary_seq = 0;
         }
       } else {
@@ -304,7 +304,7 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
         // together with an already-applied summary.
         Status status = out.tree.MarkDeleted(r.header.snap_id);
         if (!status.ok()) {
-          IOSNAP_LOG(kDebug) << "recovery: ignoring delete note: " << status;
+          IOSNAP_LOG(kDebug) << "[recovery] ignoring delete note: " << status;
         }
         break;
       }
@@ -340,7 +340,7 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
     if (r.header.type == RecordType::kData || r.header.type == RecordType::kTrim) {
       if (!out.tree.EpochExists(r.header.epoch)) {
         // Garbage from a dead branch whose defining notes were consolidated away.
-        IOSNAP_LOG(kDebug) << "recovery: skipping record in unknown epoch "
+        IOSNAP_LOG(kDebug) << "[recovery] skipping record in unknown epoch "
                            << r.header.epoch;
         continue;
       }

@@ -133,7 +133,7 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   victim.trim_retention_seq = ftl_->log_.GlobalMinDataSeq();
   auto scan = ftl_->device_->ScanSegmentHeaders(*seg, now_ns, &victim.entries);
   if (!scan.ok()) {
-    IOSNAP_LOG(kWarning) << "cleaner: victim scan failed: " << scan.status();
+    IOSNAP_LOG(kWarning) << "[cleaner] victim scan failed: " << scan.status();
     return false;
   }
 
@@ -150,7 +150,7 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   if (has_tree_records) {
     auto summary = ftl_->AppendTreeSummary(LogManager::kGcHead, now_ns);
     if (!summary.ok()) {
-      IOSNAP_LOG(kWarning) << "cleaner: tree summary failed: " << summary.status();
+      IOSNAP_LOG(kWarning) << "[cleaner] tree summary failed: " << summary.status();
       return false;
     }
   }
@@ -172,6 +172,10 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   ftl_->stats_.gc_total_host_ns += merge_ns;
 
   victim_ = std::move(victim);
+  if (ftl_->trace_ != nullptr) {
+    ftl_->trace_->Record(TraceEventType::kGcVictimSelect, now_ns, now_ns, victim_->segment,
+                         victim_->pacing_estimate, ftl_->log_.FreeSegmentCount());
+  }
   return true;
 }
 
@@ -278,6 +282,7 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
                                          read_op.finish_ns));
 
       // Move validity bits in every epoch that referenced the old location.
+      ftl_->validity_.NoteTimeNs(now_ns);
       const uint64_t cow_bytes = ftl_->validity_.MoveBit(live, paddr, ar.paddr);
       const uint64_t host_ns =
           live.size() * ftl_->config_.host_bitmap_update_ns +
@@ -303,6 +308,10 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
       ++ftl_->stats_.total_pages_programmed;
       ++victim_->pacing_done;
       *copied_data_page = true;
+      if (ftl_->trace_ != nullptr) {
+        ftl_->trace_->Record(TraceEventType::kGcCopyForward, now_ns, ar.op.finish_ns,
+                             header.lba, paddr, ar.paddr);
+      }
       return ar.op.finish_ns;
     }
     case RecordType::kTrim: {
@@ -363,9 +372,14 @@ StatusOr<uint64_t> SegmentCleaner::Step(uint64_t now_ns, uint64_t max_pages) {
   }
   if (victim_->cursor >= victim_->entries.size()) {
     ASSIGN_OR_RETURN(t, FlushTrimSummaries(t));
+    const uint64_t release_start_ns = t;
     ASSIGN_OR_RETURN(NandOp erase_op, ftl_->log_.ReleaseSegment(victim_->segment, t));
     t = erase_op.finish_ns;
     ++ftl_->stats_.gc_segments_cleaned;
+    if (ftl_->trace_ != nullptr) {
+      ftl_->trace_->Record(TraceEventType::kGcSegmentErase, release_start_ns, t,
+                           victim_->segment, victim_->pacing_done);
+    }
     victim_.reset();
   }
   ftl_->stats_.gc_device_busy_ns += t - now_ns;

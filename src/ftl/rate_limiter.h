@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/common/units.h"
+#include "src/obs/trace.h"
 
 namespace iosnap {
 
@@ -42,16 +43,25 @@ class RateLimiter {
   // Earliest time the next burst may start.
   uint64_t NextAllowedNs() const { return next_allowed_ns_; }
 
-  // Records that a burst finished its device work at `burst_end_ns`.
+  // Records that a burst finished its device work at `burst_end_ns`. With tracing
+  // attached, every enforced sleep window (the throttle decision) is recorded.
   void OnBurstComplete(uint64_t burst_end_ns) {
     next_allowed_ns_ = burst_end_ns + limit_.sleep_ns;
+    if (trace_ != nullptr && limit_.sleep_ns > 0) {
+      trace_->Record(TraceEventType::kRateLimiterSleep, burst_end_ns, next_allowed_ns_,
+                     limit_.sleep_ns);
+    }
   }
 
   void Reset() { next_allowed_ns_ = 0; }
 
+  // Optional flight-recorder hook; nullptr (the default) disables it.
+  void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   RateLimit limit_;
   uint64_t next_allowed_ns_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace iosnap

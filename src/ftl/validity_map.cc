@@ -47,6 +47,10 @@ uint64_t ValidityMap::ForkEpoch(uint32_t child, uint32_t parent) {
       table.emplace(index, std::move(copy));
       copied_bytes += ChunkBytes();
       ++stats_.cow_chunk_copies;
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kValidityCowChunk, trace_time_ns_, trace_time_ns_,
+                       index, ChunkBytes(), child);
+      }
     }
     stats_.cow_bytes_copied += copied_bytes;
     epochs_.emplace(child, std::move(table));
@@ -204,6 +208,10 @@ ValidityMap::Chunk* ValidityMap::MutableChunk(uint32_t epoch, uint64_t chunk_ind
   stats_.cow_bytes_copied += ChunkBytes();
   if (cow_bytes != nullptr) {
     *cow_bytes += ChunkBytes();
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kValidityCowChunk, trace_time_ns_, trace_time_ns_,
+                   chunk_index, ChunkBytes(), epoch);
   }
   return ref.get();
 }
@@ -408,12 +416,12 @@ bool ValidityMap::VerifyCounters() const {
     }
     auto count_it = epoch_count_.find(epoch);
     if (count_it == epoch_count_.end() || count_it->second != expect) {
-      IOSNAP_LOG(kError) << "VerifyCounters: epoch " << epoch << " per-range counts mismatch";
+      IOSNAP_LOG(kError) << "[validity] VerifyCounters: epoch " << epoch << " per-range counts mismatch";
       ok = false;
     }
   }
   if (epoch_count_.size() != epochs_.size()) {
-    IOSNAP_LOG(kError) << "VerifyCounters: stale per-epoch counter tables";
+    IOSNAP_LOG(kError) << "[validity] VerifyCounters: stale per-epoch counter tables";
     ok = false;
   }
 
@@ -425,14 +433,14 @@ bool ValidityMap::VerifyCounters() const {
     }
   }
   if (expect_refs.size() != registry_.size()) {
-    IOSNAP_LOG(kError) << "VerifyCounters: registry has " << registry_.size()
+    IOSNAP_LOG(kError) << "[validity] VerifyCounters: registry has " << registry_.size()
                        << " entries, expected " << expect_refs.size();
     ok = false;
   }
   for (const auto& [index, refs] : expect_refs) {
     auto reg_it = registry_.find(index);
     if (reg_it == registry_.end() || reg_it->second.refs != refs) {
-      IOSNAP_LOG(kError) << "VerifyCounters: registry refs mismatch at chunk " << index;
+      IOSNAP_LOG(kError) << "[validity] VerifyCounters: registry refs mismatch at chunk " << index;
       ok = false;
     }
   }
@@ -447,7 +455,7 @@ bool ValidityMap::VerifyCounters() const {
       expect_plane.OrWith(chunk->bits);
     }
     if (!(entry.plane == expect_plane)) {
-      IOSNAP_LOG(kError) << "VerifyCounters: stale merge plane at chunk " << index;
+      IOSNAP_LOG(kError) << "[validity] VerifyCounters: stale merge plane at chunk " << index;
       ok = false;
     }
   }
@@ -459,7 +467,7 @@ bool ValidityMap::VerifyCounters() const {
     const uint64_t end = std::min(begin + range_pages_, total_pages_);
     const uint64_t expect = CountValidInRange(all_epochs, begin, end);
     if (MergedValidCount(r) != expect) {
-      IOSNAP_LOG(kError) << "VerifyCounters: range " << r << " merged count "
+      IOSNAP_LOG(kError) << "[validity] VerifyCounters: range " << r << " merged count "
                          << merged_count_[r] << " != recount " << expect;
       ok = false;
     }

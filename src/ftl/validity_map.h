@@ -51,6 +51,7 @@
 
 #include "src/common/bitmap.h"
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 
 namespace iosnap {
 
@@ -147,6 +148,15 @@ class ValidityMap {
 
   const ValidityStats& stats() const { return stats_; }
 
+  // Optional flight-recorder hook; records a kValidityCowChunk event per chunk copy.
+  // nullptr (the default) disables it.
+  void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
+
+  // Virtual-clock hint for trace events. Bit operations are untimed (the caller charges
+  // host time), so the FTL notes the current operation's issue time before mutating; CoW
+  // events recorded during the mutation carry this stamp.
+  void NoteTimeNs(uint64_t now_ns) { trace_time_ns_ = now_ns; }
+
   // Heap footprint of all distinct chunks plus per-epoch tables.
   size_t MemoryBytes() const;
 
@@ -238,6 +248,8 @@ class ValidityMap {
   std::unordered_map<uint32_t, std::vector<uint64_t>> epoch_count_;
   // Mutable: merge queries from const contexts still meter their chunk visits (Table 4).
   mutable ValidityStats stats_;
+  TraceRecorder* trace_ = nullptr;
+  uint64_t trace_time_ns_ = 0;
 };
 
 }  // namespace iosnap

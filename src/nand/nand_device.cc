@@ -214,6 +214,10 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
   NandOp op;
   op.issue_ns = issue_ns;
   op.finish_ns = Occupy(ChannelOfSegment(segment), issue_ns, 0, config_.erase_ns);
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kNandErase, op.issue_ns, op.finish_ns, segment,
+                   seg.erase_count);
+  }
   return op;
 }
 

@@ -23,6 +23,7 @@
 #include "src/common/status.h"
 #include "src/nand/nand_config.h"
 #include "src/nand/page_header.h"
+#include "src/obs/trace.h"
 
 namespace iosnap {
 
@@ -99,6 +100,9 @@ class NandDevice {
 
   const NandStats& stats() const { return stats_; }
 
+  // Optional flight-recorder hook (erase events); nullptr (the default) disables it.
+  void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
+
   // Earliest time at which the whole device is idle (max over channels and bus). Workload
   // drivers use this to convert a stream of async writes into sustained bandwidth.
   uint64_t DrainTimeNs() const;
@@ -133,6 +137,7 @@ class NandDevice {
   uint64_t bus_busy_until_ = 0;
   uint64_t max_erase_count_ = 0;
   NandStats stats_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace iosnap

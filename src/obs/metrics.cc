@@ -1,0 +1,148 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+namespace {
+
+// Doubles rendered with enough digits to round-trip, but without exponent noise for the
+// common integral-valued cases.
+std::string FormatDouble(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::CheckNameFree(const std::string& name) const {
+  for (const Counter& c : counters_) {
+    IOSNAP_CHECK(c.name != name);
+  }
+  for (const Gauge& g : gauges_) {
+    IOSNAP_CHECK(g.name != name);
+  }
+  for (const Histogram& h : histograms_) {
+    IOSNAP_CHECK(h.name != name);
+  }
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name, const uint64_t* value) {
+  IOSNAP_CHECK(value != nullptr);
+  CheckNameFree(name);
+  counters_.push_back({name, value});
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> sample) {
+  IOSNAP_CHECK(sample != nullptr);
+  CheckNameFree(name);
+  gauges_.push_back({name, std::move(sample)});
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const LatencyHistogram* hist) {
+  IOSNAP_CHECK(hist != nullptr);
+  CheckNameFree(name);
+  histograms_.push_back({name, hist});
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 6);
+  for (const Counter& c : counters_) {
+    Sample s;
+    s.name = c.name;
+    s.u64 = *c.value;
+    s.value = static_cast<double>(*c.value);
+    s.is_integer = true;
+    out.push_back(std::move(s));
+  }
+  for (const Gauge& g : gauges_) {
+    Sample s;
+    s.name = g.name;
+    s.value = g.sample();
+    out.push_back(std::move(s));
+  }
+  for (const Histogram& h : histograms_) {
+    const auto integer = [&](const char* suffix, uint64_t v) {
+      Sample s;
+      s.name = h.name + suffix;
+      s.u64 = v;
+      s.value = static_cast<double>(v);
+      s.is_integer = true;
+      out.push_back(std::move(s));
+    };
+    integer(".count", h.hist->count());
+    Sample mean;
+    mean.name = h.name + ".mean_ns";
+    mean.value = h.hist->MeanNs();
+    out.push_back(std::move(mean));
+    integer(".p50_ns", h.hist->PercentileNs(50));
+    integer(".p90_ns", h.hist->PercentileNs(90));
+    integer(".p99_ns", h.hist->PercentileNs(99));
+    integer(".max_ns", h.hist->MaxNs());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Sample& s : Snapshot()) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\"" << s.name << "\":";
+    if (s.is_integer) {
+      os << s.u64;
+    } else {
+      os << FormatDouble(s.value);
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::ostringstream os;
+  os << "metric,value\n";
+  for (const Sample& s : Snapshot()) {
+    os << s.name << ",";
+    if (s.is_integer) {
+      os << s.u64;
+    } else {
+      os << FormatDouble(s.value);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool MetricsRegistry::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    out << ToCsv();
+  } else {
+    out << ToJson();
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace iosnap

@@ -1,0 +1,86 @@
+// Unified metrics registry: named counters, gauges, and latency histograms with
+// snapshot + JSON/CSV exposition.
+//
+// The FTL's cumulative structs (FtlStats, NandStats, ValidityStats) register their
+// fields by const pointer (see metrics_bindings.h), so the registry adds no cost to hot
+// paths — values are read only when a snapshot is taken. Tools and benches dump every
+// registered metric uniformly instead of hand-formatting subsets.
+//
+// Names use dotted components ("ftl.gc_pages_copied", "nand.segments_erased");
+// histograms flatten into ".count", ".mean_ns", ".p50_ns", ".p90_ns", ".p99_ns",
+// ".max_ns" sub-metrics at snapshot time.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace iosnap {
+
+class MetricsRegistry {
+ public:
+  // Monotonic uint64 counter, read through the pointer at snapshot time. The pointee
+  // must outlive the registry (or the registry must be dropped/rebuilt first).
+  void RegisterCounter(const std::string& name, const uint64_t* value);
+
+  // Arbitrary sampled value.
+  void RegisterGauge(const std::string& name, std::function<double()> sample);
+
+  // Latency histogram; flattened into percentile sub-metrics at snapshot time.
+  void RegisterHistogram(const std::string& name, const LatencyHistogram* hist);
+
+  size_t MetricCount() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // One sampled value. Counters keep full 64-bit precision in `u64`; `value` is the
+  // double view used for gauges and rendering.
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+    uint64_t u64 = 0;
+    bool is_integer = false;
+  };
+
+  // Samples every metric now, in registration order (histograms flattened).
+  std::vector<Sample> Snapshot() const;
+
+  // {"name": value, ...} — one flat, deterministic JSON object.
+  std::string ToJson() const;
+
+  // "metric,value" rows with a header line.
+  std::string ToCsv() const;
+
+  // Writes to `path`, format chosen by extension (".csv" -> CSV, else JSON). Returns
+  // false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Counter {
+    std::string name;
+    const uint64_t* value;
+  };
+  struct Gauge {
+    std::string name;
+    std::function<double()> sample;
+  };
+  struct Histogram {
+    std::string name;
+    const LatencyHistogram* hist;
+  };
+
+  void CheckNameFree(const std::string& name) const;
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,86 @@
+// Bindings that register the FTL's cumulative stat structs into a MetricsRegistry.
+//
+// Every field of FtlStats, NandStats, and ValidityStats is registered by const pointer
+// under a dotted name ("ftl.user_writes", "nand.pages_read", ...). tests/obs checks the
+// field counts, so a newly added stat field that is not bound here fails the build's
+// test suite rather than silently vanishing from metric dumps.
+
+#ifndef SRC_OBS_METRICS_BINDINGS_H_
+#define SRC_OBS_METRICS_BINDINGS_H_
+
+#include "src/core/ftl_stats.h"
+#include "src/ftl/validity_map.h"
+#include "src/nand/nand_device.h"
+#include "src/obs/metrics.h"
+
+namespace iosnap {
+
+// Number of fields each binding registers; keep in sync with the structs (test-checked).
+inline constexpr size_t kFtlStatsMetricCount = 27;
+inline constexpr size_t kNandStatsMetricCount = 6;
+inline constexpr size_t kValidityStatsMetricCount = 7;
+
+inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
+                             const std::string& prefix = "ftl.") {
+  const auto add = [&](const char* name, const uint64_t* v) {
+    registry->RegisterCounter(prefix + name, v);
+  };
+  add("user_writes", &s.user_writes);
+  add("user_reads", &s.user_reads);
+  add("user_trims", &s.user_trims);
+  add("user_bytes_written", &s.user_bytes_written);
+  add("user_bytes_read", &s.user_bytes_read);
+  add("snapshots_created", &s.snapshots_created);
+  add("snapshots_deleted", &s.snapshots_deleted);
+  add("activations", &s.activations);
+  add("deactivations", &s.deactivations);
+  add("rollbacks", &s.rollbacks);
+  add("gc_segments_cleaned", &s.gc_segments_cleaned);
+  add("gc_pages_copied", &s.gc_pages_copied);
+  add("gc_notes_copied", &s.gc_notes_copied);
+  add("gc_notes_dropped", &s.gc_notes_dropped);
+  add("gc_summaries_written", &s.gc_summaries_written);
+  add("gc_inline_stalls", &s.gc_inline_stalls);
+  add("gc_wear_level_cleans", &s.gc_wear_level_cleans);
+  add("gc_victim_selections", &s.gc_victim_selections);
+  add("gc_merge_host_ns", &s.gc_merge_host_ns);
+  add("gc_total_host_ns", &s.gc_total_host_ns);
+  add("gc_device_busy_ns", &s.gc_device_busy_ns);
+  add("validity_cow_events", &s.validity_cow_events);
+  add("validity_cow_bytes", &s.validity_cow_bytes);
+  add("activation_segments_scanned", &s.activation_segments_scanned);
+  add("activation_segments_skipped", &s.activation_segments_skipped);
+  add("activation_entries", &s.activation_entries);
+  add("total_pages_programmed", &s.total_pages_programmed);
+}
+
+inline void RegisterNandStats(MetricsRegistry* registry, const NandStats& s,
+                              const std::string& prefix = "nand.") {
+  const auto add = [&](const char* name, const uint64_t* v) {
+    registry->RegisterCounter(prefix + name, v);
+  };
+  add("pages_programmed", &s.pages_programmed);
+  add("pages_read", &s.pages_read);
+  add("headers_scanned", &s.headers_scanned);
+  add("segments_erased", &s.segments_erased);
+  add("bytes_programmed", &s.bytes_programmed);
+  add("bytes_read", &s.bytes_read);
+}
+
+inline void RegisterValidityStats(MetricsRegistry* registry, const ValidityStats& s,
+                                  const std::string& prefix = "validity.") {
+  const auto add = [&](const char* name, const uint64_t* v) {
+    registry->RegisterCounter(prefix + name, v);
+  };
+  add("cow_chunk_copies", &s.cow_chunk_copies);
+  add("cow_bytes_copied", &s.cow_bytes_copied);
+  add("chunk_allocations", &s.chunk_allocations);
+  add("merge_chunk_visits", &s.merge_chunk_visits);
+  add("merge_plane_rebuilds", &s.merge_plane_rebuilds);
+  add("merge_plane_hits", &s.merge_plane_hits);
+  add("range_recounts", &s.range_recounts);
+}
+
+}  // namespace iosnap
+
+#endif  // SRC_OBS_METRICS_BINDINGS_H_

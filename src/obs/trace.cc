@@ -1,0 +1,36 @@
+#include "src/obs/trace.h"
+
+#include "src/common/logging.h"
+
+namespace iosnap {
+
+TraceRecorder::TraceRecorder(size_t capacity) : ring_(capacity > 0 ? capacity : 1) {
+  IOSNAP_CHECK(capacity > 0);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  const size_t cap = ring_.size();
+  const uint64_t first = next_ - n;  // Index of the oldest retained event.
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % cap]);
+  }
+  return out;
+}
+
+size_t TraceRecorder::CountType(TraceEventType type) const {
+  size_t count = 0;
+  const size_t n = size();
+  const size_t cap = ring_.size();
+  const uint64_t first = next_ - n;
+  for (size_t i = 0; i < n; ++i) {
+    if (ring_[(first + i) % cap].type == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace iosnap

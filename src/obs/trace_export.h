@@ -1,0 +1,43 @@
+// Exporters for TraceRecorder rings.
+//
+//   * Chrome trace-event JSON: loadable in Perfetto (ui.perfetto.dev) or
+//     chrome://tracing. Virtual-clock nanoseconds are emitted as the format's
+//     microsecond `ts`/`dur` fields (fractional µs keeps full ns precision). Events are
+//     grouped onto named tracks (foreground I/O, snapshots, activation, GC, ...) via
+//     synthetic thread ids so interference is visible at a glance.
+//   * CSV: one row per event with symbolic type and per-type arg names, for ad-hoc
+//     analysis (pandas, gnuplot).
+
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace iosnap {
+
+// Static description of one event type (exporter metadata).
+struct TraceEventInfo {
+  const char* name;          // Chrome event name, e.g. "gc_copy_forward".
+  const char* category;      // Chrome "cat" field, e.g. "gc".
+  int track;                 // Synthetic tid grouping related events.
+  const char* arg_names[3];  // Names for arg0..arg2; nullptr = unused.
+};
+
+const TraceEventInfo& TraceEventInfoFor(TraceEventType type);
+
+// Writes the full Chrome trace JSON object ({"traceEvents": [...], ...}).
+void ExportChromeTrace(const TraceRecorder& recorder, std::ostream& os);
+
+// Writes "type,start_ns,end_ns,arg_name=value,..." rows with a header line.
+void ExportTraceCsv(const TraceRecorder& recorder, std::ostream& os);
+
+// Convenience: writes to `path`, choosing the format by extension (".csv" -> CSV,
+// anything else -> Chrome JSON). Returns false on I/O failure.
+bool WriteTraceFile(const TraceRecorder& recorder, const std::string& path);
+
+}  // namespace iosnap
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

@@ -49,6 +49,51 @@ TEST(LatencyHistogramTest, ZeroAndHugeValues) {
   EXPECT_GT(hist.PercentileNs(100.0), 0u);
 }
 
+TEST(LatencyHistogramTest, EmptyPercentileIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.PercentileNs(0.0), 0u);
+  EXPECT_EQ(hist.PercentileNs(50.0), 0u);
+  EXPECT_EQ(hist.PercentileNs(100.0), 0u);
+  EXPECT_EQ(hist.MaxNs(), 0u);
+  EXPECT_EQ(hist.MeanNs(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileZeroReportsSmallestBucket) {
+  LatencyHistogram hist;
+  hist.Add(1000000);  // 1 ms; nothing recorded below it.
+  hist.Add(2000000);
+  // p=0 must land on the first occupied bucket, not bucket 0's value of 1 ns.
+  EXPECT_NEAR(static_cast<double>(hist.PercentileNs(0.0)), 1e6, 1e6 / 32.0);
+  // Out-of-range p clamps.
+  EXPECT_EQ(hist.PercentileNs(-5.0), hist.PercentileNs(0.0));
+  EXPECT_EQ(hist.PercentileNs(250.0), hist.PercentileNs(100.0));
+}
+
+TEST(LatencyHistogramTest, SingleSampleAllPercentilesAgree) {
+  LatencyHistogram hist;
+  hist.Add(4096);  // Exact bucket boundary (power of two).
+  const uint64_t p0 = hist.PercentileNs(0.0);
+  EXPECT_EQ(hist.PercentileNs(50.0), p0);
+  EXPECT_EQ(hist.PercentileNs(100.0), p0);
+  // Within the documented 1/32 relative error for values >= 32 ns.
+  EXPECT_NEAR(static_cast<double>(p0), 4096.0, 4096.0 / 32.0);
+}
+
+TEST(LatencyHistogramTest, SubBucketBoundaryErrorBound) {
+  // Values >= 32 ns: midpoint representative keeps relative error <= 1/32.
+  for (const uint64_t ns : {32ull, 33ull, 63ull, 1023ull, 1025ull, 65535ull, 65537ull}) {
+    LatencyHistogram hist;
+    hist.Add(ns);
+    const double got = static_cast<double>(hist.PercentileNs(50.0));
+    EXPECT_NEAR(got, static_cast<double>(ns), static_cast<double>(ns) / 32.0)
+        << "value " << ns;
+  }
+  // Below 32 ns: whole power-of-two buckets; the lower edge is reported.
+  LatencyHistogram hist;
+  hist.Add(31);
+  EXPECT_EQ(hist.PercentileNs(50.0), 16u);
+}
+
 TEST(TimelineTest, BucketizeAggregates) {
   Timeline tl;
   tl.Add(SecToNs(0), 10.0);
@@ -64,6 +109,39 @@ TEST(TimelineTest, BucketizeAggregates) {
   EXPECT_DOUBLE_EQ(buckets[1].mean, 30.0);
   EXPECT_EQ(buckets[2].count, 1u);
   EXPECT_DOUBLE_EQ(buckets[2].mean, 40.0);
+}
+
+TEST(TimelineTest, BucketizeEmpty) {
+  Timeline tl;
+  EXPECT_TRUE(tl.empty());
+  EXPECT_TRUE(tl.Bucketize(SecToNs(1)).empty());
+  // Degenerate bucket width never divides by zero.
+  tl.Add(SecToNs(1), 5.0);
+  EXPECT_TRUE(tl.Bucketize(0).empty());
+}
+
+TEST(TimelineTest, BucketizeSingleSample) {
+  Timeline tl;
+  tl.Add(MsToNs(2500), 7.0);
+  const auto buckets = tl.Bucketize(SecToNs(1));
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].t_ns, SecToNs(2));  // Aligned down to the bucket grid.
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 7.0);
+  EXPECT_DOUBLE_EQ(buckets[0].max, 7.0);
+}
+
+TEST(TimelineTest, BucketizeUnalignedStart) {
+  // First sample far from t=0: bucketizing must start at its aligned bucket, not emit
+  // thousands of leading empties.
+  Timeline tl;
+  tl.Add(SecToNs(100) + MsToNs(750), 1.0);
+  tl.Add(SecToNs(102) + MsToNs(1), 3.0);
+  const auto buckets = tl.Bucketize(SecToNs(1));
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].t_ns, SecToNs(100));
+  EXPECT_EQ(buckets[1].t_ns, SecToNs(102));
+  EXPECT_DOUBLE_EQ(buckets[1].mean, 3.0);
 }
 
 TEST(TimelineTest, CsvHasHeaderAndRows) {

@@ -1,0 +1,104 @@
+#include "src/obs/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics_bindings.h"
+
+namespace iosnap {
+namespace {
+
+TEST(MetricsRegistryTest, CountersReadAtSnapshotTime) {
+  MetricsRegistry registry;
+  uint64_t writes = 0;
+  registry.RegisterCounter("ftl.user_writes", &writes);
+  writes = 42;  // Mutated after registration; snapshot must see the live value.
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "ftl.user_writes");
+  EXPECT_EQ(samples[0].u64, 42u);
+  EXPECT_TRUE(samples[0].is_integer);
+}
+
+TEST(MetricsRegistryTest, GaugesAndHistogramsFlatten) {
+  MetricsRegistry registry;
+  registry.RegisterGauge("wear.mean", [] { return 2.5; });
+  LatencyHistogram hist;
+  hist.Add(1000);
+  hist.Add(3000);
+  registry.RegisterHistogram("run.latency", &hist);
+  EXPECT_EQ(registry.MetricCount(), 2u);
+  const auto samples = registry.Snapshot();
+  // 1 gauge + 6 flattened histogram sub-metrics.
+  ASSERT_EQ(samples.size(), 7u);
+  EXPECT_EQ(samples[0].name, "wear.mean");
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.5);
+  EXPECT_EQ(samples[1].name, "run.latency.count");
+  EXPECT_EQ(samples[1].u64, 2u);
+  EXPECT_EQ(samples[3].name, "run.latency.p50_ns");
+  EXPECT_EQ(samples[6].name, "run.latency.max_ns");
+  EXPECT_EQ(samples[6].u64, 3000u);
+}
+
+TEST(MetricsRegistryTest, JsonAndCsvRenderEveryMetric) {
+  MetricsRegistry registry;
+  uint64_t big = ~uint64_t{0};  // Must round-trip with full 64-bit precision.
+  registry.RegisterCounter("a.big", &big);
+  registry.RegisterGauge("b.frac", [] { return 0.125; });
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"a.big\":18446744073709551615"), std::string::npos);
+  EXPECT_NE(json.find("\"b.frac\":0.125"), std::string::npos);
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("metric,value"), std::string::npos);
+  EXPECT_NE(csv.find("a.big,18446744073709551615"), std::string::npos);
+}
+
+// The binding field counts must track the structs: if a field is added to a stats
+// struct without a matching Register* line, these static sizes diverge and the test
+// fails, instead of the metric silently missing from dumps.
+TEST(MetricsBindingsTest, FieldCountsMatchStructLayouts) {
+  static_assert(sizeof(FtlStats) == kFtlStatsMetricCount * sizeof(uint64_t));
+  static_assert(sizeof(NandStats) == kNandStatsMetricCount * sizeof(uint64_t));
+  static_assert(sizeof(ValidityStats) == kValidityStatsMetricCount * sizeof(uint64_t));
+}
+
+TEST(MetricsBindingsTest, RegistersEveryField) {
+  MetricsRegistry registry;
+  FtlStats ftl_stats;
+  NandStats nand_stats;
+  ValidityStats validity_stats;
+  RegisterFtlStats(&registry, ftl_stats);
+  RegisterNandStats(&registry, nand_stats);
+  RegisterValidityStats(&registry, validity_stats);
+  EXPECT_EQ(registry.MetricCount(), kFtlStatsMetricCount + kNandStatsMetricCount +
+                                        kValidityStatsMetricCount);
+
+  // Every registered counter tracks its struct field.
+  ftl_stats.gc_pages_copied = 11;
+  nand_stats.segments_erased = 5;
+  validity_stats.cow_chunk_copies = 3;
+  bool saw_gc = false;
+  bool saw_erase = false;
+  bool saw_cow = false;
+  for (const auto& s : registry.Snapshot()) {
+    if (s.name == "ftl.gc_pages_copied") {
+      saw_gc = true;
+      EXPECT_EQ(s.u64, 11u);
+    } else if (s.name == "nand.segments_erased") {
+      saw_erase = true;
+      EXPECT_EQ(s.u64, 5u);
+    } else if (s.name == "validity.cow_chunk_copies") {
+      saw_cow = true;
+      EXPECT_EQ(s.u64, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_gc);
+  EXPECT_TRUE(saw_erase);
+  EXPECT_TRUE(saw_cow);
+}
+
+}  // namespace
+}  // namespace iosnap

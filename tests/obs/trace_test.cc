@@ -1,0 +1,358 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/common/sim_clock.h"
+#include "src/core/ftl.h"
+#include "src/obs/trace_export.h"
+#include "src/workload/runner.h"
+#include "src/workload/workload.h"
+
+namespace iosnap {
+namespace {
+
+// Minimal JSON syntax validator — enough to catch unbalanced structure, bad string
+// escaping, and trailing commas in the exporter output without a JSON dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) {
+      return false;
+    }
+    pos_ += w.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder trace(16);
+  trace.Record(TraceEventType::kUserWrite, 100, 200, 7);
+  trace.Record(TraceEventType::kUserRead, 300, 400, 9);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.total_recorded(), 2u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kUserWrite);
+  EXPECT_EQ(events[0].start_ns, 100u);
+  EXPECT_EQ(events[0].end_ns, 200u);
+  EXPECT_EQ(events[0].arg0, 7u);
+  EXPECT_EQ(events[1].type, TraceEventType::kUserRead);
+  EXPECT_EQ(trace.CountType(TraceEventType::kUserWrite), 1u);
+  EXPECT_EQ(trace.CountType(TraceEventType::kGcCopyForward), 0u);
+}
+
+TEST(TraceRecorderTest, RingWraparoundKeepsNewest) {
+  TraceRecorder trace(8);
+  for (uint64_t i = 0; i < 20; ++i) {
+    trace.Record(TraceEventType::kUserWrite, i, i, i);
+  }
+  EXPECT_EQ(trace.capacity(), 8u);
+  EXPECT_EQ(trace.size(), 8u);
+  EXPECT_EQ(trace.total_recorded(), 20u);
+  EXPECT_EQ(trace.dropped(), 12u);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first unwrap: events 12..19 survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg0, 12 + i);
+  }
+}
+
+TEST(TraceRecorderTest, DisabledRecordsNothing) {
+  TraceRecorder trace(8);
+  trace.set_enabled(false);
+  trace.Record(TraceEventType::kUserWrite, 1, 2);
+  EXPECT_EQ(trace.size(), 0u);
+  trace.set_enabled(true);
+  trace.Record(TraceEventType::kUserWrite, 1, 2);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceRecorderTest, ClearResets) {
+  TraceRecorder trace(4);
+  for (int i = 0; i < 6; ++i) {
+    trace.Record(TraceEventType::kNandErase, 1, 2);
+  }
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_TRUE(trace.Events().empty());
+}
+
+TEST(TraceExportTest, EveryTypeHasInfo) {
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    const TraceEventInfo& info = TraceEventInfoFor(static_cast<TraceEventType>(i));
+    EXPECT_NE(info.name, nullptr);
+    EXPECT_STRNE(info.name, "");
+    EXPECT_NE(info.category, nullptr);
+  }
+}
+
+TEST(TraceExportTest, ChromeJsonIsSyntacticallyValid) {
+  TraceRecorder trace(64);
+  // One of each type, mixing spans and instants, to exercise every code path.
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    trace.Record(static_cast<TraceEventType>(i), i * 1000, i * 1000 + (i % 2) * 500, i,
+                 i + 1, i + 2);
+  }
+  std::ostringstream os;
+  ExportChromeTrace(trace, os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"user_write\""), std::string::npos);
+  EXPECT_NE(json.find("\"gc_copy_forward\""), std::string::npos);
+  // ns 1000 renders as 1 µs exactly.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, EmptyTraceStillValidJson) {
+  TraceRecorder trace(4);
+  std::ostringstream os;
+  ExportChromeTrace(trace, os);
+  EXPECT_TRUE(JsonValidator(os.str()).Valid()) << os.str();
+}
+
+TEST(TraceExportTest, CsvHasHeaderAndRows) {
+  TraceRecorder trace(4);
+  trace.Record(TraceEventType::kGcCopyForward, 10, 20, 1, 2, 3);
+  std::ostringstream os;
+  ExportTraceCsv(trace, os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("type,category,start_ns,end_ns"), std::string::npos);
+  EXPECT_NE(csv.find("gc_copy_forward"), std::string::npos);
+}
+
+// --- FTL integration -------------------------------------------------------------
+
+FtlConfig SmallConfig() {
+  FtlConfig config;
+  config.nand.page_size_bytes = 4096;
+  config.nand.pages_per_segment = 64;
+  config.nand.num_segments = 32;
+  config.nand.num_channels = 4;
+  config.nand.store_data = false;
+  config.overprovision = 0.3;
+  return config;
+}
+
+// Drives overwrite churn plus a snapshot so GC, CoW, and snapshot events all fire.
+FtlStats RunChurn(TraceRecorder* trace) {
+  auto ftl_or = Ftl::Create(SmallConfig());
+  IOSNAP_CHECK(ftl_or.ok());
+  std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  ftl->SetTraceRecorder(trace);
+
+  SimClock clock;
+  const uint64_t lba_space = ftl->LbaCount() / 2;
+  uint32_t snap_id = 0;
+  for (uint64_t i = 0; i < lba_space * 6; ++i) {
+    auto io = ftl->Write(i % lba_space, {}, clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+    if (i == lba_space) {
+      auto snap = ftl->CreateSnapshot("churn", clock.NowNs());
+      IOSNAP_CHECK(snap.ok());
+      clock.AdvanceTo(snap->io.CompletionNs());
+      snap_id = snap->snap_id;
+    }
+  }
+  IOSNAP_CHECK_OK(ftl->DeleteSnapshot(snap_id, clock.NowNs()).status());
+  return ftl->stats();
+}
+
+TEST(TraceFtlIntegrationTest, CapturesGcCowAndSnapshotEvents) {
+  TraceRecorder trace;
+  const FtlStats stats = RunChurn(&trace);
+  EXPECT_GT(trace.CountType(TraceEventType::kUserWrite), 0u);
+  EXPECT_EQ(trace.CountType(TraceEventType::kSnapCreate), 1u);
+  EXPECT_EQ(trace.CountType(TraceEventType::kSnapDelete), 1u);
+  EXPECT_GT(trace.CountType(TraceEventType::kGcVictimSelect), 0u);
+  EXPECT_GT(trace.CountType(TraceEventType::kGcCopyForward), 0u);
+  EXPECT_GT(trace.CountType(TraceEventType::kGcSegmentErase), 0u);
+  EXPECT_GT(trace.CountType(TraceEventType::kNandErase), 0u);
+  EXPECT_GT(trace.CountType(TraceEventType::kValidityCowChunk), 0u);
+  // Trace counts agree with the cumulative counters they mirror.
+  EXPECT_EQ(trace.CountType(TraceEventType::kUserWrite), stats.user_writes);
+  EXPECT_EQ(trace.CountType(TraceEventType::kGcCopyForward), stats.gc_pages_copied);
+  EXPECT_EQ(trace.CountType(TraceEventType::kGcSegmentErase), stats.gc_segments_cleaned);
+}
+
+TEST(TraceFtlIntegrationTest, TracingDoesNotPerturbBehaviour) {
+  TraceRecorder trace;
+  const FtlStats traced = RunChurn(&trace);
+  const FtlStats untraced = RunChurn(nullptr);
+  EXPECT_EQ(traced.user_writes, untraced.user_writes);
+  EXPECT_EQ(traced.total_pages_programmed, untraced.total_pages_programmed);
+  EXPECT_EQ(traced.gc_pages_copied, untraced.gc_pages_copied);
+  EXPECT_EQ(traced.gc_segments_cleaned, untraced.gc_segments_cleaned);
+  EXPECT_EQ(traced.validity_cow_events, untraced.validity_cow_events);
+  EXPECT_EQ(traced.gc_total_host_ns, untraced.gc_total_host_ns);
+}
+
+TEST(TraceFtlIntegrationTest, RecoveryRunIsRecorded) {
+  auto ftl_or = Ftl::Create(SmallConfig());
+  IOSNAP_CHECK(ftl_or.ok());
+  std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  SimClock clock;
+  for (uint64_t lba = 0; lba < 32; ++lba) {
+    auto io = ftl->Write(lba, {}, clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+  }
+  std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
+
+  TraceRecorder trace;
+  auto reopened = Ftl::Open(SmallConfig(), std::move(media), clock.NowNs(), nullptr,
+                            &trace);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(trace.CountType(TraceEventType::kRecoveryRun), 1u);
+  EXPECT_EQ((*reopened)->trace_recorder(), &trace);
+}
+
+}  // namespace
+}  // namespace iosnap

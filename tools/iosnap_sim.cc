@@ -10,6 +10,7 @@
 //   iosnap_sim --workload=mixed --read_frac=0.7 --crash_and_recover
 //   iosnap_sim --vanilla --workload=seqwrite      # snapshots compiled out of the path
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,6 +21,10 @@
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/core/ftl.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_bindings.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/workload/runner.h"
 #include "src/workload/workload.h"
 
@@ -51,6 +56,7 @@ Workload:
 
 Snapshots:
   --snapshot_every=N     create a snapshot every N ops        (default 0 = never)
+  --snapshots=N          spread N snapshots evenly over the run
   --keep_snapshots=N     live-snapshot rotation window        (default 4)
   --activate_last        activate + verify the newest snapshot at the end
 
@@ -58,15 +64,22 @@ Lifecycle:
   --crash_and_recover    crash (no checkpoint) and reopen at the end
   --checkpoint           clean shutdown + reopen at the end
   --timeline             print a latency timeline CSV (100 ms buckets)
+
+Observability:
+  --trace_out=PATH       write a flight-recorder trace; .csv for CSV, anything
+                         else for Chrome trace-event JSON (load in Perfetto)
+  --trace_capacity=N     trace ring-buffer capacity in events    (default 262144)
+  --metrics_out=PATH     dump every FTL/NAND/validity counter; .csv or JSON
+  --log_level=NAME       debug | info | warning | error          (default info)
   --help                 this text
 )";
 
 const std::vector<std::string> kKnownFlags = {
     "device_mib", "page_kib", "segment_pages", "channels", "overprovision",
     "chunk_bits", "policy", "vanilla", "vanilla_gc_rate", "workload", "ops",
-    "lba_frac", "read_frac", "zipf_theta", "qd", "seed", "snapshot_every",
+    "lba_frac", "read_frac", "zipf_theta", "qd", "seed", "snapshot_every", "snapshots",
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
-    "help"};
+    "trace_out", "trace_capacity", "metrics_out", "log_level", "help"};
 
 void PrintStats(const Ftl& ftl, const RunResult& result) {
   const FtlStats& s = ftl.stats();
@@ -144,6 +157,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string log_level = flags.GetString("log_level", "info");
+  const std::optional<LogLevel> parsed_level = ParseLogLevel(log_level);
+  if (!parsed_level.has_value()) {
+    std::fprintf(stderr, "unknown --log_level=%s\n", log_level.c_str());
+    return 2;
+  }
+  SetLogLevel(*parsed_level);
+
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  std::unique_ptr<TraceRecorder> trace;
+  if (!trace_out.empty()) {
+    trace = std::make_unique<TraceRecorder>(
+        (size_t)flags.GetInt("trace_capacity", TraceRecorder::kDefaultCapacity));
+  }
+
   FtlConfig config;
   config.nand.page_size_bytes = (uint64_t)flags.GetInt("page_kib", 4) * kKiB;
   config.nand.pages_per_segment = (uint64_t)flags.GetInt("segment_pages", 1024);
@@ -176,6 +205,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  ftl->SetTraceRecorder(trace.get());
   SimClock clock;
 
   const uint64_t lba_space = std::max<uint64_t>(
@@ -214,8 +244,17 @@ int main(int argc, char** argv) {
     clock.AdvanceTo(filled->drain_end_ns);
   }
 
-  // Snapshot cadence + rotation via the runner's per-op hook.
-  const uint64_t snapshot_every = (uint64_t)flags.GetInt("snapshot_every", 0);
+  // Snapshot cadence + rotation via the runner's per-op hook. --snapshots=N is
+  // shorthand for "spread N snapshots evenly over the run".
+  uint64_t snapshot_every = (uint64_t)flags.GetInt("snapshot_every", 0);
+  const uint64_t snapshot_count = (uint64_t)flags.GetInt("snapshots", 0);
+  if (snapshot_count > 0) {
+    if (snapshot_every != 0) {
+      std::fprintf(stderr, "pass either --snapshots or --snapshot_every, not both\n");
+      return 2;
+    }
+    snapshot_every = std::max<uint64_t>(1, ops / snapshot_count);
+  }
   const size_t keep = (size_t)flags.GetInt("keep_snapshots", 4);
   std::vector<uint32_t> live_snaps;
   RunOptions options;
@@ -279,7 +318,7 @@ int main(int argc, char** argv) {
     std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
     const uint64_t start = clock.NowNs();
     uint64_t finish = start;
-    auto reopened = Ftl::Open(config, std::move(media), start, &finish);
+    auto reopened = Ftl::Open(config, std::move(media), start, &finish, trace.get());
     IOSNAP_CHECK(reopened.ok());
     ftl = std::move(reopened).value();
     std::printf("recovered in %.2f ms: %llu mapped blocks, %zu live snapshots\n",
@@ -292,10 +331,36 @@ int main(int argc, char** argv) {
     std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
     const uint64_t start = clock.NowNs();
     uint64_t finish = start;
-    auto reopened = Ftl::Open(config, std::move(media), start, &finish);
+    auto reopened = Ftl::Open(config, std::move(media), start, &finish, trace.get());
     IOSNAP_CHECK(reopened.ok());
     ftl = std::move(reopened).value();
     std::printf("reopened from checkpoint in %.2f ms\n", NsToMs(finish - start));
+  }
+
+  if (trace != nullptr) {
+    if (WriteTraceFile(*trace, trace_out)) {
+      std::printf("\ntrace: %llu events to %s (%llu recorded, %llu dropped)\n",
+                  (unsigned long long)trace->size(), trace_out.c_str(),
+                  (unsigned long long)trace->total_recorded(),
+                  (unsigned long long)trace->dropped());
+    } else {
+      std::fprintf(stderr, "failed to write --trace_out=%s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    MetricsRegistry registry;
+    RegisterFtlStats(&registry, ftl->stats());
+    RegisterNandStats(&registry, ftl->device().stats());
+    RegisterValidityStats(&registry, ftl->validity().stats());
+    registry.RegisterHistogram("run.latency", &result->latency);
+    if (registry.WriteFile(metrics_out)) {
+      std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
+                  metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write --metrics_out=%s\n", metrics_out.c_str());
+      return 1;
+    }
   }
   return 0;
 }
