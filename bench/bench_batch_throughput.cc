@@ -1,0 +1,101 @@
+// Vectored-submission throughput: one workload, swept over --batch ∈ {1, 8, 32}.
+//
+// Measures what the vectored path (Ftl::WriteV/ReadV scheduling a whole batch across
+// channels in one virtual-clock pass) buys over scalar submission on the same device.
+// Virtual-time MB/s isolates the channel-overlap effect; batch=1 is the scalar path and
+// doubles as the regression anchor (it must match the pre-batching numbers exactly).
+//
+// Flags: --batches=1,8,32 overrides the sweep; --pages=N the per-run volume.
+
+#include "bench/bench_common.h"
+
+namespace iosnap {
+namespace {
+
+constexpr uint64_t kDefaultPages = 64 * 1024;  // 256 MiB of 4K I/O per measurement.
+constexpr uint64_t kRepeats = 3;
+
+double RunCase(const std::string& pattern, IoKind kind, uint64_t batch, uint64_t pages,
+               uint64_t seed) {
+  FtlConfig config = BenchConfig();
+  std::unique_ptr<Ftl> ftl = MustCreate(config);
+  SimClock clock;
+
+  const uint64_t lba_space = ftl->LbaCount() * 3 / 4;
+  if (kind == IoKind::kRead) {
+    Prefill(ftl.get(), &clock, lba_space);
+  }
+
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+  std::unique_ptr<Workload> workload;
+  if (pattern == "seq") {
+    workload = std::make_unique<SequentialWorkload>(kind, 0, lba_space, /*wrap=*/true);
+  } else {
+    workload = std::make_unique<RandomWorkload>(kind, lba_space, seed);
+  }
+
+  RunOptions options;
+  options.batch = batch;
+  const uint64_t start = clock.NowNs();
+  auto result = runner.Run(workload.get(), pages, options);
+  IOSNAP_CHECK(result.ok());
+  const uint64_t end = std::max(result->drain_end_ns, clock.NowNs());
+  BenchDumpMetrics(*ftl);
+  return MbPerSec(result->bytes, end - start);
+}
+
+void Row(const char* label, const std::string& pattern, IoKind kind,
+         const std::vector<uint64_t>& batches, uint64_t pages) {
+  std::printf("%-18s", label);
+  double base = 0;
+  for (uint64_t batch : batches) {
+    Measurement m;
+    for (uint64_t rep = 0; rep < kRepeats; ++rep) {
+      m.Add(RunCase(pattern, kind, batch, pages, 2000 + rep));
+    }
+    if (base == 0) {
+      base = m.stats.mean();
+    }
+    std::printf("  %8.1f (%4.2fx)", m.stats.mean(),
+                base > 0 ? m.stats.mean() / base : 0);
+  }
+  std::printf("  MB/s\n");
+}
+
+}  // namespace
+}  // namespace iosnap
+
+int main(int argc, char** argv) {
+  using namespace iosnap;
+  Flags flags = BenchInit(argc, argv, {"batches", "pages"});
+  std::vector<uint64_t> batches;
+  const std::string batches_str = flags.GetString("batches", "1,8,32");
+  for (size_t pos = 0; pos < batches_str.size();) {
+    const size_t comma = batches_str.find(',', pos);
+    const std::string tok = batches_str.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const uint64_t b = std::strtoull(tok.c_str(), nullptr, 10);
+    IOSNAP_CHECK(b > 0);
+    batches.push_back(b);
+    pos = comma == std::string::npos ? batches_str.size() : comma + 1;
+  }
+  const uint64_t pages = (uint64_t)flags.GetInt("pages", kDefaultPages);
+
+  PrintHeader("Vectored submission: virtual-time throughput vs batch size",
+              "batch=1 equals the scalar path; larger batches overlap channels");
+  std::printf("%-18s", "");
+  for (uint64_t b : batches) {
+    std::printf("  batch=%-11llu", static_cast<unsigned long long>(b));
+  }
+  std::printf("\n");
+  PrintRule();
+  Row("Sequential Write", "seq", IoKind::kWrite, batches, pages);
+  Row("Random Write", "rand", IoKind::kWrite, batches, pages);
+  Row("Sequential Read", "seq", IoKind::kRead, batches, pages);
+  Row("Random Read", "rand", IoKind::kRead, batches, pages);
+  PrintRule();
+  std::printf("(speedup in parentheses is relative to the first batch size listed)\n");
+  BenchFinish();
+  return 0;
+}

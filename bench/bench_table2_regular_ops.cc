@@ -17,7 +17,7 @@ constexpr uint64_t kSeqReadQd = 64;       // Prefetch-friendly sequential reads.
 constexpr uint64_t kRandReadQd = 2;       // Paper: two reader threads, sync reads.
 
 double RunCase(bool snapshots_enabled, const std::string& pattern, IoKind kind,
-               uint64_t seed) {
+               uint64_t seed, uint64_t batch = 0) {
   FtlConfig config = BenchConfig();
   config.snapshots_enabled = snapshots_enabled;
   std::unique_ptr<Ftl> ftl = MustCreate(config);
@@ -38,7 +38,9 @@ double RunCase(bool snapshots_enabled, const std::string& pattern, IoKind kind,
   }
 
   RunOptions options;
-  if (kind == IoKind::kWrite) {
+  if (batch > 0) {
+    options.batch = batch;  // Vectored submission through WriteV/ReadV.
+  } else if (kind == IoKind::kWrite) {
     options.queue_depth = kWriteQd;
   } else {
     options.queue_depth = pattern == "seq" ? kSeqReadQd : kRandReadQd;
@@ -64,6 +66,20 @@ void Row(const char* label, const std::string& pattern, IoKind kind) {
               iosnap.Format("MB/s").c_str());
 }
 
+// Same patterns on ioSnap via vectored submission (--batch), one column per size.
+void BatchRow(const char* label, const std::string& pattern, IoKind kind,
+              const std::vector<uint64_t>& batches) {
+  std::printf("%-18s", label);
+  for (uint64_t batch : batches) {
+    Measurement m;
+    for (uint64_t rep = 0; rep < kRepeats; ++rep) {
+      m.Add(RunCase(true, pattern, kind, 1000 + rep, batch));
+    }
+    std::printf("  %9.2f", m.stats.mean());
+  }
+  std::printf("  MB/s\n");
+}
+
 }  // namespace
 }  // namespace iosnap
 
@@ -81,6 +97,19 @@ int main(int argc, char** argv) {
   PrintRule();
   std::printf("(paper, 1.2TB testbed: seq write 1617 vs 1615; rand write 1375 vs 1380;\n"
               " seq read 1238 vs 1240; rand read 312 vs 310 MB/s)\n");
+
+  const std::vector<uint64_t> batches = {1, 8, 32};
+  std::printf("\nioSnap, vectored submission (--batch):\n");
+  std::printf("%-18s", "");
+  for (uint64_t b : batches) {
+    std::printf("  batch=%-4llu", static_cast<unsigned long long>(b));
+  }
+  std::printf("\n");
+  PrintRule();
+  BatchRow("Sequential Write", "seq", IoKind::kWrite, batches);
+  BatchRow("Random Write", "rand", IoKind::kWrite, batches);
+  BatchRow("Sequential Read", "seq", IoKind::kRead, batches);
+  BatchRow("Random Read", "rand", IoKind::kRead, batches);
   BenchFinish();
   return 0;
 }

@@ -16,6 +16,13 @@ ActivationTask::ActivationTask(Ftl* ftl, uint32_t view_id, uint32_t filter_epoch
   // First burst may not start before the activate note hit the log.
   limiter_.OnBurstComplete(start_ns > limit.sleep_ns ? start_ns - limit.sleep_ns : 0);
   lineage_ = ftl_->tree_.Lineage(filter_epoch_);
+  // The frozen bitmap already knows how many entries the scan will collect (one per
+  // valid page); size the buffer once instead of growing it across segments.
+  uint64_t expected = 0;
+  for (uint64_t r = 0; r < ftl_->validity_.NumRanges(); ++r) {
+    expected += ftl_->validity_.EpochValidCount(filter_epoch_, r);
+  }
+  entries_.reserve(expected);
 }
 
 StatusOr<uint64_t> ActivationTask::ScanOneSegment(uint64_t now_ns) {

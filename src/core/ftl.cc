@@ -71,9 +71,9 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
 
   for (const auto& [epoch, paddrs] : state.validity) {
     ftl->validity_.CreateEpoch(epoch);
-    for (uint64_t paddr : paddrs) {
-      ftl->validity_.SetValid(epoch, paddr);
-    }
+    // Recovered paddr lists are chunk-dense, so the batched path resolves each CoW
+    // chunk once instead of once per bit.
+    ftl->validity_.SetValidBatch(epoch, paddrs);
   }
   if (!ftl->validity_.HasEpoch(ftl->active_epoch_)) {
     ftl->validity_.CreateEpoch(ftl->active_epoch_);
@@ -295,9 +295,220 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
   return result;
 }
 
+StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
+                                                    std::span<const WriteRequest> requests,
+                                                    uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (!view->ready) {
+    return FailedPrecondition("write: view still activating");
+  }
+  if (!view->writable) {
+    return FailedPrecondition("write: view is read-only");
+  }
+  for (const WriteRequest& r : requests) {
+    if (r.lba >= lba_count_) {
+      return OutOfRange("write: lba " + std::to_string(r.lba) + " out of range");
+    }
+  }
+
+  std::vector<IoResult> results;
+  results.reserve(requests.size());
+  if (requests.empty()) {
+    return results;
+  }
+
+  // Scratch reused across runs.
+  std::vector<LogManager::AppendRequest> appends;
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  std::vector<std::optional<uint64_t>> old_paddrs;
+  std::vector<ValidityMap::BitOp> bit_ops;
+  std::vector<size_t> op_begin;
+
+  size_t next = 0;
+  while (next < requests.size()) {
+    RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+    const uint64_t remaining = requests.size() - next;
+
+    // Run sizing: the longest prefix for which the one-by-one path would provably keep
+    // EnsureAppendSpace and PaceCleanerOnWrite no-ops between writes, so batching the
+    // device work cannot reorder cleaner traffic relative to sequential execution.
+    // Outside those regimes fall back to one page at a time — the scalar path exactly.
+    uint64_t run = 1;
+    const uint64_t head_pages = std::max<uint64_t>(1, log_.ActiveHeadFreePages());
+    if (!activations_.empty()) {
+      // Pacing defers to the activation scan; only append room limits the run.
+      run = std::min(remaining, head_pages);
+    } else if (!gc_cycle_active_ &&
+               log_.FreeSegmentCount() >= config_.gc_low_free_segments) {
+      // Writes may consume the open segment plus every whole segment above the low
+      // watermark before pacing engages. Clamp by append room: the low watermark is not
+      // guaranteed to sit above the GC reserve.
+      const uint64_t pages_per_segment = config_.nand.pages_per_segment;
+      uint64_t open_rem = 0;
+      const std::optional<uint64_t> open = log_.OpenSegment(LogManager::kActiveHead);
+      if (open.has_value()) {
+        open_rem = pages_per_segment - device_->NextFreePage(*open);
+      }
+      const uint64_t safe =
+          open_rem +
+          (log_.FreeSegmentCount() - config_.gc_low_free_segments) * pages_per_segment;
+      run = std::min(remaining, std::max<uint64_t>(1, std::min(safe, head_pages)));
+    }
+
+    validity_.NoteTimeNs(issue_ns);
+    appends.clear();
+    for (uint64_t i = 0; i < run; ++i) {
+      PageHeader header;
+      header.type = RecordType::kData;
+      header.lba = requests[next + i].lba;
+      header.epoch = view->epoch;
+      header.seq = NextSeq();
+      appends.push_back({header, requests[next + i].data});
+    }
+    ASSIGN_OR_RETURN(std::vector<AppendResult> ars,
+                     log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns));
+
+    // Forward map: one batched descent for the run. `old_paddrs` matches what
+    // per-record lookups would have returned (duplicate LBAs resolve in submission
+    // order).
+    entries.clear();
+    for (uint64_t i = 0; i < run; ++i) {
+      entries.emplace_back(requests[next + i].lba, ars[i].paddr);
+    }
+    view->map.InsertBatch(entries, &old_paddrs);
+
+    // Validity: per record, clear-old then set-new. ApplyBatch groups the flips by
+    // chunk; per-op CoW attribution is identical to the sequential calls.
+    bit_ops.clear();
+    op_begin.clear();
+    for (uint64_t i = 0; i < run; ++i) {
+      op_begin.push_back(bit_ops.size());
+      if (old_paddrs[i].has_value()) {
+        bit_ops.push_back({*old_paddrs[i], false, 0});
+      }
+      bit_ops.push_back({ars[i].paddr, true, 0});
+    }
+    validity_.ApplyBatch(view->epoch, bit_ops);
+
+    for (uint64_t i = 0; i < run; ++i) {
+      const size_t ops_end = i + 1 < run ? op_begin[i + 1] : bit_ops.size();
+      uint64_t cow_bytes = 0;
+      for (size_t o = op_begin[i]; o < ops_end; ++o) {
+        cow_bytes += bit_ops[o].cow_bytes;
+      }
+      if (cow_bytes > 0) {
+        ++stats_.validity_cow_events;
+        stats_.validity_cow_bytes += cow_bytes;
+      }
+      ++stats_.user_writes;
+      stats_.user_bytes_written += config_.nand.page_size_bytes;
+      ++stats_.total_pages_programmed;
+
+      PaceCleanerOnWrite(ars[i].op.finish_ns);
+
+      IoResult result;
+      result.op = ars[i].op;
+      result.host_ns = config_.host_map_lookup_ns + config_.host_map_update_ns +
+                       2 * config_.host_bitmap_update_ns +
+                       cow_bytes * config_.host_cow_ns_per_byte;
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kUserWrite, issue_ns, result.CompletionNs(),
+                       requests[next + i].lba, view->view_id);
+      }
+      results.push_back(result);
+    }
+    next += run;
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kUserBatch, issue_ns, issue_ns, requests.size(),
+                   view->view_id);
+  }
+  return results;
+}
+
+StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
+    const View& view, std::span<const uint64_t> lbas, uint64_t issue_ns,
+    std::vector<std::vector<uint8_t>>* data_out) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  if (!view.ready) {
+    return FailedPrecondition("read: view still activating");
+  }
+  for (uint64_t lba : lbas) {
+    if (lba >= lba_count_) {
+      return OutOfRange("read: lba " + std::to_string(lba) + " out of range");
+    }
+  }
+
+  std::vector<IoResult> results(lbas.size());
+  if (data_out != nullptr) {
+    data_out->assign(lbas.size(), {});
+  }
+  // Resolve in submission order; unmapped LBAs read as zeroes without device work,
+  // mapped pages go to the device as one batch at the shared issue time.
+  std::vector<uint64_t> paddrs;
+  std::vector<size_t> mapped;
+  paddrs.reserve(lbas.size());
+  mapped.reserve(lbas.size());
+  for (size_t i = 0; i < lbas.size(); ++i) {
+    IoResult& r = results[i];
+    r.host_ns = config_.host_map_lookup_ns;
+    ++stats_.user_reads;
+    stats_.user_bytes_read += config_.nand.page_size_bytes;
+    const std::optional<uint64_t> paddr = view.map.Lookup(lbas[i]);
+    if (!paddr.has_value()) {
+      if (data_out != nullptr) {
+        (*data_out)[i].assign(config_.nand.page_size_bytes, 0);
+      }
+      r.op.issue_ns = issue_ns;
+      r.op.finish_ns = issue_ns;
+    } else {
+      paddrs.push_back(*paddr);
+      mapped.push_back(i);
+    }
+  }
+  if (!paddrs.empty()) {
+    std::vector<std::vector<uint8_t>> data;
+    std::vector<NandOp> ops;
+    RETURN_IF_ERROR(device_->ReadBatch(paddrs, issue_ns, nullptr,
+                                       data_out != nullptr ? &data : nullptr, &ops));
+    for (size_t k = 0; k < mapped.size(); ++k) {
+      results[mapped[k]].op = ops[k];
+      if (data_out != nullptr) {
+        (*data_out)[mapped[k]] = std::move(data[k]);
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    for (size_t i = 0; i < lbas.size(); ++i) {
+      trace_->Record(TraceEventType::kUserRead, issue_ns, results[i].CompletionNs(),
+                     lbas[i], view.view_id);
+    }
+    if (!lbas.empty()) {
+      trace_->Record(TraceEventType::kUserBatch, issue_ns, issue_ns, lbas.size(),
+                     view.view_id);
+    }
+  }
+  return results;
+}
+
 StatusOr<IoResult> Ftl::Write(uint64_t lba, std::span<const uint8_t> data,
                               uint64_t issue_ns) {
   return WriteInternal(FindView(kPrimaryView), lba, data, issue_ns);
+}
+
+StatusOr<std::vector<IoResult>> Ftl::WriteV(std::span<const WriteRequest> requests,
+                                            uint64_t issue_ns) {
+  return WriteVInternal(FindView(kPrimaryView), requests, issue_ns);
+}
+
+StatusOr<std::vector<IoResult>> Ftl::ReadV(std::span<const uint64_t> lbas,
+                                           uint64_t issue_ns,
+                                           std::vector<std::vector<uint8_t>>* data_out) {
+  return ReadVInternal(*FindView(kPrimaryView), lbas, issue_ns, data_out);
 }
 
 StatusOr<IoResult> Ftl::Read(uint64_t lba, uint64_t issue_ns,
@@ -345,6 +556,78 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
     trace_->Record(TraceEventType::kUserTrim, issue_ns, result.CompletionNs(), lba, count);
   }
   return result;
+}
+
+StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests,
+                                           uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  for (const TrimRequest& r : requests) {
+    if (r.count == 0 || r.lba + r.count > lba_count_ || r.count > 0xffffffffULL) {
+      return OutOfRange("trim: bad range");
+    }
+  }
+  View* view = FindView(kPrimaryView);
+  std::vector<IoResult> results;
+  results.reserve(requests.size());
+  if (requests.empty()) {
+    return results;
+  }
+
+  std::vector<LogManager::AppendRequest> appends;
+  size_t next = 0;
+  while (next < requests.size()) {
+    RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+    validity_.NoteTimeNs(issue_ns);
+    // Trims never pace the cleaner, so only append room limits the note run.
+    const uint64_t run = std::min<uint64_t>(
+        requests.size() - next, std::max<uint64_t>(1, log_.ActiveHeadFreePages()));
+    appends.clear();
+    for (uint64_t i = 0; i < run; ++i) {
+      const TrimRequest& r = requests[next + i];
+      PageHeader header;
+      header.type = RecordType::kTrim;
+      header.lba = r.lba;
+      header.epoch = view->epoch;
+      header.seq = NextSeq();
+      header.trim_count = static_cast<uint32_t>(r.count);
+      appends.push_back({header, {}});
+    }
+    ASSIGN_OR_RETURN(std::vector<AppendResult> ars,
+                     log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns));
+
+    for (uint64_t i = 0; i < run; ++i) {
+      const TrimRequest& r = requests[next + i];
+      ++stats_.total_pages_programmed;
+      uint64_t host_ns = config_.host_note_ns;
+      for (uint64_t j = 0; j < r.count; ++j) {
+        const std::optional<uint64_t> old_paddr = view->map.Lookup(r.lba + j);
+        if (old_paddr.has_value()) {
+          const uint64_t cow = validity_.ClearValid(view->epoch, *old_paddr);
+          view->map.Erase(r.lba + j);
+          host_ns += config_.host_map_update_ns + config_.host_bitmap_update_ns +
+                     cow * config_.host_cow_ns_per_byte;
+        }
+      }
+      ++stats_.user_trims;
+
+      IoResult result;
+      result.op = ars[i].op;
+      result.host_ns = host_ns;
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kUserTrim, issue_ns, result.CompletionNs(), r.lba,
+                       r.count);
+      }
+      results.push_back(result);
+    }
+    next += run;
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kUserBatch, issue_ns, issue_ns, requests.size(),
+                   kPrimaryView);
+  }
+  return results;
 }
 
 bool Ftl::IsMapped(uint64_t lba) const {
@@ -626,6 +909,27 @@ StatusOr<IoResult> Ftl::WriteView(uint32_t view_id, uint64_t lba,
   return WriteInternal(view, lba, data, issue_ns);
 }
 
+StatusOr<std::vector<IoResult>> Ftl::ReadViewV(uint32_t view_id,
+                                               std::span<const uint64_t> lbas,
+                                               uint64_t issue_ns,
+                                               std::vector<std::vector<uint8_t>>* data_out) {
+  const View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  return ReadVInternal(*view, lbas, issue_ns, data_out);
+}
+
+StatusOr<std::vector<IoResult>> Ftl::WriteViewV(uint32_t view_id,
+                                                std::span<const WriteRequest> requests,
+                                                uint64_t issue_ns) {
+  View* view = FindView(view_id);
+  if (view == nullptr) {
+    return NotFound("view " + std::to_string(view_id) + " does not exist");
+  }
+  return WriteVInternal(view, requests, issue_ns);
+}
+
 void Ftl::PumpBackground(uint64_t now_ns) {
   if (closed_) {
     return;
@@ -689,7 +993,12 @@ Status Ftl::CheckpointAndClose(uint64_t issue_ns) {
   state.tree = tree_;  // Copy.
   state.primary_map = FindView(kPrimaryView)->map.ToSortedVector();
   for (uint32_t epoch : LiveEpochs()) {
+    uint64_t valid_pages = 0;
+    for (uint64_t r = 0; r < validity_.NumRanges(); ++r) {
+      valid_pages += validity_.EpochValidCount(epoch, r);
+    }
     std::vector<uint64_t> paddrs;
+    paddrs.reserve(valid_pages);
     validity_.ForEachValid(epoch, [&paddrs](uint64_t paddr) { paddrs.push_back(paddr); });
     state.validity.emplace(epoch, std::move(paddrs));
   }

@@ -63,6 +63,18 @@ struct SnapshotOpResult {
 // The id of the always-present primary (active) view.
 inline constexpr uint32_t kPrimaryView = 0;
 
+// One page write in a vectored submission.
+struct WriteRequest {
+  uint64_t lba = 0;
+  std::span<const uint8_t> data;
+};
+
+// One trim range in a vectored submission.
+struct TrimRequest {
+  uint64_t lba = 0;
+  uint64_t count = 0;
+};
+
 class Ftl {
  public:
   // Creates an FTL on a factory-fresh device.
@@ -103,6 +115,24 @@ class Ftl {
   StatusOr<IoResult> Trim(uint64_t lba, uint64_t count, uint64_t issue_ns);
   bool IsMapped(uint64_t lba) const;
 
+  // --- Vectored I/O (see DESIGN.md "Vectored I/O and batching") ---
+  //
+  // Every request in a batch is issued at `issue_ns`; the device schedules the whole
+  // batch in one virtual-clock pass, so per-request device times overlap across
+  // channels. A batch is not atomic: requests apply in submission order, later requests
+  // observe earlier requests' effects (duplicate LBAs behave as if written
+  // back-to-back), and an error mid-batch leaves earlier requests applied. State,
+  // stats, and per-request results are bit-identical to issuing the same requests
+  // one-by-one at the same issue time; a batch of one is the scalar call.
+  StatusOr<std::vector<IoResult>> WriteV(std::span<const WriteRequest> requests,
+                                         uint64_t issue_ns);
+  // `data_out` (optional) receives one page buffer per lba, in submission order.
+  StatusOr<std::vector<IoResult>> ReadV(std::span<const uint64_t> lbas, uint64_t issue_ns,
+                                        std::vector<std::vector<uint8_t>>* data_out);
+  // One trim note per request.
+  StatusOr<std::vector<IoResult>> TrimV(std::span<const TrimRequest> requests,
+                                        uint64_t issue_ns);
+
   // --- Snapshot operations (§5.8) ---
 
   StatusOr<SnapshotOpResult> CreateSnapshot(std::string name, uint64_t issue_ns);
@@ -133,6 +163,13 @@ class Ftl {
                               std::vector<uint8_t>* data_out);
   StatusOr<IoResult> WriteView(uint32_t view_id, uint64_t lba, std::span<const uint8_t> data,
                                uint64_t issue_ns);
+  // Vectored forms; same contract as WriteV/ReadV.
+  StatusOr<std::vector<IoResult>> ReadViewV(uint32_t view_id, std::span<const uint64_t> lbas,
+                                            uint64_t issue_ns,
+                                            std::vector<std::vector<uint8_t>>* data_out);
+  StatusOr<std::vector<IoResult>> WriteViewV(uint32_t view_id,
+                                             std::span<const WriteRequest> requests,
+                                             uint64_t issue_ns);
 
   // --- Background machinery ---
 
@@ -194,6 +231,13 @@ class Ftl {
                                    uint64_t issue_ns);
   StatusOr<IoResult> ReadInternal(const View& view, uint64_t lba, uint64_t issue_ns,
                                   std::vector<uint8_t>* data_out);
+  StatusOr<std::vector<IoResult>> WriteVInternal(View* view,
+                                                 std::span<const WriteRequest> requests,
+                                                 uint64_t issue_ns);
+  StatusOr<std::vector<IoResult>> ReadVInternal(const View& view,
+                                                std::span<const uint64_t> lbas,
+                                                uint64_t issue_ns,
+                                                std::vector<std::vector<uint8_t>>* data_out);
 
   // Ensures the active head can append, running synchronous emergency cleaning if the
   // free pool is exhausted. Returns the device-time horizon the caller must wait behind.

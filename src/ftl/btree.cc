@@ -1,48 +1,17 @@
 #include "src/ftl/btree.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstring>
 
 #include "src/common/logging.h"
 
 namespace iosnap {
 
-struct BPlusTree::Node {
-  bool is_leaf;
-  int count = 0;  // Number of keys.
-  // Room for one overflow entry before a split resolves it.
-  uint64_t keys[kCapacity + 1];
-
-  explicit Node(bool leaf) : is_leaf(leaf) {}
-};
-
-struct BPlusTree::LeafNode : BPlusTree::Node {
-  uint64_t values[kCapacity + 1];
-  LeafNode* next = nullptr;
-
-  LeafNode() : Node(/*leaf=*/true) {}
-};
-
-struct BPlusTree::InternalNode : BPlusTree::Node {
-  // children[i] covers keys < keys[i]; children[count] covers the rest.
-  Node* children[kCapacity + 2] = {nullptr};
-
-  InternalNode() : Node(/*leaf=*/false) {}
-};
-
-BPlusTree::BPlusTree() {
-  root_ = new LeafNode();
-  leaf_count_ = 1;
-}
-
-BPlusTree::~BPlusTree() {
-  if (root_ != nullptr) {
-    DeleteRec(root_);
-  }
-}
+BPlusTree::BPlusTree() { root_ = NewLeaf(); }
 
 BPlusTree::BPlusTree(BPlusTree&& other) noexcept
-    : root_(other.root_),
+    : arena_(std::move(other.arena_)),
+      root_(other.root_),
       size_(other.size_),
       leaf_count_(other.leaf_count_),
       internal_count_(other.internal_count_) {
@@ -54,9 +23,8 @@ BPlusTree::BPlusTree(BPlusTree&& other) noexcept
 
 BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
   if (this != &other) {
-    if (root_ != nullptr) {
-      DeleteRec(root_);
-    }
+    // Dropping the arena releases every node of the old tree wholesale.
+    arena_ = std::move(other.arena_);
     root_ = other.root_;
     size_ = other.size_;
     leaf_count_ = other.leaf_count_;
@@ -69,26 +37,12 @@ BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
   return *this;
 }
 
-void BPlusTree::DeleteRec(Node* node) {
-  if (!node->is_leaf) {
-    auto* internal = static_cast<InternalNode*>(node);
-    for (int i = 0; i <= internal->count; ++i) {
-      DeleteRec(internal->children[i]);
-    }
-    delete internal;
-  } else {
-    delete static_cast<LeafNode*>(node);
-  }
-}
-
 void BPlusTree::Clear() {
-  if (root_ != nullptr) {
-    DeleteRec(root_);
-  }
-  root_ = new LeafNode();
+  arena_.Reset();
   size_ = 0;
-  leaf_count_ = 1;
+  leaf_count_ = 0;
   internal_count_ = 0;
+  root_ = NewLeaf();
 }
 
 BPlusTree::LeafNode* BPlusTree::FindLeaf(uint64_t key) const {
@@ -135,8 +89,7 @@ bool BPlusTree::InsertRec(Node* node, uint64_t key, uint64_t value, uint64_t* sp
     ++size_;
 
     if (leaf->count > kCapacity) {
-      auto* right = new LeafNode();
-      ++leaf_count_;
+      auto* right = NewLeaf();
       const int move = leaf->count / 2;
       const int keep = leaf->count - move;
       for (int i = 0; i < move; ++i) {
@@ -174,8 +127,7 @@ bool BPlusTree::InsertRec(Node* node, uint64_t key, uint64_t value, uint64_t* sp
     ++internal->count;
 
     if (internal->count > kCapacity) {
-      auto* right = new InternalNode();
-      ++internal_count_;
+      auto* right = NewInternal();
       // Promote the middle separator; left keeps [0, mid), right takes (mid, count).
       const int mid = internal->count / 2;
       *split_key = internal->keys[mid];
@@ -198,13 +150,206 @@ bool BPlusTree::Insert(uint64_t key, uint64_t value) {
   Node* new_node = nullptr;
   const bool inserted = InsertRec(root_, key, value, &split_key, &new_node);
   if (new_node != nullptr) {
-    auto* new_root = new InternalNode();
-    ++internal_count_;
+    auto* new_root = NewInternal();
     new_root->keys[0] = split_key;
     new_root->children[0] = root_;
     new_root->children[1] = new_node;
     new_root->count = 1;
     root_ = new_root;
+  }
+  return inserted;
+}
+
+size_t BPlusTree::InsertBatch(std::span<const std::pair<uint64_t, uint64_t>> entries,
+                              std::vector<std::optional<uint64_t>>* old_values) {
+  if (old_values != nullptr) {
+    old_values->assign(entries.size(), std::nullopt);
+  }
+  if (entries.empty()) {
+    return 0;
+  }
+  if (entries.size() == 1) {
+    // A batch of one is the scalar insert; skip the sort/descent machinery.
+    const uint64_t key = entries[0].first;
+    const uint64_t value = entries[0].second;
+    if (old_values != nullptr) {
+      LeafNode* leaf = FindLeaf(key);
+      uint64_t* lend = leaf->keys + leaf->count;
+      uint64_t* lit = std::lower_bound(leaf->keys, lend, key);
+      if (lit != lend && *lit == key) {
+        (*old_values)[0] = leaf->values[lit - leaf->keys];
+        leaf->values[lit - leaf->keys] = value;
+        return 0;
+      }
+    }
+    return Insert(key, value) ? 1 : 0;
+  }
+  // Sort (key, original index) pairs: the index tiebreak keeps equal keys in submission
+  // order, so the overwrite chain (and the replaced value reported for each duplicate)
+  // matches entry-by-entry insertion.
+  std::vector<std::pair<uint64_t, uint32_t>> order(entries.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = {entries[i].first, i};
+  }
+  std::sort(order.begin(), order.end());
+
+  // Memoized descent: keys arrive in ascending order, so consecutive keys usually land
+  // in the same subtree. The path stack records, per level, the chosen child and the
+  // *effective* upper separator bound (the tightest ancestor separator above it). A new
+  // key pops only the suffix of levels whose range it has left, then re-descends from
+  // the surviving ancestor — same-leaf keys cost one comparison, not a full descent.
+  // Bounds nest (each child's effective bound <= its parent's), so checking the deepest
+  // surviving entry is enough.
+  struct PathEntry {
+    InternalNode* node;
+    Node* child;
+    uint64_t eff_hi;  // Valid iff has_hi; keys >= eff_hi have left this child's range.
+    bool has_hi;
+  };
+  PathEntry path[64];
+  int depth = 0;
+  const auto find_leaf = [&](uint64_t key) -> LeafNode* {
+    while (depth > 0 && path[depth - 1].has_hi && key >= path[depth - 1].eff_hi) {
+      --depth;
+    }
+    Node* node = depth == 0 ? root_ : path[depth - 1].child;
+    while (!node->is_leaf) {
+      auto* internal = static_cast<InternalNode*>(node);
+      const uint64_t* begin = internal->keys;
+      const uint64_t* it = std::upper_bound(begin, begin + internal->count, key);
+      PathEntry& e = path[depth];
+      e.node = internal;
+      e.child = internal->children[it - begin];
+      if (it != begin + internal->count) {
+        e.eff_hi = *it;
+        e.has_hi = true;
+      } else if (depth > 0) {
+        e.eff_hi = path[depth - 1].eff_hi;
+        e.has_hi = path[depth - 1].has_hi;
+      } else {
+        e.eff_hi = 0;
+        e.has_hi = false;
+      }
+      ++depth;
+      node = e.child;
+    }
+    return static_cast<LeafNode*>(node);
+  };
+
+  size_t inserted = 0;
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    const uint64_t key = order[i].first;
+    const uint32_t idx = order[i].second;
+    const uint64_t value = entries[idx].second;
+    LeafNode* leaf = find_leaf(key);
+    uint64_t* lend = leaf->keys + leaf->count;
+    uint64_t* lit = std::lower_bound(leaf->keys, lend, key);
+    const int pos = static_cast<int>(lit - leaf->keys);
+    if (lit != lend && *lit == key) {
+      if (old_values != nullptr) {
+        (*old_values)[idx] = leaf->values[pos];
+      }
+      leaf->values[pos] = value;
+      ++i;
+      continue;
+    }
+    if (leaf->count >= kCapacity) {
+      // Full leaf: insert the overflow entry, split, and push the separator up the
+      // memoized path — the same midpoint math as InsertRec, without re-descending.
+      // (The separator lands at upper_bound(split_key), which is the split child's slot
+      // because the child's keys all sit between its bracketing separators.)
+      const size_t tail0 = static_cast<size_t>(leaf->count - pos);
+      std::memmove(leaf->keys + pos + 1, leaf->keys + pos, tail0 * sizeof(uint64_t));
+      std::memmove(leaf->values + pos + 1, leaf->values + pos, tail0 * sizeof(uint64_t));
+      leaf->keys[pos] = key;
+      leaf->values[pos] = value;
+      ++leaf->count;
+      ++size_;
+      auto* right = NewLeaf();
+      const int move = leaf->count / 2;
+      const int keep = leaf->count - move;
+      std::memcpy(right->keys, leaf->keys + keep, move * sizeof(uint64_t));
+      std::memcpy(right->values, leaf->values + keep, move * sizeof(uint64_t));
+      right->count = move;
+      leaf->count = keep;
+      right->next = leaf->next;
+      leaf->next = right;
+      uint64_t split_key = right->keys[0];
+      Node* new_node = right;
+      for (int lvl = depth - 1; lvl >= 0 && new_node != nullptr; --lvl) {
+        InternalNode* internal = path[lvl].node;
+        uint64_t* kend = internal->keys + internal->count;
+        uint64_t* kit = std::upper_bound(internal->keys, kend, split_key);
+        const int ci = static_cast<int>(kit - internal->keys);
+        for (int j = internal->count; j > ci; --j) {
+          internal->keys[j] = internal->keys[j - 1];
+          internal->children[j + 1] = internal->children[j];
+        }
+        internal->keys[ci] = split_key;
+        internal->children[ci + 1] = new_node;
+        ++internal->count;
+        if (internal->count > kCapacity) {
+          auto* iright = NewInternal();
+          const int mid = internal->count / 2;
+          split_key = internal->keys[mid];
+          const int imove = internal->count - mid - 1;
+          for (int j = 0; j < imove; ++j) {
+            iright->keys[j] = internal->keys[mid + 1 + j];
+            iright->children[j] = internal->children[mid + 1 + j];
+          }
+          iright->children[imove] = internal->children[internal->count];
+          iright->count = imove;
+          internal->count = mid;
+          new_node = iright;
+        } else {
+          new_node = nullptr;
+        }
+      }
+      if (new_node != nullptr) {
+        auto* new_root = NewInternal();
+        new_root->keys[0] = split_key;
+        new_root->children[0] = root_;
+        new_root->children[1] = new_node;
+        new_root->count = 1;
+        root_ = new_root;
+      }
+      depth = 0;  // Splits restructured the path; rebuild for the next key.
+      ++inserted;
+      ++i;
+      continue;
+    }
+    // Fresh key with room. Extend to the longest run of strictly-ascending batch keys
+    // that stay inside this leaf's separator range and this inter-key gap, and fit —
+    // then splice the whole run in with one shift. This is where sequential LBA bursts
+    // (the FTL's common case) collapse k per-key searches and shifts into one.
+    const bool gap_bounded = pos < leaf->count;  // Run must stay below keys[pos]...
+    const bool hi_bounded =                      // ...or below the leaf's separator.
+        !gap_bounded && depth > 0 && path[depth - 1].has_hi;
+    const uint64_t hi = hi_bounded ? path[depth - 1].eff_hi : 0;
+    size_t run = 1;
+    uint64_t prev_key = key;
+    while (i + run < n && leaf->count + static_cast<int>(run) < kCapacity) {
+      const uint64_t k = order[i + run].first;
+      if (k == prev_key || (gap_bounded && k >= leaf->keys[pos]) ||
+          (hi_bounded && k >= hi)) {
+        break;
+      }
+      prev_key = k;
+      ++run;
+    }
+    const size_t tail = static_cast<size_t>(leaf->count - pos);
+    std::memmove(leaf->keys + pos + run, leaf->keys + pos, tail * sizeof(uint64_t));
+    std::memmove(leaf->values + pos + run, leaf->values + pos, tail * sizeof(uint64_t));
+    for (size_t r = 0; r < run; ++r) {
+      leaf->keys[pos + r] = order[i + r].first;
+      leaf->values[pos + r] = entries[order[i + r].second].second;
+    }
+    leaf->count += static_cast<int>(run);
+    size_ += run;
+    inserted += run;
+    i += run;
   }
   return inserted;
 }
@@ -226,19 +371,6 @@ bool BPlusTree::Erase(uint64_t key) {
   return true;
 }
 
-void BPlusTree::ForEach(const std::function<void(uint64_t, uint64_t)>& fn) const {
-  // Leftmost leaf, then walk the chain.
-  Node* node = root_;
-  while (!node->is_leaf) {
-    node = static_cast<InternalNode*>(node)->children[0];
-  }
-  for (auto* leaf = static_cast<LeafNode*>(node); leaf != nullptr; leaf = leaf->next) {
-    for (int i = 0; i < leaf->count; ++i) {
-      fn(leaf->keys[i], leaf->values[i]);
-    }
-  }
-}
-
 std::vector<std::pair<uint64_t, uint64_t>> BPlusTree::ToSortedVector() const {
   std::vector<std::pair<uint64_t, uint64_t>> out;
   out.reserve(size_);
@@ -251,8 +383,8 @@ BPlusTree BPlusTree::BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& 
   if (sorted_pairs.empty()) {
     return tree;
   }
-  // Replace the default empty leaf.
-  DeleteRec(tree.root_);
+  // Recycle the default empty leaf.
+  tree.arena_.Reset();
   tree.root_ = nullptr;
   tree.leaf_count_ = 0;
 
@@ -262,8 +394,7 @@ BPlusTree BPlusTree::BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& 
   LeafNode* prev = nullptr;
   size_t i = 0;
   while (i < sorted_pairs.size()) {
-    auto* leaf = new LeafNode();
-    ++tree.leaf_count_;
+    auto* leaf = tree.NewLeaf();
     int n = 0;
     while (i < sorted_pairs.size() && n < kCapacity) {
       leaf->keys[n] = sorted_pairs[i].first;
@@ -287,8 +418,7 @@ BPlusTree BPlusTree::BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& 
     std::vector<uint64_t> next_min_keys;
     size_t j = 0;
     while (j < level.size()) {
-      auto* internal = new InternalNode();
-      ++tree.internal_count_;
+      auto* internal = tree.NewInternal();
       size_t take = std::min<size_t>(kCapacity + 1, level.size() - j);
       // Avoid leaving a singleton group: a node with one child has no separator keys.
       if (level.size() - j - take == 1) {

@@ -87,6 +87,58 @@ StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
   return result;
 }
 
+StatusOr<std::vector<AppendResult>> LogManager::AppendBatch(
+    int head, std::span<const AppendRequest> requests, uint64_t issue_ns) {
+  const uint64_t pages_per_segment = device_->config().pages_per_segment;
+  Head& h = HeadFor(head);
+  std::vector<AppendResult> results;
+  results.reserve(requests.size());
+
+  std::vector<NandDevice::ProgramRequest> run;
+  std::vector<uint64_t> run_paddrs;
+  std::vector<NandOp> run_ops;
+  size_t next = 0;
+  while (next < requests.size()) {
+    if (h.open_segment.has_value() &&
+        device_->NextFreePage(*h.open_segment) >= pages_per_segment) {
+      segments_[*h.open_segment].state = SegmentState::kClosed;
+      h.open_segment.reset();
+    }
+    if (!h.open_segment.has_value()) {
+      ASSIGN_OR_RETURN(uint64_t acquired, AcquireSegment(head));
+      h.open_segment = acquired;
+    }
+    const uint64_t seg = *h.open_segment;
+    const uint64_t room = pages_per_segment - device_->NextFreePage(seg);
+    const size_t run_len = std::min<uint64_t>(requests.size() - next, room);
+
+    run.clear();
+    run_paddrs.clear();
+    run_ops.clear();
+    for (size_t i = 0; i < run_len; ++i) {
+      run.push_back({requests[next + i].header, requests[next + i].data});
+    }
+    RETURN_IF_ERROR(device_->ProgramBatch(seg, run, issue_ns, &run_paddrs, &run_ops));
+
+    SegmentInfo& info = segments_[seg];
+    for (size_t i = 0; i < run_len; ++i) {
+      const PageHeader& header = requests[next + i].header;
+      info.min_seq = std::min(info.min_seq, header.seq);
+      if (header.type == RecordType::kData) {
+        info.min_data_seq = std::min(info.min_data_seq, header.seq);
+        ++info.epoch_pages[header.epoch];
+      }
+      results.push_back(AppendResult{run_paddrs[i], run_ops[i]});
+    }
+    if (device_->NextFreePage(seg) >= pages_per_segment) {
+      info.state = SegmentState::kClosed;
+      h.open_segment.reset();
+    }
+    next += run_len;
+  }
+  return results;
+}
+
 std::vector<uint64_t> LogManager::ClosedSegments() const {
   std::vector<uint64_t> out;
   for (uint64_t s = 0; s < segments_.size(); ++s) {

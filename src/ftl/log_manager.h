@@ -63,6 +63,23 @@ class LogManager {
   StatusOr<AppendResult> Append(int head, const PageHeader& header,
                                 std::span<const uint8_t> data, uint64_t issue_ns);
 
+  // One record of a vectored append.
+  struct AppendRequest {
+    PageHeader header;
+    std::span<const uint8_t> data;
+  };
+
+  // Appends a batch through `head`, every record issued at `issue_ns` so the device
+  // schedules the whole batch in one virtual-clock pass. Records are grouped into
+  // maximal segment runs (each run is one NandDevice::ProgramBatch); segment lifecycle
+  // and per-record accounting match record-by-record Append exactly. The caller should
+  // size the batch to fit the head's allowance (see ActiveHeadFreePages); a mid-batch
+  // acquisition failure returns the error after earlier records were already appended —
+  // a batch is not atomic.
+  StatusOr<std::vector<AppendResult>> AppendBatch(int head,
+                                                  std::span<const AppendRequest> requests,
+                                                  uint64_t issue_ns);
+
   // True if `head` can accept a record without violating the GC reserve.
   bool CanAppend(int head) const;
 

@@ -278,6 +278,106 @@ uint64_t ValidityMap::ClearValid(uint32_t epoch, uint64_t paddr) {
   return cow_bytes;
 }
 
+void ValidityMap::ApplyBatch(uint32_t epoch, std::span<BitOp> ops) {
+  if (ops.empty()) {
+    return;
+  }
+  IOSNAP_CHECK(epochs_.contains(epoch));
+  // Stable sort groups ops by chunk while preserving submission order within each chunk;
+  // ops on different chunks touch disjoint state (no epoch or range can appear or vanish
+  // mid-batch: a CoW leaves the old chunk referenced by its other epochs, so no
+  // RegistryDropRef here ever retires live bits or dirties a range). Reordering across
+  // chunks therefore cannot change any counter, plane, or per-op CoW charge.
+  std::vector<uint32_t> order(ops.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [this, &ops](uint32_t a, uint32_t b) {
+    return ChunkIndex(ops[a].paddr) < ChunkIndex(ops[b].paddr);
+  });
+  std::vector<uint64_t>& epoch_counts = epoch_count_.at(epoch);
+
+  size_t g = 0;
+  while (g < order.size()) {
+    const uint64_t ci = ChunkIndex(ops[order[g]].paddr);
+    size_t g_end = g;
+    while (g_end < order.size() && ChunkIndex(ops[order[g_end]].paddr) == ci) {
+      ++g_end;
+    }
+
+    // Resolve this chunk once for the whole group. A leading clear resolves without
+    // creating (clear on an absent chunk stays a no-op); the first set allocates if
+    // still absent — the same allocation sequential calls would perform.
+    Chunk* chunk = nullptr;
+    bool resolved = false;            // MutableChunk(create=false) already consulted.
+    RegistryEntry* entry = nullptr;   // Cached plane holder; stable once chunk exists.
+    for (size_t k = g; k < g_end; ++k) {
+      BitOp& op = ops[order[k]];
+      IOSNAP_CHECK(op.paddr < total_pages_);
+      const uint64_t bit = BitInChunk(op.paddr);
+      const uint64_t r = RangeOf(op.paddr);
+      if (op.set) {
+        const bool was_merged = AnyChunkHasBit(ci, bit);
+        if (chunk == nullptr) {
+          chunk = MutableChunk(epoch, ci, /*create_if_absent=*/true, &op.cow_bytes);
+          auto reg_it = registry_.find(ci);
+          entry = reg_it != registry_.end() ? &reg_it->second : nullptr;
+        }
+        const bool was_epoch = chunk->bits.Test(bit);
+        chunk->bits.Set(bit);
+        if (!was_epoch) {
+          ++epoch_counts[r];
+        }
+        if (!was_merged && !range_dirty_[r]) {
+          ++merged_count_[r];
+        }
+        if (entry != nullptr && entry->plane_valid) {
+          entry->plane.Set(bit);
+        }
+      } else {
+        if (chunk == nullptr && !resolved) {
+          chunk = MutableChunk(epoch, ci, /*create_if_absent=*/false, &op.cow_bytes);
+          resolved = true;
+          auto reg_it = registry_.find(ci);
+          entry = reg_it != registry_.end() ? &reg_it->second : nullptr;
+        }
+        if (chunk == nullptr) {
+          continue;  // Bit is implicitly clear.
+        }
+        const bool was_epoch = chunk->bits.Test(bit);
+        chunk->bits.Clear(bit);
+        if (!was_epoch) {
+          continue;
+        }
+        --epoch_counts[r];
+        if (!ScanChunksForBit(ci, bit)) {
+          if (!range_dirty_[r]) {
+            --merged_count_[r];
+          }
+          if (entry != nullptr && entry->plane_valid) {
+            entry->plane.Clear(bit);
+          }
+        }
+      }
+    }
+    g = g_end;
+  }
+}
+
+uint64_t ValidityMap::SetValidBatch(uint32_t epoch, std::span<const uint64_t> paddrs) {
+  std::vector<BitOp> ops;
+  ops.reserve(paddrs.size());
+  for (uint64_t paddr : paddrs) {
+    ops.push_back(BitOp{paddr, /*set=*/true, 0});
+  }
+  ApplyBatch(epoch, ops);
+  uint64_t total_cow = 0;
+  for (const BitOp& op : ops) {
+    total_cow += op.cow_bytes;
+  }
+  return total_cow;
+}
+
 bool ValidityMap::Test(uint32_t epoch, uint64_t paddr) const {
   IOSNAP_CHECK(paddr < total_pages_);
   auto epoch_it = epochs_.find(epoch);
@@ -533,19 +633,6 @@ bool ValidityMap::EpochReader::Test(uint64_t paddr) {
     }
   }
   return cached_bits_ != nullptr && cached_bits_->Test(map_.BitInChunk(paddr));
-}
-
-void ValidityMap::ForEachValid(uint32_t epoch,
-                               const std::function<void(uint64_t paddr)>& fn) const {
-  auto epoch_it = epochs_.find(epoch);
-  IOSNAP_CHECK(epoch_it != epochs_.end());
-  for (const auto& [index, chunk] : epoch_it->second) {
-    const uint64_t base = index * chunk_bits_;
-    for (uint64_t bit = chunk->bits.FindFirstSet(0); bit < chunk->bits.size();
-         bit = chunk->bits.FindFirstSet(bit + 1)) {
-      fn(base + bit);
-    }
-  }
 }
 
 }  // namespace iosnap

@@ -43,13 +43,14 @@
 #define SRC_FTL_VALIDITY_MAP_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/bitmap.h"
+#include "src/common/logging.h"
 #include "src/common/status.h"
 #include "src/obs/trace.h"
 
@@ -103,6 +104,25 @@ class ValidityMap {
 
   // Marks `paddr` invalid in `epoch`. Same CoW-copy return convention.
   uint64_t ClearValid(uint32_t epoch, uint64_t paddr);
+
+  // One bit mutation in a vectored update; `cow_bytes` is an out-field receiving the
+  // bytes CoW-copied on this op's behalf (what SetValid/ClearValid would have returned).
+  struct BitOp {
+    uint64_t paddr = 0;
+    bool set = true;
+    uint64_t cow_bytes = 0;  // Out.
+  };
+
+  // Applies the ops exactly as if SetValid/ClearValid were called one by one in
+  // submission order, but groups them by chunk so each CoW chunk (and its registry
+  // entry) is resolved once per batch instead of once per bit. Ops on different chunks
+  // commute, and within a chunk submission order is preserved, so counters, planes,
+  // stats, and per-op CoW attribution are bit-identical to the sequential calls.
+  void ApplyBatch(uint32_t epoch, std::span<BitOp> ops);
+
+  // Marks a batch of paddrs valid in `epoch` via ApplyBatch (the recovery replay path).
+  // Returns total bytes CoW-copied.
+  uint64_t SetValidBatch(uint32_t epoch, std::span<const uint64_t> paddrs);
 
   bool Test(uint32_t epoch, uint64_t paddr) const;
 
@@ -164,8 +184,21 @@ class ValidityMap {
   size_t DistinctChunkCount() const;
 
   // Serialization for checkpointing: per-epoch list of (chunk_index, bits...) is rebuilt
-  // from scratch on load, so we only expose enumeration of set bits per epoch.
-  void ForEachValid(uint32_t epoch, const std::function<void(uint64_t paddr)>& fn) const;
+  // from scratch on load, so we only expose enumeration of set bits per epoch. Visits
+  // ascending paddrs (the chunk table iterates in index order). Templated so the hot
+  // callers (checkpoint, space accounting) pay a direct call, not std::function dispatch.
+  template <typename Fn>
+  void ForEachValid(uint32_t epoch, Fn&& fn) const {
+    auto epoch_it = epochs_.find(epoch);
+    IOSNAP_CHECK(epoch_it != epochs_.end());
+    for (const auto& [index, chunk] : epoch_it->second) {
+      const uint64_t base = index * chunk_bits_;
+      for (uint64_t bit = chunk->bits.FindFirstSet(0); bit < chunk->bits.size();
+           bit = chunk->bits.FindFirstSet(bit + 1)) {
+        fn(base + bit);
+      }
+    }
+  }
 
   // Chunk-caching membership cursor over a single epoch: consecutive Test calls with
   // nearby addresses (activation's sequential segment scans) reuse the resolved chunk

@@ -81,7 +81,13 @@ StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& hea
   if (!data.empty() && data.size() > config_.page_size_bytes) {
     return InvalidArgument("program: payload larger than a page");
   }
+  return ProgramCommit(segment, header, data, issue_ns, paddr_out);
+}
 
+NandOp NandDevice::ProgramCommit(uint64_t segment, const PageHeader& header,
+                                 std::span<const uint8_t> data, uint64_t issue_ns,
+                                 uint64_t* paddr_out) {
+  SegmentState& seg = segments_[segment];
   const uint64_t paddr = FirstPageOf(segment) + seg.next_page;
   ++seg.next_page;
 
@@ -114,15 +120,62 @@ StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& hea
   return op;
 }
 
+Status NandDevice::ProgramBatch(uint64_t segment, std::span<const ProgramRequest> requests,
+                                uint64_t issue_ns, std::vector<uint64_t>* paddrs_out,
+                                std::vector<NandOp>* ops_out) {
+  if (segment >= config_.num_segments) {
+    return OutOfRange("program-batch: segment " + std::to_string(segment) +
+                      " out of range");
+  }
+  const SegmentState& seg = segments_[segment];
+  if (!seg.erased) {
+    return FailedPrecondition("program-batch: segment " + std::to_string(segment) +
+                              " was never erased");
+  }
+  if (seg.next_page + requests.size() > config_.pages_per_segment) {
+    return ResourceExhausted("program-batch: batch of " +
+                             std::to_string(requests.size()) + " overflows segment " +
+                             std::to_string(segment));
+  }
+  for (const ProgramRequest& request : requests) {
+    if (!request.data.empty() && request.data.size() > config_.page_size_bytes) {
+      return InvalidArgument("program-batch: payload larger than a page");
+    }
+  }
+
+  if (paddrs_out != nullptr) {
+    paddrs_out->reserve(paddrs_out->size() + requests.size());
+  }
+  if (ops_out != nullptr) {
+    ops_out->reserve(ops_out->size() + requests.size());
+  }
+  for (const ProgramRequest& request : requests) {
+    uint64_t paddr = 0;
+    const NandOp op = ProgramCommit(segment, request.header, request.data, issue_ns, &paddr);
+    if (paddrs_out != nullptr) {
+      paddrs_out->push_back(paddr);
+    }
+    if (ops_out != nullptr) {
+      ops_out->push_back(op);
+    }
+  }
+  return OkStatus();
+}
+
 StatusOr<NandOp> NandDevice::ReadPage(uint64_t paddr, uint64_t issue_ns,
                                       PageHeader* header_out, std::vector<uint8_t>* data_out) {
   if (paddr >= config_.TotalPages()) {
     return OutOfRange("read: paddr out of range");
   }
-  const PageState& page = pages_[paddr];
-  if (!page.programmed) {
+  if (!pages_[paddr].programmed) {
     return FailedPrecondition("read: page " + std::to_string(paddr) + " is not programmed");
   }
+  return ReadCommit(paddr, issue_ns, header_out, data_out);
+}
+
+NandOp NandDevice::ReadCommit(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
+                              std::vector<uint8_t>* data_out) {
+  const PageState& page = pages_[paddr];
   if (header_out != nullptr) {
     *header_out = page.header;
   }
@@ -139,6 +192,47 @@ StatusOr<NandOp> NandDevice::ReadPage(uint64_t paddr, uint64_t issue_ns,
   op.finish_ns =
       Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.read_ns);
   return op;
+}
+
+Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns,
+                             std::vector<PageHeader>* headers_out,
+                             std::vector<std::vector<uint8_t>>* data_out,
+                             std::vector<NandOp>* ops_out) {
+  for (uint64_t paddr : paddrs) {
+    if (paddr >= config_.TotalPages()) {
+      return OutOfRange("read-batch: paddr out of range");
+    }
+    if (!pages_[paddr].programmed) {
+      return FailedPrecondition("read-batch: page " + std::to_string(paddr) +
+                                " is not programmed");
+    }
+  }
+
+  if (headers_out != nullptr) {
+    headers_out->reserve(headers_out->size() + paddrs.size());
+  }
+  if (data_out != nullptr) {
+    data_out->reserve(data_out->size() + paddrs.size());
+  }
+  if (ops_out != nullptr) {
+    ops_out->reserve(ops_out->size() + paddrs.size());
+  }
+  for (uint64_t paddr : paddrs) {
+    PageHeader header;
+    std::vector<uint8_t> data;
+    const NandOp op = ReadCommit(paddr, issue_ns, headers_out != nullptr ? &header : nullptr,
+                                 data_out != nullptr ? &data : nullptr);
+    if (headers_out != nullptr) {
+      headers_out->push_back(header);
+    }
+    if (data_out != nullptr) {
+      data_out->push_back(std::move(data));
+    }
+    if (ops_out != nullptr) {
+      ops_out->push_back(op);
+    }
+  }
+  return OkStatus();
 }
 
 StatusOr<NandOp> NandDevice::ReadHeader(uint64_t paddr, uint64_t issue_ns,
@@ -169,6 +263,9 @@ StatusOr<NandOp> NandDevice::ScanSegmentHeaders(
   }
   const SegmentState& seg = segments_[segment];
   const uint64_t first = FirstPageOf(segment);
+  if (out != nullptr) {
+    out->reserve(out->size() + seg.next_page);
+  }
   uint64_t scanned = 0;
   for (uint64_t i = 0; i < seg.next_page; ++i) {
     const PageState& page = pages_[first + i];

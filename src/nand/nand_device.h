@@ -67,9 +67,32 @@ class NandDevice {
                                std::span<const uint8_t> data, uint64_t issue_ns,
                                uint64_t* paddr_out);
 
+  // One page of a vectored program: header plus optional payload.
+  struct ProgramRequest {
+    PageHeader header;
+    std::span<const uint8_t> data;
+  };
+
+  // Programs `requests.size()` consecutive next-free pages of `segment`, all issued at
+  // `issue_ns` in one virtual-clock pass: consecutive paddrs round-robin the channels,
+  // so the batch overlaps across them exactly as the same pages issued independently at
+  // the same instant would. Appends one chosen paddr and one completion op per request.
+  // The whole batch is validated up front; on error nothing is programmed.
+  Status ProgramBatch(uint64_t segment, std::span<const ProgramRequest> requests,
+                      uint64_t issue_ns, std::vector<uint64_t>* paddrs_out,
+                      std::vector<NandOp>* ops_out);
+
   // Reads a programmed page. `data_out` may be nullptr to skip payload copying.
   StatusOr<NandOp> ReadPage(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
                             std::vector<uint8_t>* data_out);
+
+  // Reads a batch of programmed pages, all issued at `issue_ns` (one virtual-clock
+  // pass). Out-vectors, when non-null, receive one element per paddr in order. The
+  // whole batch is validated up front; on error nothing is read.
+  Status ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns,
+                   std::vector<PageHeader>* headers_out,
+                   std::vector<std::vector<uint8_t>>* data_out,
+                   std::vector<NandOp>* ops_out);
 
   // Reads just the OOB header of one page (used by targeted metadata lookups).
   StatusOr<NandOp> ReadHeader(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out);
@@ -129,6 +152,13 @@ class NandDevice {
 
   // Serializes an op through a channel and (optionally) the shared bus; returns finish time.
   uint64_t Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns, uint64_t cell_ns);
+
+  // Post-validation single-page bodies shared by the scalar and batch entry points.
+  NandOp ProgramCommit(uint64_t segment, const PageHeader& header,
+                       std::span<const uint8_t> data, uint64_t issue_ns,
+                       uint64_t* paddr_out);
+  NandOp ReadCommit(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
+                    std::vector<uint8_t>* data_out);
 
   NandConfig config_;
   std::vector<PageState> pages_;

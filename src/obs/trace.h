@@ -33,7 +33,8 @@ enum class TraceEventType : uint8_t {
   // Foreground I/O (args: lba, view_id / trim count).
   kUserWrite = 0,
   kUserRead,
-  kUserTrim,  // args: lba, count
+  kUserTrim,   // args: lba, count
+  kUserBatch,  // One per vectored submission (WriteV/ReadV/TrimV). args: batch_ops, view_id
   // Snapshot operations (args: snap_id, epoch).
   kSnapCreate,      // args: snap_id, frozen_epoch
   kSnapDelete,      // args: snap_id, epoch

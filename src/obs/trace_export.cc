@@ -34,6 +34,7 @@ const TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
     {"user_write", "io", kTrackIo, {"lba", "view_id", nullptr}},
     {"user_read", "io", kTrackIo, {"lba", "view_id", nullptr}},
     {"user_trim", "io", kTrackIo, {"lba", "count", nullptr}},
+    {"user_batch", "io", kTrackIo, {"batch_ops", "view_id", nullptr}},
     {"snap_create", "snapshot", kTrackSnapshot, {"snap_id", "frozen_epoch", nullptr}},
     {"snap_delete", "snapshot", kTrackSnapshot, {"snap_id", "epoch", nullptr}},
     {"snap_rollback", "snapshot", kTrackSnapshot, {"snap_id", "new_epoch", nullptr}},

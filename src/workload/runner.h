@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "src/common/sim_clock.h"
 #include "src/common/stats.h"
@@ -30,6 +32,11 @@ class BlockTarget {
  public:
   virtual ~BlockTarget() = default;
   virtual StatusOr<IoResult> DoOp(const IoOp& op, uint64_t issue_ns) = 0;
+  // Vectored submission: all ops issued at `issue_ns`, one result appended per op in
+  // submission order. The default loops over DoOp; targets with a native vectored path
+  // (FtlTarget) override it.
+  virtual Status DoOpV(std::span<const IoOp> ops, uint64_t issue_ns,
+                       std::vector<IoResult>* results);
   // Advance background work to `now_ns` (default: nothing).
   virtual void Pump(uint64_t now_ns) {}
   virtual uint64_t LbaCount() const = 0;
@@ -44,6 +51,10 @@ class FtlTarget : public BlockTarget {
       : ftl_(ftl), view_id_(view_id) {}
 
   StatusOr<IoResult> DoOp(const IoOp& op, uint64_t issue_ns) override;
+  // Splits the ops into maximal same-kind runs and submits each through the FTL's
+  // vectored entry points (WriteV/ReadV/TrimV).
+  Status DoOpV(std::span<const IoOp> ops, uint64_t issue_ns,
+               std::vector<IoResult>* results) override;
   void Pump(uint64_t now_ns) override { ftl_->PumpBackground(now_ns); }
   uint64_t LbaCount() const override { return ftl_->LbaCount(); }
   uint64_t DrainNs() const override { return ftl_->device().DrainTimeNs(); }
@@ -55,6 +66,10 @@ class FtlTarget : public BlockTarget {
 
 struct RunOptions {
   uint64_t queue_depth = 1;   // Ops issued with a shared issue time per batch.
+  // Ops per vectored submission. 1 (the default) drives the scalar DoOp path — the
+  // pre-batching loop, bit for bit. Larger values group `batch` ops into one DoOpV
+  // call issued at a shared time (queue_depth is subsumed: the batch *is* the queue).
+  uint64_t batch = 1;
   bool record_timeline = false;
   // Invoked after each completed op with (op index, virtual now). Benchmarks use this to
   // create snapshots on a cadence, start activations, etc.

@@ -190,5 +190,126 @@ TEST(BPlusTreeTest, BoundaryKeys) {
   EXPECT_TRUE(tree.CheckInvariants());
 }
 
+TEST(BPlusTreeTest, InsertBatchMatchesScalarInserts) {
+  BPlusTree batched;
+  BPlusTree scalar;
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    const size_t batch = 1 + rng.Next() % 64;
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    for (size_t i = 0; i < batch; ++i) {
+      entries.emplace_back(rng.Next() % 4096, rng.Next());
+    }
+    std::vector<std::optional<uint64_t>> old_values;
+    const size_t fresh = batched.InsertBatch(entries, &old_values);
+
+    size_t scalar_fresh = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      auto it = ref.find(entries[i].first);
+      if (it == ref.end()) {
+        ++scalar_fresh;
+        EXPECT_FALSE(old_values[i].has_value());
+      } else {
+        ASSERT_TRUE(old_values[i].has_value());
+        EXPECT_EQ(*old_values[i], it->second);
+      }
+      scalar.Insert(entries[i].first, entries[i].second);
+      ref[entries[i].first] = entries[i].second;
+    }
+    ASSERT_EQ(fresh, scalar_fresh);
+    ASSERT_EQ(batched.size(), ref.size());
+    ASSERT_TRUE(batched.CheckInvariants());
+  }
+  EXPECT_EQ(batched.ToSortedVector(), scalar.ToSortedVector());
+  for (const auto& [key, value] : ref) {
+    ASSERT_EQ(batched.Lookup(key).value(), value) << key;
+  }
+}
+
+TEST(BPlusTreeTest, InsertBatchDuplicateKeysResolveInSubmissionOrder) {
+  BPlusTree tree;
+  tree.Insert(5, 50);
+  std::vector<std::pair<uint64_t, uint64_t>> entries = {
+      {5, 51}, {9, 90}, {5, 52}, {9, 91}, {5, 53}};
+  std::vector<std::optional<uint64_t>> old_values;
+  EXPECT_EQ(tree.InsertBatch(entries, &old_values), 1u);  // Only key 9 is new.
+  ASSERT_EQ(old_values.size(), 5u);
+  EXPECT_EQ(old_values[0].value(), 50u);  // Pre-batch value.
+  EXPECT_FALSE(old_values[1].has_value());
+  EXPECT_EQ(old_values[2].value(), 51u);  // Sees the earlier duplicate's write.
+  EXPECT_EQ(old_values[3].value(), 90u);
+  EXPECT_EQ(old_values[4].value(), 52u);
+  EXPECT_EQ(tree.Lookup(5).value(), 53u);
+  EXPECT_EQ(tree.Lookup(9).value(), 91u);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BPlusTreeTest, InsertBatchAfterErasesAndClears) {
+  // Interleave batches with erases (which leave underfull/empty leaves behind) and
+  // Clear() (which recycles the whole arena) to fuzz the freelist and the batch
+  // descent over fragmented trees.
+  BPlusTree tree;
+  std::map<uint64_t, uint64_t> ref;
+  Rng rng(11);
+  for (int round = 0; round < 120; ++round) {
+    const int action = static_cast<int>(rng.Next() % 10);
+    if (action < 6) {
+      std::vector<std::pair<uint64_t, uint64_t>> entries;
+      const size_t batch = 1 + rng.Next() % 96;
+      for (size_t i = 0; i < batch; ++i) {
+        entries.emplace_back(rng.Next() % 2048, rng.Next());
+      }
+      tree.InsertBatch(entries);
+      for (const auto& [key, value] : entries) {
+        ref[key] = value;
+      }
+    } else if (action < 9) {
+      for (int i = 0; i < 40; ++i) {
+        const uint64_t key = rng.Next() % 2048;
+        EXPECT_EQ(tree.Erase(key), ref.erase(key) > 0);
+      }
+    } else {
+      tree.Clear();
+      ref.clear();
+    }
+    ASSERT_EQ(tree.size(), ref.size());
+    ASSERT_TRUE(tree.CheckInvariants());
+  }
+  const auto pairs = tree.ToSortedVector();
+  ASSERT_EQ(pairs.size(), ref.size());
+  EXPECT_TRUE(std::equal(pairs.begin(), pairs.end(), ref.begin(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first && a.second == b.second;
+                         }));
+}
+
+TEST(BPlusTreeTest, InsertBatchEmptyAndSingle) {
+  BPlusTree tree;
+  std::vector<std::optional<uint64_t>> old_values = {std::nullopt};
+  EXPECT_EQ(tree.InsertBatch({}, &old_values), 0u);
+  EXPECT_TRUE(old_values.empty());
+
+  const std::vector<std::pair<uint64_t, uint64_t>> one = {{3, 30}};
+  EXPECT_EQ(tree.InsertBatch(one), 1u);
+  EXPECT_EQ(tree.Lookup(3).value(), 30u);
+}
+
+TEST(BPlusTreeTest, ArenaRecyclesFreedNodes) {
+  // Fill, erase everything, and refill: the arena's freelist should keep the memory
+  // footprint from compounding across generations.
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    tree.Insert(i, i);
+  }
+  const size_t first_bytes = tree.MemoryBytes();
+  tree.Clear();
+  for (uint64_t i = 0; i < 5000; ++i) {
+    tree.Insert(i, i);
+  }
+  EXPECT_EQ(tree.MemoryBytes(), first_bytes);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
 }  // namespace
 }  // namespace iosnap

@@ -80,6 +80,61 @@ TEST(RunnerTest, QueueDepthImprovesReadThroughput) {
   EXPECT_GT(throughput(8), throughput(1) * 1.5);
 }
 
+TEST(RunnerTest, BatchModeMatchesQueueDepthRun) {
+  // batch=N submits through DoOpV; with the same workload stream and grouping it must
+  // land the FTL in the same state as the scalar queue_depth=N loop.
+  auto run = [](bool batched) {
+    FtlConfig config = SmallConfig();
+    config.nand.store_data = false;
+    auto ftl_or = Ftl::Create(config);
+    IOSNAP_CHECK(ftl_or.ok());
+    std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+    SimClock clock;
+    FtlTarget target(ftl.get());
+    Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+    MixedWorkload workload(/*read_fraction=*/0.5, 200, 7);
+    RunOptions options;
+    if (batched) {
+      options.batch = 8;
+    } else {
+      options.queue_depth = 8;
+    }
+    auto result = runner.Run(&workload, 400, options);
+    IOSNAP_CHECK(result.ok());
+    struct Outcome {
+      uint64_t ops, bytes, end_ns, writes, reads;
+    };
+    return Outcome{result->ops, result->bytes, result->end_ns,
+                   ftl->stats().user_writes, ftl->stats().user_reads};
+  };
+  const auto scalar = run(false);
+  const auto vectored = run(true);
+  EXPECT_EQ(vectored.ops, scalar.ops);
+  EXPECT_EQ(vectored.bytes, scalar.bytes);
+  EXPECT_EQ(vectored.end_ns, scalar.end_ns);
+  EXPECT_EQ(vectored.writes, scalar.writes);
+  EXPECT_EQ(vectored.reads, scalar.reads);
+}
+
+TEST(RunnerTest, BatchModeMixedKindsAndExhaustion) {
+  FtlConfig config = SmallConfig();
+  config.nand.store_data = false;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Ftl> ftl, Ftl::Create(config));
+  SimClock clock;
+  FtlTarget target(ftl.get());
+  Runner runner(&target, &clock, config.nand.page_size_bytes);
+
+  // 30 ops against a 30-op budget of 64-sized batches: exhaustion mid-batch.
+  MixedWorkload workload(/*read_fraction=*/0.3, 64, 11);
+  RunOptions options;
+  options.batch = 64;
+  ASSERT_OK_AND_ASSIGN(RunResult result, runner.Run(&workload, 30, options));
+  EXPECT_EQ(result.ops, 30u);
+  EXPECT_EQ(result.latency.count(), 30u);
+  EXPECT_EQ(ftl->stats().user_writes + ftl->stats().user_reads, 30u);
+}
+
 TEST(RunnerTest, AfterOpCallbackFires) {
   FtlConfig config = SmallConfig();
   config.nand.store_data = false;

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Collect BENCH_*.json files into one perf-trajectory record.
+
+Benchmarks emit machine-readable output in two shapes:
+  * ``--metrics_out=BENCH_<name>.json`` from the virtual-time paper benches — a flat
+    ``{"metric": value}`` dict of FtlStats/NandStats/ValidityStats counters.
+  * ``--benchmark_out=BENCH_<name>.json --benchmark_out_format=json`` from the
+    google-benchmark host-structure microbenches.
+
+This script normalizes both into a single trajectory point::
+
+    {
+      "commit": "<git sha>", "branch": "...", "timestamp": "...",
+      "benches": {
+        "<name>": {"kind": "metrics"|"google_benchmark", "metrics": {...}}
+      }
+    }
+
+so CI can upload one artifact per run and a later pass (or a human with jq) can diff
+runs commit-over-commit. Appending to a history file keeps a local trajectory across
+rebuilds.
+
+Usage:
+    tools/bench_trajectory.py [--dir DIR] [--out FILE] [--append-history FILE]
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+
+def git(*args):
+    try:
+        return subprocess.check_output(
+            ["git", *args], stderr=subprocess.DEVNULL, text=True
+        ).strip()
+    except (subprocess.CalledProcessError, OSError):
+        return ""
+
+
+def parse_google_benchmark(doc):
+    """Flatten a google-benchmark JSON document to {bench_name: items_per_second|real_time}."""
+    metrics = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate duplicates unless only aggregates are present.
+        if bench.get("run_type") == "aggregate" and bench.get("aggregate_name") != "mean":
+            continue
+        name = bench.get("name", "?")
+        if "items_per_second" in bench:
+            metrics[f"{name}.items_per_second"] = bench["items_per_second"]
+        if "real_time" in bench:
+            metrics[f"{name}.real_time_{bench.get('time_unit', 'ns')}"] = bench["real_time"]
+    return metrics
+
+
+def collect(directory):
+    benches = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping {path}: {err}", file=sys.stderr)
+            continue
+        if isinstance(doc, dict) and "benchmarks" in doc:
+            benches[name] = {
+                "kind": "google_benchmark",
+                "metrics": parse_google_benchmark(doc),
+            }
+        elif isinstance(doc, dict):
+            benches[name] = {"kind": "metrics", "metrics": doc}
+        else:
+            print(f"warning: {path}: unrecognized shape", file=sys.stderr)
+    return benches
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json files")
+    parser.add_argument("--out", default="bench_trajectory.json", help="output file")
+    parser.add_argument(
+        "--append-history",
+        default="",
+        help="also append the point to this JSON-lines history file",
+    )
+    args = parser.parse_args()
+
+    benches = collect(args.dir)
+    if not benches:
+        print(f"error: no BENCH_*.json files in {args.dir}", file=sys.stderr)
+        return 1
+
+    point = {
+        "commit": git("rev-parse", "HEAD"),
+        "branch": git("rev-parse", "--abbrev-ref", "HEAD"),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "benches": benches,
+    }
+    with open(args.out, "w") as f:
+        json.dump(point, f, indent=2, sort_keys=True)
+        f.write("\n")
+    if args.append_history:
+        with open(args.append_history, "a") as f:
+            f.write(json.dumps(point, sort_keys=True) + "\n")
+    total = sum(len(b["metrics"]) for b in benches.values())
+    print(f"trajectory: {len(benches)} benches, {total} metrics -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

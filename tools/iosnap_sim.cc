@@ -52,6 +52,7 @@ Workload:
   --read_frac=F          read fraction for mixed              (default 0.5)
   --zipf_theta=F         skew for zipf                        (default 0.9)
   --qd=N                 queue depth                          (default 1)
+  --batch=N              ops per vectored submission; 1 = scalar path (default 1)
   --seed=N               workload RNG seed                    (default 42)
 
 Snapshots:
@@ -77,7 +78,8 @@ Observability:
 const std::vector<std::string> kKnownFlags = {
     "device_mib", "page_kib", "segment_pages", "channels", "overprovision",
     "chunk_bits", "policy", "vanilla", "vanilla_gc_rate", "workload", "ops",
-    "lba_frac", "read_frac", "zipf_theta", "qd", "seed", "snapshot_every", "snapshots",
+    "lba_frac", "read_frac", "zipf_theta", "qd", "batch", "seed", "snapshot_every",
+    "snapshots",
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
     "trace_out", "trace_capacity", "metrics_out", "log_level", "help"};
 
@@ -259,6 +261,7 @@ int main(int argc, char** argv) {
   std::vector<uint32_t> live_snaps;
   RunOptions options;
   options.queue_depth = (uint64_t)flags.GetInt("qd", 1);
+  options.batch = (uint64_t)flags.GetInt("batch", 1);
   options.record_timeline = flags.GetBool("timeline", false);
   if (snapshot_every > 0 && config.snapshots_enabled) {
     options.after_op = [&](uint64_t index, uint64_t now_ns) {
