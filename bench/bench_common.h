@@ -89,9 +89,10 @@ inline Flags BenchInit(int argc, char** argv,
   return flags;
 }
 
-// Dumps every FtlStats/NandStats/ValidityStats counter of `ftl` to --metrics_out.
-// No-op when the flag is unset. Registers against the live ftl, so call it while the
-// device of interest still exists (typically on the last configuration measured).
+// Dumps every FtlStats/NandStats/ValidityStats/LogStats counter of `ftl` to
+// --metrics_out. No-op when the flag is unset. Registers against the live ftl, so call
+// it while the device of interest still exists (typically on the last configuration
+// measured).
 inline void BenchDumpMetrics(const Ftl& ftl) {
   BenchEnv& env = GlobalBenchEnv();
   if (env.metrics_out.empty()) {
@@ -101,6 +102,7 @@ inline void BenchDumpMetrics(const Ftl& ftl) {
   RegisterFtlStats(&registry, ftl.stats());
   RegisterNandStats(&registry, ftl.device().stats());
   RegisterValidityStats(&registry, ftl.validity().stats());
+  RegisterLogStats(&registry, ftl.log_manager().stats());
   if (registry.WriteFile(env.metrics_out)) {
     std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
                 env.metrics_out.c_str());

@@ -1,0 +1,39 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace iosnap {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+uint32_t Crc32Raw(uint32_t state, std::span<const uint8_t> data) {
+  for (uint8_t byte : data) {
+    state = kCrc32Table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Raw(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32Extend(uint32_t crc, std::span<const uint8_t> data) {
+  return Crc32Raw(crc ^ 0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace iosnap

@@ -109,6 +109,7 @@ void Ftl::SetTraceRecorder(TraceRecorder* trace) {
   trace_ = trace;
   validity_.SetTraceRecorder(trace);
   gc_idle_limiter_.SetTraceRecorder(trace);
+  log_.SetTraceRecorder(trace);
   if (device_ != nullptr) {
     device_->SetTraceRecorder(trace);
   }
@@ -286,7 +287,15 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
     result.op.issue_ns = issue_ns;
     result.op.finish_ns = issue_ns;
   } else {
-    ASSIGN_OR_RETURN(result.op, device_->ReadPage(*paddr, issue_ns, nullptr, data_out));
+    StatusOr<NandOp> op = device_->ReadPageWithRetry(*paddr, issue_ns, nullptr, data_out,
+                                                     config_.read_retry_limit);
+    if (!op.ok()) {
+      // Retries exhausted (transient) or the page failed its CRC (permanent): surface
+      // the typed status instead of aborting; the rest of the device stays readable.
+      ++stats_.user_read_errors;
+      return op.status();
+    }
+    result.op = *op;
   }
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kUserRead, issue_ns, result.CompletionNs(), lba,
@@ -367,8 +376,13 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
       header.seq = NextSeq();
       appends.push_back({header, requests[next + i].data});
     }
-    ASSIGN_OR_RETURN(std::vector<AppendResult> ars,
-                     log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns));
+    std::vector<AppendResult> ars;
+    const Status append_status =
+        log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns, &ars);
+    // On error `ars` holds the durably appended prefix (possibly torn mid-batch by a
+    // fault); apply exactly that prefix to the map/validity so in-memory state matches
+    // the log, then propagate the error below.
+    run = ars.size();
 
     // Forward map: one batched descent for the run. `old_paddrs` matches what
     // per-record lookups would have returned (duplicate LBAs resolve in submission
@@ -420,6 +434,9 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
       results.push_back(result);
     }
     next += run;
+    if (!append_status.ok()) {
+      return append_status;
+    }
   }
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kUserBatch, issue_ns, issue_ns, requests.size(),
@@ -473,12 +490,31 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
   if (!paddrs.empty()) {
     std::vector<std::vector<uint8_t>> data;
     std::vector<NandOp> ops;
-    RETURN_IF_ERROR(device_->ReadBatch(paddrs, issue_ns, nullptr,
-                                       data_out != nullptr ? &data : nullptr, &ops));
-    for (size_t k = 0; k < mapped.size(); ++k) {
+    const Status batch_status = device_->ReadBatch(
+        paddrs, issue_ns, nullptr, data_out != nullptr ? &data : nullptr, &ops);
+    size_t done = ops.size();
+    for (size_t k = 0; k < done; ++k) {
       results[mapped[k]].op = ops[k];
       if (data_out != nullptr) {
         (*data_out)[mapped[k]] = std::move(data[k]);
+      }
+    }
+    if (!batch_status.ok()) {
+      // The batch tore at `done`: fall back to per-page reads with bounded retry for
+      // the remainder so one transient fault doesn't fail the whole vectored read.
+      for (size_t k = done; k < mapped.size(); ++k) {
+        std::vector<uint8_t> page;
+        StatusOr<NandOp> op = device_->ReadPageWithRetry(
+            paddrs[k], issue_ns, nullptr, data_out != nullptr ? &page : nullptr,
+            config_.read_retry_limit);
+        if (!op.ok()) {
+          ++stats_.user_read_errors;
+          return op.status();
+        }
+        results[mapped[k]].op = *op;
+        if (data_out != nullptr) {
+          (*data_out)[mapped[k]] = std::move(page);
+        }
       }
     }
   }
@@ -594,10 +630,13 @@ StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests
       header.trim_count = static_cast<uint32_t>(r.count);
       appends.push_back({header, {}});
     }
-    ASSIGN_OR_RETURN(std::vector<AppendResult> ars,
-                     log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns));
+    std::vector<AppendResult> ars;
+    const Status append_status =
+        log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns, &ars);
+    // Apply only the durably appended prefix (see WriteVInternal).
+    const uint64_t done = ars.size();
 
-    for (uint64_t i = 0; i < run; ++i) {
+    for (uint64_t i = 0; i < done; ++i) {
       const TrimRequest& r = requests[next + i];
       ++stats_.total_pages_programmed;
       uint64_t host_ns = config_.host_note_ns;
@@ -621,7 +660,10 @@ StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests
       }
       results.push_back(result);
     }
-    next += run;
+    next += done;
+    if (!append_status.ok()) {
+      return append_status;
+    }
   }
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kUserBatch, issue_ns, issue_ns, requests.size(),

@@ -105,6 +105,7 @@ class Ftl {
   const NandDevice& device() const { return *device_; }
   const SnapshotTree& snapshot_tree() const { return tree_; }
   const ValidityMap& validity() const { return validity_; }
+  const LogManager& log_manager() const { return log_; }
   uint64_t LbaCount() const { return lba_count_; }
 
   // --- Primary block-device I/O (one page per call) ---

@@ -49,6 +49,11 @@ struct FtlConfig {
   // regardless of its valid count, recycling it into the rotation. 0 disables.
   uint64_t wear_leveling_threshold = 0;
 
+  // --- Error handling ---
+  // Total attempts per page read before a transient failure (kUnavailable) is surfaced
+  // to the caller. Permanent errors (CRC mismatch) are never retried.
+  uint32_t read_retry_limit = 3;
+
   // --- Activation ---
   // Skip segments whose epoch summary proves they hold no lineage data (§7 future work:
   // precomputed metadata; ablation A3).

@@ -51,6 +51,10 @@ struct FtlStats {
   // Write amplification numerator: all pages programmed including GC and notes; the
   // denominator is user_writes.
   uint64_t total_pages_programmed = 0;
+
+  // Degraded-mode outcomes (zero on a healthy device).
+  uint64_t user_read_errors = 0;  // User reads that failed after bounded retry / CRC check.
+  uint64_t gc_pages_lost = 0;     // Valid pages the cleaner dropped as unreadable (kDataLoss).
 };
 
 }  // namespace iosnap

@@ -13,6 +13,11 @@ namespace iosnap {
 
 namespace {
 
+// Attempts per page read during recovery before a transient failure is treated as
+// permanent. Recovery is the last line of defense, so it retries a little harder
+// than the foreground path.
+constexpr uint32_t kRecoveryReadAttempts = 4;
+
 struct ScanRecord {
   uint64_t paddr;
   PageHeader header;
@@ -99,11 +104,21 @@ StatusOr<bool> TryLoadCheckpoint(NandDevice* device,
       return false;
     }
     std::vector<uint8_t> payload;
-    ASSIGN_OR_RETURN(NandOp op, device->ReadPage(group[i]->paddr, *clock_ns, nullptr,
-                                                 &payload));
-    *clock_ns = op.finish_ns;
+    StatusOr<NandOp> op = device->ReadPageWithRetry(group[i]->paddr, *clock_ns, nullptr,
+                                                    &payload, kRecoveryReadAttempts);
+    if (!op.ok()) {
+      // A corrupt or unreadable checkpoint page invalidates the fast path, not the
+      // device: fall back to the full two-pass scan.
+      IOSNAP_LOG(kWarning) << "[recovery] checkpoint page unreadable (" << op.status()
+                           << "); running full recovery";
+      return false;
+    }
+    *clock_ns = op->finish_ns;
     if (payload.size() < group[i]->header.payload_len) {
-      return DataLoss("checkpoint: payload shorter than recorded length");
+      IOSNAP_LOG(kWarning)
+          << "[recovery] checkpoint payload shorter than recorded length; "
+             "running full recovery";
+      return false;
     }
     bytes.insert(bytes.end(), payload.begin(),
                  payload.begin() + group[i]->header.payload_len);
@@ -143,8 +158,14 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
       // Expand the cleaner's compacted trim batches back into individual trim records
       // (each with its original epoch/seq identity).
       std::vector<uint8_t> payload;
-      ASSIGN_OR_RETURN(NandOp op, device->ReadPage(paddr, clock_ns, nullptr, &payload));
-      clock_ns = op.finish_ns;
+      StatusOr<NandOp> op = device->ReadPageWithRetry(paddr, clock_ns, nullptr, &payload,
+                                                      kRecoveryReadAttempts);
+      if (!op.ok()) {
+        IOSNAP_LOG(kWarning) << "[recovery] unreadable trim summary ignored: "
+                             << op.status();
+        continue;
+      }
+      clock_ns = op->finish_ns;
       auto entries = DecodeTrimSummary(payload);
       if (!entries.ok()) {
         IOSNAP_LOG(kWarning) << "[recovery] unreadable trim summary ignored: "
@@ -241,9 +262,13 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
           break;
         }
         std::vector<uint8_t> payload;
-        ASSIGN_OR_RETURN(NandOp op, device->ReadPage(best_group[i]->paddr, clock_ns,
-                                                     nullptr, &payload));
-        clock_ns = op.finish_ns;
+        StatusOr<NandOp> op = device->ReadPageWithRetry(
+            best_group[i]->paddr, clock_ns, nullptr, &payload, kRecoveryReadAttempts);
+        if (!op.ok()) {
+          intact = false;
+          break;
+        }
+        clock_ns = op->finish_ns;
         if (payload.size() < best_group[i]->header.payload_len) {
           intact = false;
           break;
@@ -278,7 +303,11 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
     switch (r.header.type) {
       case RecordType::kSnapCreate: {
         if (!out.tree.EpochExists(r.header.epoch)) {
-          return DataLoss("recovery: create note references unknown epoch");
+          // The parent epoch's defining record was lost (torn tail or dropped corrupt
+          // page). Skipping loses the snapshot but keeps every other lineage intact.
+          IOSNAP_LOG(kWarning)
+              << "[recovery] skipping create note for unknown epoch " << r.header.epoch;
+          break;
         }
         SnapshotInfo info;
         info.snap_id = r.header.snap_id;
@@ -286,12 +315,19 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
         info.create_seq = r.header.seq;
         if (r.header.payload_len > 0) {
           std::vector<uint8_t> payload;
-          ASSIGN_OR_RETURN(NandOp op, device->ReadPage(r.paddr, clock_ns, nullptr,
-                                                       &payload));
-          clock_ns = op.finish_ns;
-          if (payload.size() >= r.header.payload_len) {
-            info.name.assign(reinterpret_cast<const char*>(payload.data()),
-                             r.header.payload_len);
+          StatusOr<NandOp> op = device->ReadPageWithRetry(r.paddr, clock_ns, nullptr,
+                                                          &payload,
+                                                          kRecoveryReadAttempts);
+          if (op.ok()) {
+            clock_ns = op->finish_ns;
+            if (payload.size() >= r.header.payload_len) {
+              info.name.assign(reinterpret_cast<const char*>(payload.data()),
+                               r.header.payload_len);
+            }
+          } else {
+            // The snapshot itself survives; only its human-readable name is lost.
+            IOSNAP_LOG(kWarning) << "[recovery] snapshot name unreadable: "
+                                 << op.status();
           }
         }
         out.tree.RestoreSnapshot(info);
@@ -320,7 +356,10 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
         // The primary re-parented onto the snapshot's epoch.
         auto info = out.tree.Get(r.header.snap_id);
         if (!info.ok()) {
-          return DataLoss("recovery: rollback note references unknown snapshot");
+          IOSNAP_LOG(kWarning) << "[recovery] skipping rollback note for unknown "
+                                  "snapshot "
+                               << r.header.snap_id;
+          break;
         }
         if (!out.tree.EpochExists(static_cast<uint32_t>(r.header.lba))) {
           out.tree.RestoreEpoch(static_cast<uint32_t>(r.header.lba), info->epoch);

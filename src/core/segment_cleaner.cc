@@ -276,7 +276,33 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
       const std::vector<uint32_t>& live = LiveEpochsCached();
       // Copy-forward with the original identity (lba, epoch, seq).
       std::vector<uint8_t> data;
-      ASSIGN_OR_RETURN(NandOp read_op, ftl_->device_->ReadPage(paddr, now_ns, nullptr, &data));
+      StatusOr<NandOp> read = ftl_->device_->ReadPageWithRetry(
+          paddr, now_ns, nullptr, &data, ftl_->config_.read_retry_limit);
+      if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
+        // The page is permanently unreadable (CRC failure): its contents cannot be
+        // copied forward. Drop it, scrubbing every reference so no map or bitmap points
+        // at the page once the victim segment is erased. (An activation scan already in
+        // flight over this segment can still surface the dead paddr; its reads then fail
+        // with a typed error rather than returning corrupt data.)
+        IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr << " (lba "
+                             << header.lba << "): " << read.status();
+        ftl_->validity_.NoteTimeNs(now_ns);
+        for (uint32_t epoch : live) {
+          if (ftl_->validity_.Test(epoch, paddr)) {
+            ftl_->validity_.ClearValid(epoch, paddr);
+          }
+        }
+        for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
+          auto* view = ftl_->FindView(view_id);
+          const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
+          if (mapped.has_value() && *mapped == paddr) {
+            view->map.Erase(header.lba);
+          }
+        }
+        ++ftl_->stats_.gc_pages_lost;
+        return now_ns;
+      }
+      ASSIGN_OR_RETURN(NandOp read_op, std::move(read));
       ASSIGN_OR_RETURN(AppendResult ar,
                        ftl_->log_.Append(HeadForEpoch(header.epoch), header, data,
                                          read_op.finish_ns));
@@ -327,9 +353,25 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
     case RecordType::kTrimSummary: {
       // Re-filter the batched entries and carry the survivors into the new compaction.
       std::vector<uint8_t> payload;
-      ASSIGN_OR_RETURN(NandOp read_op,
-                       ftl_->device_->ReadPage(paddr, now_ns, nullptr, &payload));
-      ASSIGN_OR_RETURN(std::vector<TrimEntry> entries, DecodeTrimSummary(payload));
+      StatusOr<NandOp> read = ftl_->device_->ReadPageWithRetry(
+          paddr, now_ns, nullptr, &payload, ftl_->config_.read_retry_limit);
+      if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
+        // The batched trim entries are gone; data they killed may resurrect at the next
+        // recovery scan. Genuine data loss — count it and keep the device running.
+        IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable trim summary " << paddr
+                             << ": " << read.status();
+        ++ftl_->stats_.gc_pages_lost;
+        return now_ns;
+      }
+      ASSIGN_OR_RETURN(NandOp read_op, std::move(read));
+      StatusOr<std::vector<TrimEntry>> decoded = DecodeTrimSummary(payload);
+      if (!decoded.ok()) {
+        IOSNAP_LOG(kWarning) << "[cleaner] undecodable trim summary " << paddr << ": "
+                             << decoded.status();
+        ++ftl_->stats_.gc_pages_lost;
+        return read_op.finish_ns;
+      }
+      const std::vector<TrimEntry>& entries = *decoded;
       for (const TrimEntry& trim : entries) {
         if (TrimStillNeeded(trim.epoch, trim.seq)) {
           victim_->live_trims.push_back(trim);

@@ -53,51 +53,73 @@ StatusOr<uint64_t> LogManager::AcquireSegment(int head) {
   return seg;
 }
 
+void LogManager::AbandonOpenSegment(int head) {
+  Head& h = HeadFor(head);
+  if (!h.open_segment.has_value()) {
+    return;
+  }
+  segments_[*h.open_segment].state = SegmentState::kClosed;
+  h.open_segment.reset();
+}
+
 StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
                                           std::span<const uint8_t> data, uint64_t issue_ns) {
   Head& h = HeadFor(head);
 
-  if (h.open_segment.has_value()) {
+  for (int attempt = 0;; ++attempt) {
+    if (h.open_segment.has_value()) {
+      const uint64_t seg = *h.open_segment;
+      if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+        segments_[seg].state = SegmentState::kClosed;
+        h.open_segment.reset();
+      }
+    }
+    if (!h.open_segment.has_value()) {
+      ASSIGN_OR_RETURN(uint64_t seg, AcquireSegment(head));
+      h.open_segment = seg;
+    }
+
     const uint64_t seg = *h.open_segment;
+    AppendResult result;
+    StatusOr<NandOp> op = device_->ProgramPage(seg, header, data, issue_ns, &result.paddr);
+    if (!op.ok()) {
+      if (op.status().code() == StatusCode::kDataLoss && attempt < kMaxAppendReroutes) {
+        // Program failure: the device retired the block. Abandon the segment (the
+        // cleaner will copy its earlier records off) and re-drive the record.
+        AbandonOpenSegment(head);
+        ++stats_.append_reroutes;
+        continue;
+      }
+      return op.status();
+    }
+    result.op = *op;
+
+    SegmentInfo& info = segments_[seg];
+    info.min_seq = std::min(info.min_seq, header.seq);
+    if (header.type == RecordType::kData) {
+      info.min_data_seq = std::min(info.min_data_seq, header.seq);
+      ++info.epoch_pages[header.epoch];
+    }
     if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
-      segments_[seg].state = SegmentState::kClosed;
+      info.state = SegmentState::kClosed;
       h.open_segment.reset();
     }
+    return result;
   }
-  if (!h.open_segment.has_value()) {
-    ASSIGN_OR_RETURN(uint64_t seg, AcquireSegment(head));
-    h.open_segment = seg;
-  }
-
-  const uint64_t seg = *h.open_segment;
-  AppendResult result;
-  ASSIGN_OR_RETURN(result.op,
-                   device_->ProgramPage(seg, header, data, issue_ns, &result.paddr));
-
-  SegmentInfo& info = segments_[seg];
-  info.min_seq = std::min(info.min_seq, header.seq);
-  if (header.type == RecordType::kData) {
-    info.min_data_seq = std::min(info.min_data_seq, header.seq);
-    ++info.epoch_pages[header.epoch];
-  }
-  if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
-    info.state = SegmentState::kClosed;
-    h.open_segment.reset();
-  }
-  return result;
 }
 
-StatusOr<std::vector<AppendResult>> LogManager::AppendBatch(
-    int head, std::span<const AppendRequest> requests, uint64_t issue_ns) {
+Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests,
+                               uint64_t issue_ns, std::vector<AppendResult>* results_out) {
+  IOSNAP_CHECK(results_out != nullptr);
   const uint64_t pages_per_segment = device_->config().pages_per_segment;
   Head& h = HeadFor(head);
-  std::vector<AppendResult> results;
-  results.reserve(requests.size());
+  results_out->reserve(results_out->size() + requests.size());
 
   std::vector<NandDevice::ProgramRequest> run;
   std::vector<uint64_t> run_paddrs;
   std::vector<NandOp> run_ops;
   size_t next = 0;
+  int reroutes = 0;
   while (next < requests.size()) {
     if (h.open_segment.has_value() &&
         device_->NextFreePage(*h.open_segment) >= pages_per_segment) {
@@ -118,25 +140,38 @@ StatusOr<std::vector<AppendResult>> LogManager::AppendBatch(
     for (size_t i = 0; i < run_len; ++i) {
       run.push_back({requests[next + i].header, requests[next + i].data});
     }
-    RETURN_IF_ERROR(device_->ProgramBatch(seg, run, issue_ns, &run_paddrs, &run_ops));
-
+    const Status run_status = device_->ProgramBatch(seg, run, issue_ns, &run_paddrs,
+                                                    &run_ops);
+    // A torn run committed `run_ops.size()` pages before failing; account exactly those.
+    const size_t done = run_ops.size();
     SegmentInfo& info = segments_[seg];
-    for (size_t i = 0; i < run_len; ++i) {
+    for (size_t i = 0; i < done; ++i) {
       const PageHeader& header = requests[next + i].header;
       info.min_seq = std::min(info.min_seq, header.seq);
       if (header.type == RecordType::kData) {
         info.min_data_seq = std::min(info.min_data_seq, header.seq);
         ++info.epoch_pages[header.epoch];
       }
-      results.push_back(AppendResult{run_paddrs[i], run_ops[i]});
+      results_out->push_back(AppendResult{run_paddrs[i], run_ops[i]});
+    }
+    next += done;
+    if (!run_status.ok()) {
+      if (run_status.code() == StatusCode::kDataLoss && reroutes < kMaxAppendReroutes) {
+        // Program failure mid-run: the segment is now a bad block. Re-drive the
+        // remainder of the batch into a fresh segment.
+        AbandonOpenSegment(head);
+        ++stats_.append_reroutes;
+        ++reroutes;
+        continue;
+      }
+      return run_status;
     }
     if (device_->NextFreePage(seg) >= pages_per_segment) {
       info.state = SegmentState::kClosed;
       h.open_segment.reset();
     }
-    next += run_len;
   }
-  return results;
+  return OkStatus();
 }
 
 std::vector<uint64_t> LogManager::ClosedSegments() const {
@@ -156,13 +191,32 @@ StatusOr<NandOp> LogManager::ReleaseSegment(uint64_t segment, uint64_t issue_ns)
     return FailedPrecondition("release: segment " + std::to_string(segment) +
                               " is not closed");
   }
-  ASSIGN_OR_RETURN(NandOp op, device_->EraseSegment(segment, issue_ns));
+  StatusOr<NandOp> op = device_->EraseSegment(segment, issue_ns);
+  if (!op.ok()) {
+    const StatusCode code = op.status().code();
+    if (code == StatusCode::kDataLoss || code == StatusCode::kResourceExhausted) {
+      // Permanent erase failure (grown bad block) or wear-out: retire the segment.
+      // Its pages were not erased, so recovery will still scan them — keep the
+      // accounting (min_data_seq especially) so GlobalMinDataSeq stays conservative
+      // and trim notes that kill those stale records are never dropped.
+      info.state = SegmentState::kRetired;
+      ++stats_.segments_retired;
+      IOSNAP_LOG(kWarning) << "log: retiring segment " << segment
+                          << " after erase failure: " << op.status();
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kSegmentRetired, issue_ns, issue_ns, segment,
+                       device_->EraseCount(segment));
+      }
+      return NandOp{issue_ns, issue_ns};
+    }
+    return op.status();  // Transient (crash) or structural errors propagate.
+  }
   info.state = SegmentState::kFree;
   info.epoch_pages.clear();
   info.min_seq = ~uint64_t{0};
   info.min_data_seq = ~uint64_t{0};
   free_segments_.push_back(segment);
-  return op;
+  return *op;
 }
 
 uint64_t LogManager::TotalSegments() const { return segments_.size(); }
@@ -213,7 +267,17 @@ void LogManager::RebuildFromDevice() {
     info.min_seq = ~uint64_t{0};
     info.min_data_seq = ~uint64_t{0};
     const uint64_t next = device_->NextFreePage(s);
-    if (next == 0) {
+    if (device_->IsBadSegment(s)) {
+      // Grown bad block. If it still holds records, treat it as closed so the cleaner
+      // copies the live ones off and re-retires it; an empty bad block is retired
+      // outright. Either way it must never be re-opened or offered as free.
+      if (next == 0) {
+        info.state = SegmentState::kRetired;
+      } else {
+        info.state = SegmentState::kClosed;
+        info.use_order = ++use_counter_;
+      }
+    } else if (next == 0) {
       info.state = SegmentState::kFree;
       free_segments_.push_back(s);
     } else if (next < device_->config().pages_per_segment &&

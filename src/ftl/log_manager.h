@@ -23,7 +23,17 @@
 
 namespace iosnap {
 
-enum class SegmentState : uint8_t { kFree, kOpen, kClosed };
+// kRetired marks grown bad blocks pulled out of circulation: never opened, never
+// offered to the cleaner, never freed. Their accounting (min_data_seq in particular)
+// is retained because their un-erasable pages are still scanned by recovery, so trim
+// retention must stay conservative with respect to them.
+enum class SegmentState : uint8_t { kFree, kOpen, kClosed, kRetired };
+
+// Degraded-mode counters maintained by the LogManager.
+struct LogStats {
+  uint64_t append_reroutes = 0;   // Appends re-driven to a fresh segment after program failure.
+  uint64_t segments_retired = 0;  // Segments permanently retired after erase failure/wear-out.
+};
 
 struct SegmentInfo {
   SegmentState state = SegmentState::kFree;
@@ -60,6 +70,8 @@ class LogManager {
   // Appends one record through `head`. Fails with kResourceExhausted when the head is
   // not allowed to take another segment — the signal that cleaning must run. (Free
   // segments are always pre-erased: factory-fresh or erased by ReleaseSegment.)
+  // A program failure (kDataLoss from the device) closes the now-bad open segment and
+  // re-drives the record into a fresh one, bounded by kMaxAppendReroutes.
   StatusOr<AppendResult> Append(int head, const PageHeader& header,
                                 std::span<const uint8_t> data, uint64_t issue_ns);
 
@@ -73,12 +85,13 @@ class LogManager {
   // schedules the whole batch in one virtual-clock pass. Records are grouped into
   // maximal segment runs (each run is one NandDevice::ProgramBatch); segment lifecycle
   // and per-record accounting match record-by-record Append exactly. The caller should
-  // size the batch to fit the head's allowance (see ActiveHeadFreePages); a mid-batch
-  // acquisition failure returns the error after earlier records were already appended —
-  // a batch is not atomic.
-  StatusOr<std::vector<AppendResult>> AppendBatch(int head,
-                                                  std::span<const AppendRequest> requests,
-                                                  uint64_t issue_ns);
+  // size the batch to fit the head's allowance (see ActiveHeadFreePages); a batch is
+  // not atomic. On any error, `results_out` holds one entry per record that WAS durably
+  // appended (a prefix of `requests`) — the caller must apply that prefix's effects
+  // before propagating the error. Program failures reroute to a fresh segment like
+  // Append; a mid-batch crash returns kUnavailable with the torn prefix in place.
+  Status AppendBatch(int head, std::span<const AppendRequest> requests, uint64_t issue_ns,
+                     std::vector<AppendResult>* results_out);
 
   // True if `head` can accept a record without violating the GC reserve.
   bool CanAppend(int head) const;
@@ -88,7 +101,10 @@ class LogManager {
   // Closed segments eligible for cleaning (never open heads).
   std::vector<uint64_t> ClosedSegments() const;
 
-  // Erases `segment` and returns it to the free pool. It must be closed.
+  // Erases `segment` and returns it to the free pool. It must be closed. If the erase
+  // fails permanently (grown bad block or wear-out) the segment is retired instead of
+  // freed and an instant (zero-duration) op is returned: retirement is a handled
+  // degraded-mode outcome, not an error the cleaner needs to unwind.
   StatusOr<NandOp> ReleaseSegment(uint64_t segment, uint64_t issue_ns);
 
   // --- Introspection ---
@@ -105,6 +121,11 @@ class LogManager {
   // The segment currently open under `head`, if any.
   std::optional<uint64_t> OpenSegment(int head) const;
 
+  const LogStats& stats() const { return stats_; }
+
+  // Optional flight-recorder hook for retirement/reroute events.
+  void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
+
   // --- Recovery bootstrap ---
 
   // Rebuilds segment states by inspecting the device: partially-programmed segments are
@@ -119,10 +140,19 @@ class LogManager {
     std::optional<uint64_t> open_segment;
   };
 
+  // Bound on fresh segments tried per append when programs keep failing. Each failure
+  // retires a whole segment, so consecutive failures are ppm^n-rare; exhausting the
+  // bound surfaces the device's kDataLoss to the caller.
+  static constexpr int kMaxAppendReroutes = 3;
+
   // Takes the next free segment for a head.
   StatusOr<uint64_t> AcquireSegment(int head);
 
   Head& HeadFor(int head);
+
+  // Closes the open segment of `head` after a program failure so it is never appended
+  // to again; the cleaner will later copy its live records off and retire it.
+  void AbandonOpenSegment(int head);
 
   NandDevice* device_;
   uint64_t gc_reserve_segments_;
@@ -130,6 +160,8 @@ class LogManager {
   std::deque<uint64_t> free_segments_;
   std::map<int, Head> heads_;
   uint64_t use_counter_ = 0;
+  LogStats stats_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace iosnap

@@ -1,0 +1,37 @@
+#include "src/nand/fault_injector.h"
+
+namespace iosnap {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  for (const auto& [segment, ordinal] : config_.bad_block_schedule) {
+    erase_fail_at_.emplace(segment, ordinal);
+  }
+}
+
+Status FaultInjector::BeginOp() {
+  if (crashed_ || (config_.crash_after_op != 0 && ops_ >= config_.crash_after_op)) {
+    crashed_ = true;
+    return Unavailable("nand: simulated power loss (device offline)");
+  }
+  ++ops_;
+  return OkStatus();
+}
+
+bool FaultInjector::EraseScheduledToFail(uint64_t segment, uint64_t ordinal) const {
+  auto it = erase_fail_at_.find(segment);
+  return it != erase_fail_at_.end() && it->second == ordinal;
+}
+
+void FaultInjector::Disarm() {
+  config_.program_fail_ppm = 0;
+  config_.erase_fail_ppm = 0;
+  config_.read_fail_ppm = 0;
+  config_.corrupt_ppm = 0;
+  config_.crash_after_op = 0;
+  config_.bad_block_schedule.clear();
+  erase_fail_at_.clear();
+  crashed_ = false;
+}
+
+}  // namespace iosnap

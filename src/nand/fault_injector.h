@@ -1,0 +1,93 @@
+// Deterministic, seeded fault injection for the simulated NAND device.
+//
+// The fault model covers the failures real flash produces (grown bad blocks,
+// program/erase failures, transient read failures, silent bit corruption) plus
+// scripted whole-device crashes ("power fails after the Nth device op"), which
+// is how the crash-consistency sweep places torn-write points inside batched
+// programs and cleaner copy-forward.
+//
+// Everything is off by default: with a zero-rate config the injector only
+// counts device ops, so the device behaves bit-identically to a build without
+// the fault layer.
+
+#ifndef SRC_NAND_FAULT_INJECTOR_H_
+#define SRC_NAND_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace iosnap {
+
+// Fault-injection knobs, embedded in NandConfig. Rates are parts-per-million
+// per device operation; zero disables the draw entirely.
+struct FaultConfig {
+  uint64_t seed = 1;               // Seed for the injector's private RNG stream.
+  uint32_t program_fail_ppm = 0;   // Page program fails; block becomes a grown bad block.
+  uint32_t erase_fail_ppm = 0;     // Segment erase fails; block becomes a grown bad block.
+  uint32_t read_fail_ppm = 0;      // Transient read failure (kUnavailable; retryable).
+  uint32_t corrupt_ppm = 0;        // Silent bit flip in the stored page (caught by CRC).
+  // 0 = never crash. Otherwise the first N device operations succeed and every
+  // operation after that returns kUnavailable with no state change, modeling
+  // power loss mid-workload (including mid-batch torn writes).
+  uint64_t crash_after_op = 0;
+  // Scripted grown-bad-block schedule: (segment, erase ordinal). The segment's
+  // Nth erase (1-based) fails and retires the block, deterministically.
+  std::vector<std::pair<uint64_t, uint64_t>> bad_block_schedule;
+
+  bool AnyFaultConfigured() const {
+    return program_fail_ppm != 0 || erase_fail_ppm != 0 || read_fail_ppm != 0 ||
+           corrupt_ppm != 0 || crash_after_op != 0 || !bad_block_schedule.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  // Crash gate + op counter. Called once per timed device operation (per page
+  // for batches, which is what makes torn batches possible). Returns
+  // kUnavailable once the scripted crash point has been reached; otherwise
+  // counts the op and returns OK. The counter always advances so crash points
+  // can be scheduled against a no-fault baseline run.
+  Status BeginOp();
+
+  bool DrawProgramFail() { return Draw(config_.program_fail_ppm); }
+  bool DrawEraseFail() { return Draw(config_.erase_fail_ppm); }
+  bool DrawReadFail() { return Draw(config_.read_fail_ppm); }
+  bool DrawCorrupt() { return Draw(config_.corrupt_ppm); }
+
+  // True if the segment's erase at `ordinal` (1-based) is scheduled to fail.
+  bool EraseScheduledToFail(uint64_t segment, uint64_t ordinal) const;
+
+  // Deterministic choice of which bit to flip when corrupting a page.
+  uint64_t PickBit(uint64_t bound) { return rng_.NextBelow(bound); }
+
+  // Disables all future fault behavior (rates, schedules, crash gate) while
+  // keeping the op counter running. Media damage already done — bad blocks,
+  // corrupted pages — persists in the device; this models replacing the fault
+  // scenario with a healthy power supply, e.g. before crash recovery.
+  void Disarm();
+
+  uint64_t ops() const { return ops_; }
+  bool crashed() const { return crashed_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  bool Draw(uint32_t ppm) { return ppm != 0 && rng_.NextBelow(1000000) < ppm; }
+
+  FaultConfig config_;
+  Rng rng_;
+  // segment -> erase ordinal that fails (first scheduled entry per segment wins).
+  std::unordered_map<uint64_t, uint64_t> erase_fail_at_;
+  uint64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_NAND_FAULT_INJECTOR_H_

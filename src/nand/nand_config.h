@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/common/units.h"
+#include "src/nand/fault_injector.h"
 
 namespace iosnap {
 
@@ -40,6 +41,10 @@ struct NandConfig {
   // When false the device keeps only page headers, not payload bytes. Benchmarks run
   // header-only to bound host memory; correctness tests run with data retained.
   bool store_data = true;
+
+  // --- Fault injection ---
+  // All rates default to zero: the device is then bit-identical to a faultless build.
+  FaultConfig fault;
 
   uint64_t TotalPages() const { return pages_per_segment * num_segments; }
   uint64_t CapacityBytes() const { return TotalPages() * page_size_bytes; }

@@ -2,9 +2,47 @@
 
 #include <algorithm>
 
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 
 namespace iosnap {
+
+namespace {
+
+// Little-endian store helpers for the fixed header-field serialization the CRC runs
+// over. The layout (type, lba, epoch, seq, snap_id, trim_count, payload_len) is
+// independent of host struct padding, so checksums are stable across builds.
+void PutLe32(uint8_t* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void PutLe64(uint8_t* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+// kind codes for kFaultInjected trace events.
+constexpr uint64_t kFaultKindProgram = 0;
+constexpr uint64_t kFaultKindErase = 1;
+constexpr uint64_t kFaultKindRead = 2;
+constexpr uint64_t kFaultKindCorrupt = 3;
+
+}  // namespace
+
+uint32_t ComputePageCrc(const PageHeader& header, std::span<const uint8_t> data) {
+  uint8_t buf[33];
+  buf[0] = static_cast<uint8_t>(header.type);
+  PutLe64(buf + 1, header.lba);
+  PutLe32(buf + 9, header.epoch);
+  PutLe64(buf + 13, header.seq);
+  PutLe32(buf + 21, header.snap_id);
+  PutLe32(buf + 25, header.trim_count);
+  PutLe32(buf + 29, header.payload_len);
+  return Crc32Extend(Crc32(std::span<const uint8_t>(buf, sizeof(buf))), data);
+}
 
 const char* RecordTypeName(RecordType type) {
   switch (type) {
@@ -38,6 +76,7 @@ const char* RecordTypeName(RecordType type) {
 
 NandDevice::NandDevice(const NandConfig& config)
     : config_(config),
+      fault_(config.fault),
       pages_(config.TotalPages()),
       segments_(config.num_segments),
       channel_busy_until_(config.num_channels, 0) {
@@ -71,6 +110,10 @@ StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& hea
     return OutOfRange("program: segment " + std::to_string(segment) + " out of range");
   }
   SegmentState& seg = segments_[segment];
+  if (seg.bad) {
+    return DataLoss("program: segment " + std::to_string(segment) +
+                    " is a grown bad block");
+  }
   if (!seg.erased) {
     return FailedPrecondition("program: segment " + std::to_string(segment) +
                               " was never erased");
@@ -84,12 +127,26 @@ StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& hea
   return ProgramCommit(segment, header, data, issue_ns, paddr_out);
 }
 
-NandOp NandDevice::ProgramCommit(uint64_t segment, const PageHeader& header,
-                                 std::span<const uint8_t> data, uint64_t issue_ns,
-                                 uint64_t* paddr_out) {
+StatusOr<NandOp> NandDevice::ProgramCommit(uint64_t segment, const PageHeader& header,
+                                           std::span<const uint8_t> data, uint64_t issue_ns,
+                                           uint64_t* paddr_out) {
+  RETURN_IF_ERROR(fault_.BeginOp());
   SegmentState& seg = segments_[segment];
   const uint64_t paddr = FirstPageOf(segment) + seg.next_page;
   ++seg.next_page;
+
+  if (fault_.DrawProgramFail()) {
+    // The failed attempt consumes the page slot (it is left unprogrammed) and the
+    // whole block is retired, matching how real flash reports program failures.
+    MarkBad(segment);
+    ++stats_.program_failures;
+    Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.program_ns);
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns,
+                     kFaultKindProgram, segment, fault_.ops());
+    }
+    return DataLoss("program: injected failure in segment " + std::to_string(segment));
+  }
 
   PageState& page = pages_[paddr];
   IOSNAP_CHECK(!page.programmed);
@@ -105,6 +162,18 @@ NandOp NandDevice::ProgramCommit(uint64_t segment, const PageHeader& header,
     page.data.assign(data.begin(), data.end());
   } else {
     page.data.clear();
+  }
+  // The CRC covers the payload as actually stored, so header-only mode stays
+  // self-consistent on read-back.
+  page.header.crc = ComputePageCrc(page.header, page.data);
+
+  if (fault_.DrawCorrupt()) {
+    FlipStoredBit(paddr);
+    ++stats_.pages_corrupted;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns,
+                     kFaultKindCorrupt, paddr, fault_.ops());
+    }
   }
 
   ++stats_.pages_programmed;
@@ -128,6 +197,10 @@ Status NandDevice::ProgramBatch(uint64_t segment, std::span<const ProgramRequest
                       " out of range");
   }
   const SegmentState& seg = segments_[segment];
+  if (seg.bad) {
+    return DataLoss("program-batch: segment " + std::to_string(segment) +
+                    " is a grown bad block");
+  }
   if (!seg.erased) {
     return FailedPrecondition("program-batch: segment " + std::to_string(segment) +
                               " was never erased");
@@ -151,12 +224,18 @@ Status NandDevice::ProgramBatch(uint64_t segment, std::span<const ProgramRequest
   }
   for (const ProgramRequest& request : requests) {
     uint64_t paddr = 0;
-    const NandOp op = ProgramCommit(segment, request.header, request.data, issue_ns, &paddr);
+    // A fault or crash mid-batch tears the batch: the prefix already pushed to the
+    // out-vectors is durable, the rest was never programmed.
+    StatusOr<NandOp> op = ProgramCommit(segment, request.header, request.data, issue_ns,
+                                        &paddr);
+    if (!op.ok()) {
+      return op.status();
+    }
     if (paddrs_out != nullptr) {
       paddrs_out->push_back(paddr);
     }
     if (ops_out != nullptr) {
-      ops_out->push_back(op);
+      ops_out->push_back(*op);
     }
   }
   return OkStatus();
@@ -173,9 +252,28 @@ StatusOr<NandOp> NandDevice::ReadPage(uint64_t paddr, uint64_t issue_ns,
   return ReadCommit(paddr, issue_ns, header_out, data_out);
 }
 
-NandOp NandDevice::ReadCommit(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
-                              std::vector<uint8_t>* data_out) {
+StatusOr<NandOp> NandDevice::ReadCommit(uint64_t paddr, uint64_t issue_ns,
+                                        PageHeader* header_out,
+                                        std::vector<uint8_t>* data_out) {
+  RETURN_IF_ERROR(fault_.BeginOp());
   const PageState& page = pages_[paddr];
+
+  if (fault_.DrawReadFail()) {
+    ++stats_.read_failures;
+    // The failed attempt still occupied the channel and bus.
+    Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.read_ns);
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns, kFaultKindRead,
+                     paddr, fault_.ops());
+    }
+    return Unavailable("read: transient failure at paddr " + std::to_string(paddr));
+  }
+  if (!PageCrcOk(page)) {
+    ++stats_.crc_errors;
+    Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.read_ns);
+    return DataLoss("read: CRC mismatch at paddr " + std::to_string(paddr));
+  }
+
   if (header_out != nullptr) {
     *header_out = page.header;
   }
@@ -220,8 +318,14 @@ Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns
   for (uint64_t paddr : paddrs) {
     PageHeader header;
     std::vector<uint8_t> data;
-    const NandOp op = ReadCommit(paddr, issue_ns, headers_out != nullptr ? &header : nullptr,
-                                 data_out != nullptr ? &data : nullptr);
+    StatusOr<NandOp> op = ReadCommit(paddr, issue_ns,
+                                     headers_out != nullptr ? &header : nullptr,
+                                     data_out != nullptr ? &data : nullptr);
+    if (!op.ok()) {
+      // The prefix already read stays in the out-vectors; the caller can fall back to
+      // per-page retries for the remainder.
+      return op.status();
+    }
     if (headers_out != nullptr) {
       headers_out->push_back(header);
     }
@@ -229,10 +333,31 @@ Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns
       data_out->push_back(std::move(data));
     }
     if (ops_out != nullptr) {
-      ops_out->push_back(op);
+      ops_out->push_back(*op);
     }
   }
   return OkStatus();
+}
+
+StatusOr<NandOp> NandDevice::ReadPageWithRetry(uint64_t paddr, uint64_t issue_ns,
+                                               PageHeader* header_out,
+                                               std::vector<uint8_t>* data_out,
+                                               uint32_t max_attempts) {
+  if (max_attempts == 0) {
+    max_attempts = 1;
+  }
+  StatusOr<NandOp> result = ReadPage(paddr, issue_ns, header_out, data_out);
+  for (uint32_t attempt = 1; attempt < max_attempts; ++attempt) {
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable) {
+      break;  // Success, or a permanent error retries cannot fix.
+    }
+    ++stats_.read_retries;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kReadRetry, issue_ns, issue_ns, paddr, attempt);
+    }
+    result = ReadPage(paddr, issue_ns, header_out, data_out);
+  }
+  return result;
 }
 
 StatusOr<NandOp> NandDevice::ReadHeader(uint64_t paddr, uint64_t issue_ns,
@@ -243,6 +368,21 @@ StatusOr<NandOp> NandDevice::ReadHeader(uint64_t paddr, uint64_t issue_ns,
   const PageState& page = pages_[paddr];
   if (!page.programmed) {
     return FailedPrecondition("read-header: page not programmed");
+  }
+  RETURN_IF_ERROR(fault_.BeginOp());
+  if (fault_.DrawReadFail()) {
+    ++stats_.read_failures;
+    Occupy(ChannelOfPage(paddr), issue_ns, 0, config_.read_ns);
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns, kFaultKindRead,
+                     paddr, fault_.ops());
+    }
+    return Unavailable("read-header: transient failure at paddr " + std::to_string(paddr));
+  }
+  if (!PageCrcOk(page)) {
+    ++stats_.crc_errors;
+    Occupy(ChannelOfPage(paddr), issue_ns, 0, config_.read_ns);
+    return DataLoss("read-header: CRC mismatch at paddr " + std::to_string(paddr));
   }
   if (header_out != nullptr) {
     *header_out = page.header;
@@ -261,6 +401,7 @@ StatusOr<NandOp> NandDevice::ScanSegmentHeaders(
   if (segment >= config_.num_segments) {
     return OutOfRange("scan: segment out of range");
   }
+  RETURN_IF_ERROR(fault_.BeginOp());
   const SegmentState& seg = segments_[segment];
   const uint64_t first = FirstPageOf(segment);
   if (out != nullptr) {
@@ -272,10 +413,16 @@ StatusOr<NandOp> NandDevice::ScanSegmentHeaders(
     if (!page.programmed) {
       continue;
     }
+    ++scanned;
+    if (!PageCrcOk(page)) {
+      // Torn or corrupted page: the scan read it (time is charged) but drops it, so
+      // recovery and activation never see a record that fails its checksum.
+      ++stats_.crc_errors;
+      continue;
+    }
     if (out != nullptr) {
       out->emplace_back(first + i, page.header);
     }
-    ++scanned;
   }
   stats_.headers_scanned += scanned;
 
@@ -291,8 +438,27 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
     return OutOfRange("erase: segment out of range");
   }
   SegmentState& seg = segments_[segment];
+  if (seg.bad) {
+    return DataLoss("erase: segment " + std::to_string(segment) +
+                    " is a grown bad block");
+  }
+  RETURN_IF_ERROR(fault_.BeginOp());
   if (seg.erase_count >= config_.max_erase_count) {
+    // Worn out: the block can no longer hold charge reliably; retire it.
+    MarkBad(segment);
+    ++stats_.erase_failures;
     return ResourceExhausted("erase: segment " + std::to_string(segment) + " is worn out");
+  }
+  if (fault_.EraseScheduledToFail(segment, seg.erase_count + 1) || fault_.DrawEraseFail()) {
+    // Grown bad block: the erase fails and the pages keep their old contents.
+    MarkBad(segment);
+    ++stats_.erase_failures;
+    Occupy(ChannelOfSegment(segment), issue_ns, 0, config_.erase_ns);
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns, kFaultKindErase,
+                     segment, fault_.ops());
+    }
+    return DataLoss("erase: injected failure in segment " + std::to_string(segment));
   }
 
   const uint64_t first = FirstPageOf(segment);
@@ -316,6 +482,51 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
                    seg.erase_count);
   }
   return op;
+}
+
+void NandDevice::MarkBad(uint64_t segment) {
+  SegmentState& seg = segments_[segment];
+  if (seg.bad) {
+    return;
+  }
+  seg.bad = true;
+  if (seg.erase_count >= max_erase_count_) {
+    // The retired block may have been holding the maximum; re-derive it over the
+    // usable segments only so wear-leveling never anchors on an unusable block.
+    max_erase_count_ = 0;
+    for (const SegmentState& other : segments_) {
+      if (!other.bad) {
+        max_erase_count_ = std::max(max_erase_count_, other.erase_count);
+      }
+    }
+  }
+}
+
+bool NandDevice::PageCrcOk(const PageState& page) const {
+  return page.header.crc == ComputePageCrc(page.header, page.data);
+}
+
+void NandDevice::FlipStoredBit(uint64_t paddr) {
+  PageState& page = pages_[paddr];
+  if (!page.data.empty()) {
+    const uint64_t bit = fault_.PickBit(page.data.size() * 8);
+    page.data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  } else {
+    // Header-only page: corrupt an OOB field instead.
+    page.header.lba ^= uint64_t{1} << fault_.PickBit(48);
+  }
+}
+
+void NandDevice::CorruptPageForTesting(uint64_t paddr) {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  IOSNAP_CHECK(pages_[paddr].programmed);
+  FlipStoredBit(paddr);
+  ++stats_.pages_corrupted;
+}
+
+bool NandDevice::IsBadSegment(uint64_t segment) const {
+  IOSNAP_CHECK(segment < config_.num_segments);
+  return segments_[segment].bad;
 }
 
 bool NandDevice::IsProgrammed(uint64_t paddr) const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/nand/fault_injector.h"
 #include "src/nand/nand_config.h"
 #include "src/nand/page_header.h"
 #include "src/obs/trace.h"
@@ -43,6 +44,13 @@ struct NandStats {
   uint64_t segments_erased = 0;
   uint64_t bytes_programmed = 0;
   uint64_t bytes_read = 0;
+  // Fault-path counters; all stay zero when injection is disabled.
+  uint64_t program_failures = 0;  // Injected program failures (block retired).
+  uint64_t erase_failures = 0;    // Injected/scheduled/wear-out erase failures.
+  uint64_t read_failures = 0;     // Injected transient read failures.
+  uint64_t crc_errors = 0;        // Pages whose stored CRC failed verification.
+  uint64_t pages_corrupted = 0;   // Pages silently corrupted at program time.
+  uint64_t read_retries = 0;      // Extra attempts made by ReadPageWithRetry.
 };
 
 class NandDevice {
@@ -77,7 +85,9 @@ class NandDevice {
   // `issue_ns` in one virtual-clock pass: consecutive paddrs round-robin the channels,
   // so the batch overlaps across them exactly as the same pages issued independently at
   // the same instant would. Appends one chosen paddr and one completion op per request.
-  // The whole batch is validated up front; on error nothing is programmed.
+  // The whole batch is validated up front, so a validation error programs nothing; an
+  // injected fault or crash mid-batch, however, leaves the committed prefix behind (a
+  // torn batch) — the out-vectors then hold exactly the pages that were programmed.
   Status ProgramBatch(uint64_t segment, std::span<const ProgramRequest> requests,
                       uint64_t issue_ns, std::vector<uint64_t>* paddrs_out,
                       std::vector<NandOp>* ops_out);
@@ -88,11 +98,20 @@ class NandDevice {
 
   // Reads a batch of programmed pages, all issued at `issue_ns` (one virtual-clock
   // pass). Out-vectors, when non-null, receive one element per paddr in order. The
-  // whole batch is validated up front; on error nothing is read.
+  // whole batch is validated up front; a validation error reads nothing, while an
+  // injected fault mid-batch leaves the successfully read prefix in the out-vectors.
   Status ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns,
                    std::vector<PageHeader>* headers_out,
                    std::vector<std::vector<uint8_t>>* data_out,
                    std::vector<NandOp>* ops_out);
+
+  // ReadPage with bounded retry: transient failures (kUnavailable) are retried up to
+  // `max_attempts` total attempts; permanent errors (CRC mismatch -> kDataLoss,
+  // structural errors) return immediately. Each retry re-charges device time.
+  StatusOr<NandOp> ReadPageWithRetry(uint64_t paddr, uint64_t issue_ns,
+                                     PageHeader* header_out,
+                                     std::vector<uint8_t>* data_out,
+                                     uint32_t max_attempts);
 
   // Reads just the OOB header of one page (used by targeted metadata lookups).
   StatusOr<NandOp> ReadHeader(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out);
@@ -117,11 +136,26 @@ class NandDevice {
   uint64_t NextFreePage(uint64_t segment) const;
   bool SegmentErased(uint64_t segment) const;
   uint64_t EraseCount(uint64_t segment) const;
-  // Highest per-segment erase count on the device, maintained incrementally so wear
-  // checks need not rescan every segment.
+  // Highest per-segment erase count among *usable* segments, maintained incrementally
+  // so wear checks need not rescan every segment. Grown bad blocks are excluded: their
+  // frozen erase counts must not anchor wear-leveling decisions.
   uint64_t MaxEraseCount() const { return max_erase_count_; }
+  // True once the segment has become a grown bad block (failed program/erase, scheduled
+  // bad block, or wear-out). Bad segments refuse further programs and erases.
+  bool IsBadSegment(uint64_t segment) const;
 
   const NandStats& stats() const { return stats_; }
+
+  // --- Fault injection ---
+
+  const FaultInjector& fault() const { return fault_; }
+  // Disables all future fault behavior while preserving media damage already done
+  // (bad blocks, corrupted pages) and the running op counter. Crash-recovery harnesses
+  // call this between the simulated power loss and reopening the FTL.
+  void ClearFaults() { fault_.Disarm(); }
+  // Flips one bit of a programmed page (payload if stored, header otherwise) so its
+  // CRC no longer verifies. Test hook for torn-tail / corruption scenarios.
+  void CorruptPageForTesting(uint64_t paddr);
 
   // Optional flight-recorder hook (erase events); nullptr (the default) disables it.
   void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
@@ -139,6 +173,7 @@ class NandDevice {
 
   struct SegmentState {
     bool erased = false;          // True after first erase; programming requires it.
+    bool bad = false;             // Grown bad block: no further programs or erases.
     uint64_t next_page = 0;       // Next in-order page to program.
     uint64_t erase_count = 0;
   };
@@ -154,13 +189,22 @@ class NandDevice {
   uint64_t Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns, uint64_t cell_ns);
 
   // Post-validation single-page bodies shared by the scalar and batch entry points.
-  NandOp ProgramCommit(uint64_t segment, const PageHeader& header,
-                       std::span<const uint8_t> data, uint64_t issue_ns,
-                       uint64_t* paddr_out);
-  NandOp ReadCommit(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
-                    std::vector<uint8_t>* data_out);
+  // These run the fault gates: crash check, injected program/read failures, silent
+  // corruption, and CRC verification on reads.
+  StatusOr<NandOp> ProgramCommit(uint64_t segment, const PageHeader& header,
+                                 std::span<const uint8_t> data, uint64_t issue_ns,
+                                 uint64_t* paddr_out);
+  StatusOr<NandOp> ReadCommit(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
+                              std::vector<uint8_t>* data_out);
+
+  // Marks a segment as a grown bad block and re-derives MaxEraseCount if the segment
+  // was holding the maximum.
+  void MarkBad(uint64_t segment);
+  void FlipStoredBit(uint64_t paddr);
+  bool PageCrcOk(const PageState& page) const;
 
   NandConfig config_;
+  FaultInjector fault_;
   std::vector<PageState> pages_;
   std::vector<SegmentState> segments_;
   std::vector<uint64_t> channel_busy_until_;

@@ -9,6 +9,7 @@
 #define SRC_NAND_PAGE_HEADER_H_
 
 #include <cstdint>
+#include <span>
 
 namespace iosnap {
 
@@ -46,6 +47,10 @@ struct PageHeader {
   uint32_t snap_id = 0;     // Snapshot id for snapshot notes.
   uint32_t trim_count = 0;  // Number of LBAs trimmed (kTrim).
   uint32_t payload_len = 0; // Bytes of payload stored in the page (checkpoint chaining).
+  uint32_t crc = 0;         // CRC-32 of (header fields above + stored payload). Stamped
+                            // by the device at program time, verified on every read and
+                            // header scan, so silent corruption and torn tails surface
+                            // as kDataLoss / dropped pages instead of bad data.
 
   bool IsSnapshotNote() const {
     return type == RecordType::kSnapCreate || type == RecordType::kSnapDelete ||
@@ -55,7 +60,11 @@ struct PageHeader {
 };
 
 // Serialized OOB footprint charged by the device model (bytes per page of header traffic).
-inline constexpr uint64_t kPageHeaderBytes = 40;
+inline constexpr uint64_t kPageHeaderBytes = 44;
+
+// CRC-32 over the header's logical fields (everything except `crc` itself)
+// extended with the payload bytes as stored on the page.
+uint32_t ComputePageCrc(const PageHeader& header, std::span<const uint8_t> data);
 
 }  // namespace iosnap
 

@@ -9,6 +9,7 @@
 #define SRC_OBS_METRICS_BINDINGS_H_
 
 #include "src/core/ftl_stats.h"
+#include "src/ftl/log_manager.h"
 #include "src/ftl/validity_map.h"
 #include "src/nand/nand_device.h"
 #include "src/obs/metrics.h"
@@ -16,9 +17,10 @@
 namespace iosnap {
 
 // Number of fields each binding registers; keep in sync with the structs (test-checked).
-inline constexpr size_t kFtlStatsMetricCount = 27;
-inline constexpr size_t kNandStatsMetricCount = 6;
+inline constexpr size_t kFtlStatsMetricCount = 29;
+inline constexpr size_t kNandStatsMetricCount = 12;
 inline constexpr size_t kValidityStatsMetricCount = 7;
+inline constexpr size_t kLogStatsMetricCount = 2;
 
 inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
                              const std::string& prefix = "ftl.") {
@@ -52,6 +54,8 @@ inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
   add("activation_segments_skipped", &s.activation_segments_skipped);
   add("activation_entries", &s.activation_entries);
   add("total_pages_programmed", &s.total_pages_programmed);
+  add("user_read_errors", &s.user_read_errors);
+  add("gc_pages_lost", &s.gc_pages_lost);
 }
 
 inline void RegisterNandStats(MetricsRegistry* registry, const NandStats& s,
@@ -65,6 +69,12 @@ inline void RegisterNandStats(MetricsRegistry* registry, const NandStats& s,
   add("segments_erased", &s.segments_erased);
   add("bytes_programmed", &s.bytes_programmed);
   add("bytes_read", &s.bytes_read);
+  add("program_failures", &s.program_failures);
+  add("erase_failures", &s.erase_failures);
+  add("read_failures", &s.read_failures);
+  add("crc_errors", &s.crc_errors);
+  add("pages_corrupted", &s.pages_corrupted);
+  add("read_retries", &s.read_retries);
 }
 
 inline void RegisterValidityStats(MetricsRegistry* registry, const ValidityStats& s,
@@ -79,6 +89,15 @@ inline void RegisterValidityStats(MetricsRegistry* registry, const ValidityStats
   add("merge_plane_rebuilds", &s.merge_plane_rebuilds);
   add("merge_plane_hits", &s.merge_plane_hits);
   add("range_recounts", &s.range_recounts);
+}
+
+inline void RegisterLogStats(MetricsRegistry* registry, const LogStats& s,
+                             const std::string& prefix = "log.") {
+  const auto add = [&](const char* name, const uint64_t* v) {
+    registry->RegisterCounter(prefix + name, v);
+  };
+  add("append_reroutes", &s.append_reroutes);
+  add("segments_retired", &s.segments_retired);
 }
 
 }  // namespace iosnap

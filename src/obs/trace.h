@@ -58,6 +58,10 @@ enum class TraceEventType : uint8_t {
   // Lifecycle phases. args: pages / from_checkpoint, map_entries.
   kCheckpointWrite,
   kRecoveryRun,
+  // Fault injection & degraded-mode handling.
+  kFaultInjected,    // args: kind (0=program 1=erase 2=read 3=corrupt), where, op_index
+  kSegmentRetired,   // args: segment, erase_count
+  kReadRetry,        // args: paddr, attempt
 
   kNumTypes,  // Sentinel; keep last.
 };

@@ -54,6 +54,9 @@ const TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
     {"checkpoint_write", "lifecycle", kTrackLifecycle, {"pages", nullptr, nullptr}},
     {"recovery", "lifecycle", kTrackLifecycle,
      {"from_checkpoint", "map_entries", nullptr}},
+    {"fault_injected", "device", kTrackDevice, {"kind", "where", "op_index"}},
+    {"segment_retired", "device", kTrackDevice, {"segment", "erase_count", nullptr}},
+    {"read_retry", "device", kTrackDevice, {"paddr", "attempt", nullptr}},
 };
 
 void AppendU64(std::string* out, uint64_t v) {

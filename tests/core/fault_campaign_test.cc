@@ -1,0 +1,376 @@
+// Systematic fault-injection campaign: equivalence of the disabled fault layer,
+// a crash-consistency sweep over every scheduled device-op boundary, and a
+// random-fault soak with bad-block retirement.
+//
+// The sweep replays one deterministic snapshot-heavy script against a fresh
+// device per crash point K (the device goes offline after its Kth op), then
+// recovers and checks the forward map, validity counters, snapshot set, and
+// snapshot contents against a brute-force reference model. Single-page writes,
+// trims, and snapshot notes are atomic (one program op), so their effects are
+// all-or-nothing; only vectored writes may land a torn prefix.
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/ftl.h"
+#include "tests/test_util.h"
+
+namespace iosnap {
+namespace {
+
+constexpr uint64_t kLbaSpace = 36;
+
+struct OpSpec {
+  enum Kind { kWrite, kWriteV, kTrim, kSnap, kDelete, kClean } kind;
+  uint64_t lba = 0;
+  uint64_t count = 0;
+  uint64_t version = 0;
+  size_t snap_slot = 0;  // 1-based creation order for kDelete.
+};
+
+// One snapshot-heavy script: overwrites across snapshots, trims, vectored
+// batches (torn-prefix candidates), and forced cleans (mid-copy-forward
+// candidates). Small enough that a full sweep over every device op is cheap.
+std::vector<OpSpec> BuildScript() {
+  std::vector<OpSpec> script;
+  const auto writes = [&](uint64_t lo, uint64_t hi, uint64_t version) {
+    for (uint64_t lba = lo; lba < hi; ++lba) {
+      script.push_back({OpSpec::kWrite, lba, 0, version, 0});
+    }
+  };
+  script.push_back({OpSpec::kWriteV, 0, 12, 1, 0});
+  script.push_back({OpSpec::kWriteV, 12, 12, 1, 0});
+  script.push_back({OpSpec::kWriteV, 24, 12, 1, 0});
+  script.push_back({OpSpec::kSnap});
+  writes(0, 24, 2);
+  script.push_back({OpSpec::kTrim, 30, 6, 0, 0});
+  script.push_back({OpSpec::kSnap});
+  script.push_back({OpSpec::kWriteV, 0, 8, 3, 0});
+  script.push_back({OpSpec::kWriteV, 8, 8, 3, 0});
+  script.push_back({OpSpec::kDelete, 0, 0, 0, 1});
+  writes(0, 20, 4);
+  script.push_back({OpSpec::kClean});
+  script.push_back({OpSpec::kSnap});
+  writes(8, 28, 5);
+  script.push_back({OpSpec::kClean});
+  script.push_back({OpSpec::kTrim, 0, 4, 0, 0});
+  script.push_back({OpSpec::kWriteV, 4, 12, 6, 0});
+  writes(16, 24, 7);
+  script.push_back({OpSpec::kWriteV, 0, 12, 8, 0});
+  script.push_back({OpSpec::kWriteV, 12, 12, 8, 0});
+  script.push_back({OpSpec::kWriteV, 24, 12, 8, 0});
+  script.push_back({OpSpec::kDelete, 0, 0, 0, 2});
+  script.push_back({OpSpec::kSnap});
+  writes(0, 30, 9);
+  script.push_back({OpSpec::kClean});
+  writes(10, 30, 10);
+  script.push_back({OpSpec::kTrim, 32, 4, 0, 0});
+  writes(0, 12, 11);
+  return script;
+}
+
+// Effects the op in flight at the crash may or may not have made durable.
+struct PendingEffect {
+  bool stopped = false;                          // Replay hit a failing op.
+  std::map<uint64_t, uint64_t> maybe_writes;     // lba -> version (torn WriteV prefix).
+};
+
+// Runs `script` against `h`, mirroring every *successful* op into `model`.
+// Returns the pending effect of the first failing op (replay stops there).
+PendingEffect Replay(FtlHarness* h, const FtlConfig& config,
+                     const std::vector<OpSpec>& script, ReferenceModel* model,
+                     std::vector<uint32_t>* snap_ids) {
+  PendingEffect pending;
+  for (const OpSpec& op : script) {
+    switch (op.kind) {
+      case OpSpec::kWrite: {
+        if (!h->Write(op.lba, op.version).ok()) {
+          pending.stopped = true;  // Atomic: not durable.
+          return pending;
+        }
+        model->Write(op.lba, op.version);
+        break;
+      }
+      case OpSpec::kWriteV: {
+        std::vector<std::vector<uint8_t>> bufs;
+        std::vector<WriteRequest> reqs;
+        bufs.reserve(op.count);
+        for (uint64_t i = 0; i < op.count; ++i) {
+          bufs.push_back(
+              PageData(config.nand.page_size_bytes, op.lba + i, op.version));
+          reqs.push_back({op.lba + i, bufs.back()});
+        }
+        auto result = h->ftl().WriteV(reqs, h->now());
+        if (!result.ok()) {
+          pending.stopped = true;
+          // An unknown prefix of the batch is durable.
+          for (uint64_t i = 0; i < op.count; ++i) {
+            pending.maybe_writes[op.lba + i] = op.version;
+          }
+          return pending;
+        }
+        for (const IoResult& io : *result) {
+          h->AdvanceTo(io.CompletionNs());
+        }
+        for (uint64_t i = 0; i < op.count; ++i) {
+          model->Write(op.lba + i, op.version);
+        }
+        break;
+      }
+      case OpSpec::kTrim: {
+        if (!h->Trim(op.lba, op.count).ok()) {
+          pending.stopped = true;  // One trim note: atomic.
+          return pending;
+        }
+        model->Trim(op.lba, op.count);
+        break;
+      }
+      case OpSpec::kSnap: {
+        auto snap = h->Snapshot("sweep-" + std::to_string(snap_ids->size() + 1));
+        if (!snap.ok()) {
+          pending.stopped = true;  // One create note: atomic.
+          return pending;
+        }
+        snap_ids->push_back(*snap);
+        model->Snapshot(*snap);
+        break;
+      }
+      case OpSpec::kDelete: {
+        const uint32_t snap_id = (*snap_ids)[op.snap_slot - 1];
+        if (!h->Delete(snap_id).ok()) {
+          pending.stopped = true;  // One delete note: atomic.
+          return pending;
+        }
+        model->DeleteSnapshot(snap_id);
+        break;
+      }
+      case OpSpec::kClean: {
+        auto finish = h->ftl().ForceCleanSegment(h->now());
+        if (!finish.ok()) {
+          pending.stopped = true;  // Copy-forward preserves logical state.
+          return pending;
+        }
+        h->AdvanceTo(*finish);
+        break;
+      }
+    }
+  }
+  return pending;
+}
+
+// Checks `lba` against the model, accepting the pending torn-prefix version too.
+::testing::AssertionResult CheckLbaWithPending(FtlHarness* h, uint64_t lba,
+                                               const ReferenceModel& model,
+                                               const PendingEffect& pending) {
+  const uint64_t before = model.Current(lba);
+  auto check = h->CheckLba(kPrimaryView, lba, before);
+  if (check) {
+    return check;
+  }
+  auto it = pending.maybe_writes.find(lba);
+  if (it != pending.maybe_writes.end()) {
+    auto alt = h->CheckLba(kPrimaryView, lba, it->second);
+    if (alt) {
+      return alt;
+    }
+  }
+  return ::testing::AssertionFailure()
+         << "lba " << lba << " matches neither pre-crash version " << before
+         << " nor a pending in-flight write";
+}
+
+TEST(FaultCampaign, NoFaultEquivalenceWhenDisabled) {
+  // A fault config with every rate at zero must be bit-identical to the default
+  // build, regardless of seed: no RNG draw may happen on the hot path.
+  FtlConfig plain = TinyConfig();
+  FtlConfig armed = TinyConfig();
+  FaultPlan zero;
+  zero.seed = 0xDEADBEEFCAFEF00DULL;
+  zero.ApplyTo(&armed);
+
+  FtlHarness a(plain);
+  FtlHarness b(armed);
+  ReferenceModel model_a;
+  ReferenceModel model_b;
+  std::vector<uint32_t> snaps_a;
+  std::vector<uint32_t> snaps_b;
+  const std::vector<OpSpec> script = BuildScript();
+  ASSERT_FALSE(Replay(&a, plain, script, &model_a, &snaps_a).stopped);
+  ASSERT_FALSE(Replay(&b, armed, script, &model_b, &snaps_b).stopped);
+
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.ftl().device().fault().ops(), b.ftl().device().fault().ops());
+  const FtlStats& fa = a.ftl().stats();
+  const FtlStats& fb = b.ftl().stats();
+  EXPECT_EQ(0, std::memcmp(&fa, &fb, sizeof(FtlStats)));
+  const NandStats& na = a.ftl().device().stats();
+  const NandStats& nb = b.ftl().device().stats();
+  EXPECT_EQ(0, std::memcmp(&na, &nb, sizeof(NandStats)));
+  EXPECT_EQ(na.program_failures + na.erase_failures + na.read_failures +
+                na.crc_errors + na.pages_corrupted,
+            0u);
+
+  auto entries_a = a.ftl().ViewMapEntries(kPrimaryView);
+  auto entries_b = b.ftl().ViewMapEntries(kPrimaryView);
+  ASSERT_OK(entries_a.status());
+  ASSERT_OK(entries_b.status());
+  EXPECT_EQ(*entries_a, *entries_b);
+  EXPECT_EQ(a.ftl().snapshot_tree().LiveSnapshotIds(),
+            b.ftl().snapshot_tree().LiveSnapshotIds());
+
+  // Content identical as well (same snapshot hashes, by construction of PageData).
+  for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+    EXPECT_TRUE(a.CheckLba(kPrimaryView, lba, model_a.Current(lba)));
+    EXPECT_TRUE(b.CheckLba(kPrimaryView, lba, model_b.Current(lba)));
+  }
+}
+
+TEST(FaultCampaign, CrashConsistencySweep) {
+  const std::vector<OpSpec> script = BuildScript();
+
+  // Baseline: run to completion on a healthy device to learn the op horizon.
+  FtlConfig base_config = TinyConfig();
+  uint64_t total_ops = 0;
+  {
+    FtlHarness h(base_config);
+    ReferenceModel model;
+    std::vector<uint32_t> snaps;
+    ASSERT_FALSE(Replay(&h, base_config, script, &model, &snaps).stopped);
+    total_ops = h.ftl().device().fault().ops();
+  }
+  ASSERT_GT(total_ops, 200u) << "script too small for a meaningful sweep";
+
+  const uint64_t stride = std::max<uint64_t>(1, total_ops / 400);
+  uint64_t points = 0;
+  for (uint64_t k = 1; k < total_ops; k += stride) {
+    ++points;
+    SCOPED_TRACE("crash_after_op=" + std::to_string(k));
+
+    FtlConfig config = TinyConfig();
+    FaultPlan plan;
+    plan.crash_after_op = k;
+    plan.ApplyTo(&config);
+    FtlHarness h(config);
+    ReferenceModel model;
+    std::vector<uint32_t> snaps;
+    const PendingEffect pending = Replay(&h, config, script, &model, &snaps);
+    if (pending.stopped) {
+      ASSERT_TRUE(h.ftl().device().fault().crashed());
+    }
+    // Else the crash landed in the tail (e.g. inside a swallowed paced-GC
+    // step): the full script is durable and the model is complete.
+
+    // Power-cycle: the device comes back, the injection schedule does not.
+    ASSERT_OK(h.CrashAndReopen(/*clear_faults=*/true));
+
+    // Invariant: validity utilization counters reconstruct exactly.
+    ASSERT_TRUE(h.ftl().validity().VerifyCounters());
+
+    // Invariant: primary contents are the pre-crash state plus possibly the
+    // in-flight op's torn prefix.
+    for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+      ASSERT_TRUE(CheckLbaWithPending(&h, lba, model, pending));
+    }
+
+    // Invariant: exactly the durably-created, not-durably-deleted snapshots
+    // survive, with their captured contents intact.
+    std::vector<uint32_t> live = h.ftl().snapshot_tree().LiveSnapshotIds();
+    std::set<uint32_t> live_set(live.begin(), live.end());
+    std::set<uint32_t> expected;
+    for (uint32_t id : snaps) {
+      if (model.HasSnapshot(id)) {
+        expected.insert(id);
+      }
+    }
+    EXPECT_EQ(live_set, expected);
+    for (uint32_t id : live) {
+      auto view = h.Activate(id);
+      ASSERT_OK(view.status());
+      ASSERT_TRUE(h.CheckView(*view, model.snapshot_state(id), kLbaSpace));
+      ASSERT_OK(h.ftl().Deactivate(*view, h.now()));
+    }
+
+    // The recovered device is usable: a fresh write sticks.
+    ASSERT_OK(h.Write(0, 1000 + k));
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, 0, 1000 + k));
+  }
+  EXPECT_GE(points, 200u);
+}
+
+TEST(FaultCampaign, RandomFaultSoak) {
+  FtlConfig config = SmallConfig();
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.program_fail_ppm = 400;
+  plan.erase_fail_ppm = 800;
+  plan.read_fail_ppm = 2500;
+  plan.bad_block_schedule = {{5, 1}};  // Segment 5 dies on its first erase.
+  plan.ApplyTo(&config);
+
+  FtlHarness h(config);
+  ReferenceModel model;
+  std::map<uint64_t, uint64_t> version;
+  std::vector<uint32_t> live_snaps;
+  constexpr uint64_t kSoakLbaSpace = 400;
+  for (uint64_t i = 0; i < 6000; ++i) {
+    const uint64_t lba = (i * 37) % kSoakLbaSpace;
+    const uint64_t v = ++version[lba];
+    if (h.Write(lba, v).ok()) {
+      model.Write(lba, v);
+    } else {
+      --version[lba];  // Failed single write is not durable.
+    }
+    if (i % 997 == 499) {
+      const uint64_t t = (i * 13) % (kSoakLbaSpace - 5);
+      if (h.Trim(t, 5).ok()) {
+        model.Trim(t, 5);
+      }
+    }
+    if (i % 500 == 250) {
+      while (live_snaps.size() >= 3) {
+        if (!h.Delete(live_snaps.front()).ok()) {
+          break;
+        }
+        model.DeleteSnapshot(live_snaps.front());
+        live_snaps.erase(live_snaps.begin());
+      }
+      auto snap = h.Snapshot("soak-" + std::to_string(i));
+      if (snap.ok()) {
+        live_snaps.push_back(*snap);
+        model.Snapshot(*snap);
+      }
+    }
+  }
+
+  const NandStats& n = h.ftl().device().stats();
+  const LogStats& l = h.ftl().log_manager().stats();
+  EXPECT_GT(n.read_retries, 0u);
+  EXPECT_GT(n.program_failures + n.erase_failures + n.read_failures, 0u);
+  EXPECT_GE(l.segments_retired, 1u);
+  EXPECT_TRUE(h.ftl().device().IsBadSegment(5));
+  EXPECT_TRUE(h.ftl().validity().VerifyCounters());
+
+  // Everything the model says succeeded must read back (transient read faults
+  // are absorbed by bounded retry).
+  for (const auto& [lba, v] : model.current_state()) {
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, v));
+  }
+
+  // Survives a crash on the damaged media.
+  ASSERT_OK(h.CrashAndReopen(/*clear_faults=*/true));
+  ASSERT_TRUE(h.ftl().validity().VerifyCounters());
+  for (const auto& [lba, v] : model.current_state()) {
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, v));
+  }
+  std::vector<uint32_t> live = h.ftl().snapshot_tree().LiveSnapshotIds();
+  std::set<uint32_t> live_set(live.begin(), live.end());
+  std::set<uint32_t> expected(live_snaps.begin(), live_snaps.end());
+  EXPECT_EQ(live_set, expected);
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -96,5 +96,51 @@ TEST(WearLevelingTest, CoexistsWithSnapshots) {
   EXPECT_TRUE(h.CheckView(kPrimaryView, model.current_state(), 200));
 }
 
+TEST(WearLevelingTest, RetiredSegmentsLeaveTheRotation) {
+  // A segment that grows bad mid-churn must be retired — excluded from victim
+  // selection and from MaxEraseCount — while cleaning and wear leveling keep
+  // operating on the survivors.
+  FtlConfig config = SmallConfig();
+  config.wear_leveling_threshold = 4;
+  FaultPlan plan;
+  plan.bad_block_schedule = {{6, 2}};  // Segment 6 dies on its second erase.
+  plan.ApplyTo(&config);
+  FtlHarness h(config);
+  ReferenceModel model;
+  uint64_t version = 0;
+
+  for (uint64_t lba = 0; lba < 200; ++lba) {
+    ++version;
+    ASSERT_OK(h.Write(lba, version));
+    model.Write(lba, version);
+  }
+  Rng rng(13);
+  for (uint64_t i = 0; i < config.nand.TotalPages() * 8; ++i) {
+    const uint64_t lba = 300 + rng.NextBelow(32);
+    ++version;
+    ASSERT_OK(h.Write(lba, version));
+    model.Write(lba, version);
+    h.ftl().PumpBackground(h.now());
+  }
+
+  EXPECT_TRUE(h.ftl().device().IsBadSegment(6));
+  EXPECT_EQ(h.ftl().log_manager().segment_info(6).state, SegmentState::kRetired);
+  EXPECT_GE(h.ftl().log_manager().stats().segments_retired, 1u);
+  // The cleaner and wear leveler survived the retirement and kept working.
+  EXPECT_GT(h.ftl().stats().gc_segments_cleaned, 0u);
+  EXPECT_GT(h.ftl().stats().gc_wear_level_cleans, 0u);
+  // The dead segment's frozen erase count no longer defines the wear ceiling.
+  uint64_t live_max = 0;
+  for (uint64_t seg = 0; seg < config.nand.num_segments; ++seg) {
+    if (!h.ftl().device().IsBadSegment(seg)) {
+      live_max = std::max(live_max, h.ftl().device().EraseCount(seg));
+    }
+  }
+  EXPECT_EQ(h.ftl().device().MaxEraseCount(), live_max);
+
+  // No data was lost to the retirement.
+  EXPECT_TRUE(h.CheckView(kPrimaryView, model.current_state(), 200));
+}
+
 }  // namespace
 }  // namespace iosnap

@@ -1,5 +1,7 @@
 #include "src/nand/nand_device.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
@@ -297,6 +299,198 @@ TEST(NandDeviceTest, ReadBatchMatchesSequentialReads) {
   std::vector<uint64_t> bad = {paddrs[0], TestNand().TotalPages()};
   EXPECT_FALSE(batched.ReadBatch(bad, kIssue, nullptr, nullptr, &ops).ok());
   EXPECT_EQ(batched.DrainTimeNs(), drain_before);
+}
+
+TEST(NandFaultTest, CrcDetectsSilentCorruption) {
+  NandDevice dev(TestNand());
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 7;
+  header.seq = 1;
+  const std::vector<uint8_t> data = PageData(512, 7, 3);
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, data, 0, &paddr).status());
+
+  // Clean read first: the CRC stamped at program time verifies.
+  std::vector<uint8_t> read_data;
+  ASSERT_OK(dev.ReadPage(paddr, 0, nullptr, &read_data).status());
+  EXPECT_EQ(read_data, data);
+  EXPECT_EQ(dev.stats().crc_errors, 0u);
+
+  dev.CorruptPageForTesting(paddr);
+  EXPECT_EQ(dev.ReadPage(paddr, 0, nullptr, &read_data).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_GE(dev.stats().crc_errors, 1u);
+  EXPECT_EQ(dev.stats().pages_corrupted, 1u);
+
+  // A permanent error never improves with retries.
+  EXPECT_EQ(dev.ReadPageWithRetry(paddr, 0, nullptr, &read_data, 5).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NandFaultTest, HeaderScanDropsCorruptPages) {
+  NandDevice dev(TestNand());
+  PageHeader header;
+  header.type = RecordType::kData;
+  std::vector<uint64_t> paddrs;
+  for (uint64_t i = 0; i < 4; ++i) {
+    header.lba = i;
+    header.seq = i;
+    uint64_t paddr = 0;
+    ASSERT_OK(dev.ProgramPage(0, header, PageData(512, i, 1), 0, &paddr).status());
+    paddrs.push_back(paddr);
+  }
+  dev.CorruptPageForTesting(paddrs[2]);
+
+  std::vector<std::pair<uint64_t, PageHeader>> out;
+  ASSERT_OK(dev.ScanSegmentHeaders(0, dev.DrainTimeNs(), &out).status());
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [paddr, h] : out) {
+    EXPECT_NE(paddr, paddrs[2]);
+  }
+  // The corrupt page still costs scan time and is counted.
+  EXPECT_EQ(dev.stats().headers_scanned, 4u);
+  EXPECT_GE(dev.stats().crc_errors, 1u);
+}
+
+TEST(NandFaultTest, CorruptionInHeaderOnlyModeIsDetected) {
+  NandConfig config = TestNand();
+  config.store_data = false;  // No payload stored: corruption flips a header bit.
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 11;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 11, 1), 0, &paddr).status());
+  dev.CorruptPageForTesting(paddr);
+  EXPECT_EQ(dev.ReadPage(paddr, 0, nullptr, nullptr).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NandFaultTest, TransientReadFailuresRetryAndSurface) {
+  NandConfig config = TestNand();
+  config.fault.read_fail_ppm = 1000000;  // Every read op fails.
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, {}, 0, &paddr).status());
+
+  auto read = dev.ReadPageWithRetry(paddr, 0, nullptr, nullptr, 3);
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dev.stats().read_failures, 3u);
+  EXPECT_EQ(dev.stats().read_retries, 2u);
+
+  // Disarming restores normal reads; the media itself is undamaged.
+  dev.ClearFaults();
+  ASSERT_OK(dev.ReadPage(paddr, 0, nullptr, nullptr).status());
+}
+
+TEST(NandFaultTest, ProgramFailureConsumesSlotAndRetiresSegment) {
+  NandConfig config = TestNand();
+  config.fault.program_fail_ppm = 1000000;  // Every program op fails.
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  uint64_t paddr = 0;
+  EXPECT_EQ(dev.ProgramPage(0, header, {}, 0, &paddr).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(dev.stats().program_failures, 1u);
+  EXPECT_TRUE(dev.IsBadSegment(0));
+  EXPECT_EQ(dev.NextFreePage(0), 1u);  // The failed program consumed the slot.
+  EXPECT_FALSE(dev.IsProgrammed(dev.FirstPageOf(0)));
+
+  // Further programs to a grown bad block are rejected outright.
+  EXPECT_EQ(dev.ProgramPage(0, header, {}, 0, &paddr).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NandFaultTest, CrashAfterOpTakesDeviceOffline) {
+  NandConfig config = TestNand();
+  config.fault.crash_after_op = 2;
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, {}, 0, &paddr).status());
+  ASSERT_OK(dev.ProgramPage(0, header, {}, 0, &paddr).status());
+  EXPECT_FALSE(dev.fault().crashed());
+  EXPECT_EQ(dev.ProgramPage(0, header, {}, 0, &paddr).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(dev.fault().crashed());
+  // Offline means *everything* fails, with no state change.
+  EXPECT_EQ(dev.ReadPage(0, 0, nullptr, nullptr).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(dev.EraseSegment(1, 0).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(dev.NextFreePage(0), 2u);
+
+  // Power cycle: ClearFaults brings the device back with its contents intact.
+  dev.ClearFaults();
+  ASSERT_OK(dev.ReadPage(0, 0, nullptr, nullptr).status());
+  ASSERT_OK(dev.ProgramPage(0, header, {}, 0, &paddr).status());
+}
+
+TEST(NandFaultTest, TornBatchKeepsCommittedPrefix) {
+  NandConfig config = TestNand();
+  config.fault.crash_after_op = 3;
+  NandDevice dev(config);
+  std::vector<NandDevice::ProgramRequest> requests(6);
+  for (uint64_t i = 0; i < requests.size(); ++i) {
+    requests[i].header.type = RecordType::kData;
+    requests[i].header.lba = i;
+  }
+  std::vector<uint64_t> paddrs;
+  std::vector<NandOp> ops;
+  EXPECT_EQ(dev.ProgramBatch(0, requests, 0, &paddrs, &ops).code(),
+            StatusCode::kUnavailable);
+  // Exactly the pre-crash prefix is durable.
+  EXPECT_EQ(paddrs.size(), 3u);
+  EXPECT_EQ(dev.NextFreePage(0), 3u);
+  for (uint64_t p : paddrs) {
+    EXPECT_TRUE(dev.IsProgrammed(p));
+  }
+}
+
+TEST(NandFaultTest, MaxEraseCountExcludesBadSegments) {
+  NandConfig config = TestNand();
+  config.fault.bad_block_schedule = {{0, 6}};  // Segment 0 dies on its 6th erase.
+  NandDevice dev(config);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(dev.EraseSegment(0, 0).status());
+  }
+  ASSERT_OK(dev.EraseSegment(1, 0).status());
+  EXPECT_EQ(dev.MaxEraseCount(), 5u);
+
+  EXPECT_EQ(dev.EraseSegment(0, 0).status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(dev.IsBadSegment(0));
+  EXPECT_EQ(dev.stats().erase_failures, 1u);
+  // The retired segment no longer dominates the wear statistic.
+  EXPECT_EQ(dev.MaxEraseCount(), 1u);
+}
+
+TEST(NandFaultTest, ZeroRatesLeaveTimingAndStateUntouched) {
+  // Same ops on a default device and on one with an armed-but-zero fault config
+  // must produce identical timing and stats.
+  NandConfig armed = TestNand();
+  armed.fault.seed = 12345;
+  NandDevice a(TestNand());
+  NandDevice b(armed);
+  PageHeader header;
+  header.type = RecordType::kData;
+  for (uint64_t i = 0; i < 8; ++i) {
+    header.lba = i;
+    uint64_t pa = 0;
+    uint64_t pb = 0;
+    ASSERT_OK_AND_ASSIGN(NandOp oa, a.ProgramPage(0, header, PageData(512, i, 1), 0, &pa));
+    ASSERT_OK_AND_ASSIGN(NandOp ob, b.ProgramPage(0, header, PageData(512, i, 1), 0, &pb));
+    EXPECT_EQ(pa, pb);
+    EXPECT_EQ(oa.finish_ns, ob.finish_ns);
+  }
+  ASSERT_OK_AND_ASSIGN(NandOp ea, a.EraseSegment(1, 0));
+  ASSERT_OK_AND_ASSIGN(NandOp eb, b.EraseSegment(1, 0));
+  EXPECT_EQ(ea.finish_ns, eb.finish_ns);
+  EXPECT_EQ(a.DrainTimeNs(), b.DrainTimeNs());
+  EXPECT_EQ(0, std::memcmp(&a.stats(), &b.stats(), sizeof(NandStats)));
 }
 
 }  // namespace

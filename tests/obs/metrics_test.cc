@@ -63,6 +63,7 @@ TEST(MetricsBindingsTest, FieldCountsMatchStructLayouts) {
   static_assert(sizeof(FtlStats) == kFtlStatsMetricCount * sizeof(uint64_t));
   static_assert(sizeof(NandStats) == kNandStatsMetricCount * sizeof(uint64_t));
   static_assert(sizeof(ValidityStats) == kValidityStatsMetricCount * sizeof(uint64_t));
+  static_assert(sizeof(LogStats) == kLogStatsMetricCount * sizeof(uint64_t));
 }
 
 TEST(MetricsBindingsTest, RegistersEveryField) {
@@ -70,19 +71,25 @@ TEST(MetricsBindingsTest, RegistersEveryField) {
   FtlStats ftl_stats;
   NandStats nand_stats;
   ValidityStats validity_stats;
+  LogStats log_stats;
   RegisterFtlStats(&registry, ftl_stats);
   RegisterNandStats(&registry, nand_stats);
   RegisterValidityStats(&registry, validity_stats);
+  RegisterLogStats(&registry, log_stats);
   EXPECT_EQ(registry.MetricCount(), kFtlStatsMetricCount + kNandStatsMetricCount +
-                                        kValidityStatsMetricCount);
+                                        kValidityStatsMetricCount + kLogStatsMetricCount);
 
   // Every registered counter tracks its struct field.
   ftl_stats.gc_pages_copied = 11;
   nand_stats.segments_erased = 5;
   validity_stats.cow_chunk_copies = 3;
+  nand_stats.program_failures = 9;
+  log_stats.segments_retired = 2;
   bool saw_gc = false;
   bool saw_erase = false;
   bool saw_cow = false;
+  bool saw_fail = false;
+  bool saw_retired = false;
   for (const auto& s : registry.Snapshot()) {
     if (s.name == "ftl.gc_pages_copied") {
       saw_gc = true;
@@ -93,11 +100,19 @@ TEST(MetricsBindingsTest, RegistersEveryField) {
     } else if (s.name == "validity.cow_chunk_copies") {
       saw_cow = true;
       EXPECT_EQ(s.u64, 3u);
+    } else if (s.name == "nand.program_failures") {
+      saw_fail = true;
+      EXPECT_EQ(s.u64, 9u);
+    } else if (s.name == "log.segments_retired") {
+      saw_retired = true;
+      EXPECT_EQ(s.u64, 2u);
     }
   }
   EXPECT_TRUE(saw_gc);
   EXPECT_TRUE(saw_erase);
   EXPECT_TRUE(saw_cow);
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_retired);
 }
 
 }  // namespace

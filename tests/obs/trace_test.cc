@@ -246,6 +246,9 @@ TEST(TraceExportTest, ChromeJsonIsSyntacticallyValid) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"user_write\""), std::string::npos);
   EXPECT_NE(json.find("\"gc_copy_forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_injected\""), std::string::npos);
+  EXPECT_NE(json.find("\"segment_retired\""), std::string::npos);
+  EXPECT_NE(json.find("\"read_retry\""), std::string::npos);
   // ns 1000 renders as 1 µs exactly.
   EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
 }
@@ -332,6 +335,57 @@ TEST(TraceFtlIntegrationTest, TracingDoesNotPerturbBehaviour) {
   EXPECT_EQ(traced.gc_segments_cleaned, untraced.gc_segments_cleaned);
   EXPECT_EQ(traced.validity_cow_events, untraced.validity_cow_events);
   EXPECT_EQ(traced.gc_total_host_ns, untraced.gc_total_host_ns);
+}
+
+TEST(TraceFaultEventsTest, DeviceFaultsAreRecorded) {
+  NandConfig config;
+  config.page_size_bytes = 512;
+  config.pages_per_segment = 8;
+  config.num_segments = 4;
+  config.num_channels = 2;
+  config.fault.read_fail_ppm = 1000000;  // Every read fails.
+  NandDevice dev(config);
+  TraceRecorder trace;
+  dev.SetTraceRecorder(&trace);
+
+  PageHeader header;
+  header.type = RecordType::kData;
+  uint64_t paddr = 0;
+  IOSNAP_CHECK(dev.ProgramPage(0, header, {}, 0, &paddr).ok());
+  IOSNAP_CHECK(!dev.ReadPageWithRetry(paddr, 0, nullptr, nullptr, 3).ok());
+  EXPECT_EQ(trace.CountType(TraceEventType::kFaultInjected), 3u);
+  EXPECT_EQ(trace.CountType(TraceEventType::kReadRetry), 2u);
+  const auto events = trace.Events();
+  // Fault events carry (kind, where, op_index); kind 2 = read.
+  bool saw_read_fault = false;
+  for (const auto& e : events) {
+    if (e.type == TraceEventType::kFaultInjected) {
+      EXPECT_EQ(e.arg0, 2u);
+      saw_read_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_read_fault);
+}
+
+TEST(TraceFaultEventsTest, SegmentRetirementIsRecorded) {
+  FtlConfig config = SmallConfig();
+  config.nand.fault.bad_block_schedule = {{3, 1}};  // First erase of segment 3 fails.
+  auto ftl_or = Ftl::Create(config);
+  IOSNAP_CHECK(ftl_or.ok());
+  std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
+  TraceRecorder trace;
+  ftl->SetTraceRecorder(&trace);
+
+  SimClock clock;
+  const uint64_t lba_space = ftl->LbaCount() / 2;
+  for (uint64_t i = 0; i < lba_space * 4 && trace.CountType(TraceEventType::kSegmentRetired) == 0;
+       ++i) {
+    auto io = ftl->Write(i % lba_space, {}, clock.NowNs());
+    IOSNAP_CHECK(io.ok());
+    clock.AdvanceTo(io->CompletionNs());
+  }
+  EXPECT_GE(trace.CountType(TraceEventType::kFaultInjected), 1u);
+  EXPECT_GE(trace.CountType(TraceEventType::kSegmentRetired), 1u);
 }
 
 TEST(TraceFtlIntegrationTest, RecoveryRunIsRecorded) {

@@ -58,6 +58,28 @@ inline FtlConfig TinyConfig() {
   return config;
 }
 
+// Reusable description of a fault-injection scenario for crash/fault campaigns.
+// ApplyTo() arms a config; individual fields mirror FaultConfig.
+struct FaultPlan {
+  uint64_t seed = 1;
+  uint32_t program_fail_ppm = 0;
+  uint32_t erase_fail_ppm = 0;
+  uint32_t read_fail_ppm = 0;
+  uint32_t corrupt_ppm = 0;
+  uint64_t crash_after_op = 0;  // Device goes offline after this many ops (0 = never).
+  std::vector<std::pair<uint64_t, uint64_t>> bad_block_schedule;  // (segment, erase ordinal)
+
+  void ApplyTo(FtlConfig* config) const {
+    config->nand.fault.seed = seed;
+    config->nand.fault.program_fail_ppm = program_fail_ppm;
+    config->nand.fault.erase_fail_ppm = erase_fail_ppm;
+    config->nand.fault.read_fail_ppm = read_fail_ppm;
+    config->nand.fault.corrupt_ppm = corrupt_ppm;
+    config->nand.fault.crash_after_op = crash_after_op;
+    config->nand.fault.bad_block_schedule = bad_block_schedule;
+  }
+};
+
 // Deterministic page payload derived from (lba, version).
 inline std::vector<uint8_t> PageData(uint64_t page_bytes, uint64_t lba, uint64_t version) {
   std::vector<uint8_t> data(page_bytes);
@@ -87,6 +109,8 @@ class ReferenceModel {
   void Snapshot(uint32_t snap_id) { snapshots_[snap_id] = state_; }
 
   void DeleteSnapshot(uint32_t snap_id) { snapshots_.erase(snap_id); }
+
+  bool HasSnapshot(uint32_t snap_id) const { return snapshots_.contains(snap_id); }
 
   // Version visible at `lba` now (0 if unmapped).
   uint64_t Current(uint64_t lba) const {
@@ -212,9 +236,14 @@ class FtlHarness {
     return ::testing::AssertionSuccess();
   }
 
-  // Simulates a crash (no checkpoint) and reopens the device.
-  Status CrashAndReopen() {
+  // Simulates a crash (no checkpoint) and reopens the device. With
+  // `clear_faults`, the power cycle also disarms any fault-injection schedule
+  // (media damage persists) so recovery itself runs on a working device.
+  Status CrashAndReopen(bool clear_faults = false) {
     std::unique_ptr<NandDevice> device = ftl_->ReleaseDevice();
+    if (clear_faults) {
+      device->ClearFaults();
+    }
     uint64_t finish = now_;
     auto reopened = Ftl::Open(config_, std::move(device), now_, &finish);
     if (!reopened.ok()) {

@@ -66,6 +66,14 @@ Lifecycle:
   --checkpoint           clean shutdown + reopen at the end
   --timeline             print a latency timeline CSV (100 ms buckets)
 
+Fault injection (all rates in failures per million ops; 0 = disabled):
+  --fault_seed=N         RNG seed for fault draws              (default 1)
+  --fault_program_ppm=N  page program failure rate             (default 0)
+  --fault_erase_ppm=N    segment erase failure rate            (default 0)
+  --fault_read_ppm=N     transient read failure rate           (default 0)
+  --fault_corrupt_ppm=N  silent bit-corruption rate            (default 0)
+  --crash_after_op=N     device goes offline after the Nth op  (default 0 = never)
+
 Observability:
   --trace_out=PATH       write a flight-recorder trace; .csv for CSV, anything
                          else for Chrome trace-event JSON (load in Perfetto)
@@ -81,7 +89,30 @@ const std::vector<std::string> kKnownFlags = {
     "lba_frac", "read_frac", "zipf_theta", "qd", "batch", "seed", "snapshot_every",
     "snapshots",
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
+    "fault_seed", "fault_program_ppm", "fault_erase_ppm", "fault_read_ppm",
+    "fault_corrupt_ppm", "crash_after_op",
     "trace_out", "trace_capacity", "metrics_out", "log_level", "help"};
+
+void PrintFaultStats(const Ftl& ftl) {
+  const NandStats& n = ftl.device().stats();
+  const LogStats& l = ftl.log_manager().stats();
+  if (n.program_failures + n.erase_failures + n.read_failures + n.crc_errors +
+          n.pages_corrupted + l.segments_retired ==
+      0) {
+    return;
+  }
+  std::printf("--- faults -----------------------------------------------\n");
+  std::printf("program/erase/read fail %llu / %llu / %llu\n",
+              (unsigned long long)n.program_failures,
+              (unsigned long long)n.erase_failures,
+              (unsigned long long)n.read_failures);
+  std::printf("crc errors / corrupted  %llu / %llu (retries %llu)\n",
+              (unsigned long long)n.crc_errors, (unsigned long long)n.pages_corrupted,
+              (unsigned long long)n.read_retries);
+  std::printf("segments retired        %12llu (append reroutes %llu)\n",
+              (unsigned long long)l.segments_retired,
+              (unsigned long long)l.append_reroutes);
+}
 
 void PrintStats(const Ftl& ftl, const RunResult& result) {
   const FtlStats& s = ftl.stats();
@@ -123,6 +154,7 @@ void PrintStats(const Ftl& ftl, const RunResult& result) {
   std::printf("pages programmed/read   %llu / %llu\n",
               (unsigned long long)n.pages_programmed, (unsigned long long)n.pages_read);
   std::printf("segments erased         %12llu\n", (unsigned long long)n.segments_erased);
+  PrintFaultStats(ftl);
   uint64_t max_wear = 0;
   uint64_t total_wear = 0;
   for (uint64_t seg = 0; seg < ftl.config().nand.num_segments; ++seg) {
@@ -187,6 +219,13 @@ int main(int argc, char** argv) {
   config.validity_chunk_bits = (uint64_t)flags.GetInt("chunk_bits", 8192);
   config.snapshots_enabled = !flags.GetBool("vanilla", false);
   config.snapshot_aware_gc_rate = !flags.GetBool("vanilla_gc_rate", false);
+  config.nand.fault.seed = (uint64_t)flags.GetInt("fault_seed", 1);
+  config.nand.fault.program_fail_ppm = (uint32_t)flags.GetInt("fault_program_ppm", 0);
+  config.nand.fault.erase_fail_ppm = (uint32_t)flags.GetInt("fault_erase_ppm", 0);
+  config.nand.fault.read_fail_ppm = (uint32_t)flags.GetInt("fault_read_ppm", 0);
+  config.nand.fault.corrupt_ppm = (uint32_t)flags.GetInt("fault_corrupt_ppm", 0);
+  config.nand.fault.crash_after_op = (uint64_t)flags.GetInt("crash_after_op", 0);
+  const bool faults_armed = config.nand.fault.AnyFaultConfigured();
 
   const std::string policy = flags.GetString("policy", "greedy");
   if (policy == "costbenefit") {
@@ -269,11 +308,22 @@ int main(int argc, char** argv) {
         return;
       }
       while (live_snaps.size() >= keep) {
-        IOSNAP_CHECK_OK(ftl->DeleteSnapshot(live_snaps.front(), now_ns).status());
+        auto deleted = ftl->DeleteSnapshot(live_snaps.front(), now_ns);
+        if (!deleted.ok()) {
+          if (!faults_armed) {
+            IOSNAP_CHECK_OK(deleted.status());
+          }
+          return;  // Injected fault; leave the rotation as-is.
+        }
         live_snaps.erase(live_snaps.begin());
       }
       auto snap = ftl->CreateSnapshot("auto-" + std::to_string(index + 1), now_ns);
-      IOSNAP_CHECK_OK(snap.status());
+      if (!snap.ok()) {
+        if (!faults_armed) {
+          IOSNAP_CHECK_OK(snap.status());
+        }
+        return;
+      }
       live_snaps.push_back(snap->snap_id);
     };
   }
@@ -282,11 +332,23 @@ int main(int argc, char** argv) {
   Runner runner(&target, &clock, config.nand.page_size_bytes);
   auto result = runner.Run(workload.get(), ops, options);
   if (!result.ok()) {
-    std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
-    return 1;
+    if (!faults_armed) {
+      std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    // With injection armed, a mid-run abort is an expected outcome: report what
+    // happened and continue to recovery / stats so the degraded path is exercised.
+    std::printf("workload aborted by injected fault: %s\n",
+                result.status().ToString().c_str());
   }
 
-  PrintStats(*ftl, *result);
+  if (result.ok()) {
+    PrintStats(*ftl, *result);
+  } else {
+    // The per-run latency summary needs a completed RunResult, but the fault
+    // counters are most interesting on exactly the runs that aborted.
+    PrintFaultStats(*ftl);
+  }
   if (!live_snaps.empty()) {
     std::printf("--- live snapshots ---------------------------------------\n");
     for (uint32_t snap : live_snaps) {
@@ -303,15 +365,22 @@ int main(int argc, char** argv) {
     const uint64_t start = clock.NowNs();
     uint64_t finish = start;
     auto view = ftl->ActivateBlocking(live_snaps.back(), start, false, &finish);
-    IOSNAP_CHECK_OK(view.status());
-    clock.AdvanceTo(finish);
-    std::printf("activated snapshot %u in %.2f ms (%llu map entries)\n",
-                live_snaps.back(), NsToMs(finish - start),
-                (unsigned long long)*ftl->ViewMapEntryCount(*view));
-    IOSNAP_CHECK_OK(ftl->Deactivate(*view, clock.NowNs()));
+    if (!view.ok()) {
+      if (!faults_armed) {
+        IOSNAP_CHECK_OK(view.status());
+      }
+      std::printf("activation failed under injected faults: %s\n",
+                  view.status().ToString().c_str());
+    } else {
+      clock.AdvanceTo(finish);
+      std::printf("activated snapshot %u in %.2f ms (%llu map entries)\n",
+                  live_snaps.back(), NsToMs(finish - start),
+                  (unsigned long long)*ftl->ViewMapEntryCount(*view));
+      IOSNAP_CHECK_OK(ftl->Deactivate(*view, clock.NowNs()));
+    }
   }
 
-  if (flags.GetBool("timeline", false)) {
+  if (flags.GetBool("timeline", false) && result.ok()) {
     std::printf("\nlatency timeline (100 ms buckets):\n%s",
                 result->timeline.ToCsv(MsToNs(100), "t_sec", "lat_us").c_str());
   }
@@ -319,6 +388,9 @@ int main(int argc, char** argv) {
   if (flags.GetBool("crash_and_recover", false)) {
     std::printf("\nsimulating crash + reopen...\n");
     std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
+    // A power cycle brings the device back online; media damage (bad blocks,
+    // corrupted pages) persists but the injection schedule is disarmed.
+    media->ClearFaults();
     const uint64_t start = clock.NowNs();
     uint64_t finish = start;
     auto reopened = Ftl::Open(config, std::move(media), start, &finish, trace.get());
@@ -330,8 +402,17 @@ int main(int argc, char** argv) {
                 ftl->snapshot_tree().LiveSnapshotIds().size());
   } else if (flags.GetBool("checkpoint", false)) {
     std::printf("\ncheckpoint + clean reopen...\n");
-    IOSNAP_CHECK_OK(ftl->CheckpointAndClose(clock.NowNs()));
+    Status checkpointed = ftl->CheckpointAndClose(clock.NowNs());
+    if (!checkpointed.ok()) {
+      if (!faults_armed) {
+        IOSNAP_CHECK_OK(checkpointed);
+      }
+      // Fall back to crash-style recovery: the reopen below takes the full-scan path.
+      std::printf("checkpoint failed under injected faults: %s\n",
+                  checkpointed.ToString().c_str());
+    }
     std::unique_ptr<NandDevice> media = ftl->ReleaseDevice();
+    media->ClearFaults();
     const uint64_t start = clock.NowNs();
     uint64_t finish = start;
     auto reopened = Ftl::Open(config, std::move(media), start, &finish, trace.get());
@@ -356,7 +437,10 @@ int main(int argc, char** argv) {
     RegisterFtlStats(&registry, ftl->stats());
     RegisterNandStats(&registry, ftl->device().stats());
     RegisterValidityStats(&registry, ftl->validity().stats());
-    registry.RegisterHistogram("run.latency", &result->latency);
+    RegisterLogStats(&registry, ftl->log_manager().stats());
+    if (result.ok()) {
+      registry.RegisterHistogram("run.latency", &result->latency);
+    }
     if (registry.WriteFile(metrics_out)) {
       std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
                   metrics_out.c_str());
