@@ -103,6 +103,12 @@ inline void BenchDumpMetrics(const Ftl& ftl) {
   RegisterNandStats(&registry, ftl.device().stats());
   RegisterValidityStats(&registry, ftl.validity().stats());
   RegisterLogStats(&registry, ftl.log_manager().stats());
+  // Multi-queue layer: process-wide aggregates (queue-depth gauge, completion-latency
+  // histogram), so benches that never construct an IoQueueLayer still dump zeros and
+  // queue-scaling benches need no extra wiring.
+  RegisterIoQueueStats(&registry, GlobalIoQueueStats());
+  registry.RegisterHistogram("io_queue.completion_latency",
+                             &GlobalQueueCompletionHistogram());
   if (registry.WriteFile(env.metrics_out)) {
     std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
                 env.metrics_out.c_str());

@@ -1,0 +1,74 @@
+#include "src/common/worker_pool.h"
+
+namespace iosnap {
+
+WorkerPool::WorkerPool(uint32_t num_threads) {
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    while (next_ < n_) {
+      const size_t index = next_++;
+      lock.unlock();
+      (*fn_)(index);
+      lock.lock();
+      ++done_;
+    }
+    if (done_ == n_) {
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  n_ = n;
+  next_ = 0;
+  done_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  // The caller participates instead of idling behind the join.
+  while (next_ < n_) {
+    const size_t index = next_++;
+    lock.unlock();
+    fn(index);
+    lock.lock();
+    ++done_;
+  }
+  cv_done_.wait(lock, [&] { return done_ == n_; });
+  fn_ = nullptr;
+}
+
+}  // namespace iosnap

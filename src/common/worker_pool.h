@@ -1,0 +1,60 @@
+// A small persistent thread pool with a fork-join ParallelFor.
+//
+// The pool exists for *host-side* parallelism only — shard-partitioned forward-map
+// updates under the multi-queue submission layer. Simulated (virtual-clock) behaviour
+// must never depend on it: callers hand the pool independent tasks whose combined
+// effect is identical to running them sequentially, so a run with 0 threads and a run
+// with 8 threads produce bit-identical simulator state. Threads block on a condition
+// variable between jobs; dispatch is a mutex-guarded index grab, which is fine because
+// tasks are chunky (a whole B+tree batch insert, not a single key).
+
+#ifndef SRC_COMMON_WORKER_POOL_H_
+#define SRC_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iosnap {
+
+class WorkerPool {
+ public:
+  // Spawns `num_threads` workers. 0 is allowed: ParallelFor then runs inline on the
+  // caller, so a WorkerPool* can be threaded through unconditionally.
+  explicit WorkerPool(uint32_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t thread_count() const { return static_cast<uint32_t>(threads_.size()); }
+
+  // Runs fn(0) .. fn(n-1) across the workers plus the calling thread and returns when
+  // every call has finished. Tasks must be independent (no ordering among them); the
+  // caller re-establishes any deterministic ordering after the join.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Current job (guarded by mu_). generation_ bumps per job so late-waking workers
+  // never re-run a finished one.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t n_ = 0;
+  size_t next_ = 0;
+  size_t done_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_COMMON_WORKER_POOL_H_

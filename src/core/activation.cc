@@ -96,7 +96,9 @@ uint64_t ActivationTask::BuildMap(uint64_t now_ns) {
 
   Ftl::View* view = ftl_->FindView(view_id_);
   IOSNAP_CHECK(view != nullptr);
-  view->map = BPlusTree::BulkLoad(entries_);
+  // Keeps the view's shard partitioning: single-shard for snapshot views, the
+  // configured LBA sharding when rollback rebuilds the primary.
+  view->map.BulkLoadReplace(entries_);
   view->ready = true;
   ftl_->stats_.activation_entries += entries_.size();
   entries_.clear();

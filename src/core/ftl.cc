@@ -18,11 +18,31 @@ constexpr double kPacingSlack = 1.3;
 // segment while the copy-forward heads consume most of one — and because the
 // epoch-colocating policy must first warm up its per-class heads.
 constexpr int kMaxInlineCleanRounds = 64;
+
+// Per-request issue times must cover the batch exactly and never go backwards —
+// the log is append-ordered, so an earlier-issued request cannot follow a later one.
+Status CheckIssueAt(size_t n, std::span<const uint64_t> issue_at) {
+  if (issue_at.empty()) {
+    return OkStatus();
+  }
+  if (issue_at.size() != n) {
+    return InvalidArgument("issue_at: size does not match request count");
+  }
+  for (size_t i = 1; i < issue_at.size(); ++i) {
+    if (issue_at[i] < issue_at[i - 1]) {
+      return InvalidArgument("issue_at: times must be non-decreasing");
+    }
+  }
+  return OkStatus();
+}
 }  // namespace
 
 Ftl::Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device)
     : config_(config),
       device_(std::move(device)),
+      map_pool_(config.map_update_threads > 0
+                    ? std::make_unique<WorkerPool>(config.map_update_threads)
+                    : nullptr),
       log_(device_.get(), config.gc_reserve_segments),
       validity_(config.nand.TotalPages(), config.validity_chunk_bits,
                 config.naive_validity_copy, config.nand.pages_per_segment),
@@ -38,6 +58,9 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Create(const FtlConfig& config) {
   if (config.gc_reserve_segments + 1 >= config.nand.num_segments) {
     return InvalidArgument("ftl: GC reserve consumes the whole device");
   }
+  if (config.map_shards == 0) {
+    return InvalidArgument("ftl: map_shards must be >= 1");
+  }
   auto device = std::make_unique<NandDevice>(config.nand);
   std::unique_ptr<Ftl> ftl(new Ftl(config, std::move(device)));
   ftl->validity_.CreateEpoch(kRootEpoch);
@@ -46,6 +69,7 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Create(const FtlConfig& config) {
   primary.epoch = kRootEpoch;
   primary.writable = true;
   primary.ready = true;
+  primary.map.Configure(config.map_shards, ftl->lba_count_, ftl->map_pool_.get());
   ftl->views_.emplace(kPrimaryView, std::move(primary));
   ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
   return ftl;
@@ -57,6 +81,9 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
                                          TraceRecorder* trace) {
   if (device == nullptr) {
     return InvalidArgument("ftl: no device");
+  }
+  if (config.map_shards == 0) {
+    return InvalidArgument("ftl: map_shards must be >= 1");
   }
   ASSIGN_OR_RETURN(RecoveredState state, RecoverFromDevice(device.get(), issue_ns));
   if (trace != nullptr) {
@@ -84,7 +111,8 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
   primary.epoch = ftl->active_epoch_;
   primary.writable = true;
   primary.ready = true;
-  primary.map = BPlusTree::BulkLoad(state.primary_map);
+  primary.map.Configure(config.map_shards, ftl->lba_count_, ftl->map_pool_.get());
+  primary.map.BulkLoadReplace(state.primary_map);
   ftl->views_.emplace(kPrimaryView, std::move(primary));
 
   ftl->log_.RebuildFromDevice();
@@ -306,7 +334,11 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
 
 StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
                                                     std::span<const WriteRequest> requests,
-                                                    uint64_t issue_ns) {
+                                                    uint64_t issue_ns,
+                                                    std::span<const uint64_t> issue_at) {
+  const auto IssueAt = [&](size_t i) {
+    return issue_at.empty() ? issue_ns : issue_at[i];
+  };
   if (closed_) {
     return FailedPrecondition("ftl: closed");
   }
@@ -337,7 +369,7 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
 
   size_t next = 0;
   while (next < requests.size()) {
-    RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
+    RETURN_IF_ERROR(EnsureAppendSpace(IssueAt(next)));
     const uint64_t remaining = requests.size() - next;
 
     // Run sizing: the longest prefix for which the one-by-one path would provably keep
@@ -366,7 +398,7 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
       run = std::min(remaining, std::max<uint64_t>(1, std::min(safe, head_pages)));
     }
 
-    validity_.NoteTimeNs(issue_ns);
+    validity_.NoteTimeNs(IssueAt(next));
     appends.clear();
     for (uint64_t i = 0; i < run; ++i) {
       PageHeader header;
@@ -378,7 +410,9 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
     }
     std::vector<AppendResult> ars;
     const Status append_status =
-        log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns, &ars);
+        log_.AppendBatch(LogManager::kActiveHead, appends, IssueAt(next), &ars,
+                         issue_at.empty() ? std::span<const uint64_t>{}
+                                          : issue_at.subspan(next, run));
     // On error `ars` holds the durably appended prefix (possibly torn mid-batch by a
     // fault); apply exactly that prefix to the map/validity so in-memory state matches
     // the log, then propagate the error below.
@@ -428,7 +462,7 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
                        2 * config_.host_bitmap_update_ns +
                        cow_bytes * config_.host_cow_ns_per_byte;
       if (trace_ != nullptr) {
-        trace_->Record(TraceEventType::kUserWrite, issue_ns, result.CompletionNs(),
+        trace_->Record(TraceEventType::kUserWrite, IssueAt(next + i), result.CompletionNs(),
                        requests[next + i].lba, view->view_id);
       }
       results.push_back(result);
@@ -447,7 +481,10 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
 
 StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
     const View& view, std::span<const uint64_t> lbas, uint64_t issue_ns,
-    std::vector<std::vector<uint8_t>>* data_out) {
+    std::vector<std::vector<uint8_t>>* data_out, std::span<const uint64_t> issue_at) {
+  const auto IssueAt = [&](size_t i) {
+    return issue_at.empty() ? issue_ns : issue_at[i];
+  };
   if (closed_) {
     return FailedPrecondition("ftl: closed");
   }
@@ -468,6 +505,7 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
   // mapped pages go to the device as one batch at the shared issue time.
   std::vector<uint64_t> paddrs;
   std::vector<size_t> mapped;
+  std::vector<uint64_t> mapped_issue;
   paddrs.reserve(lbas.size());
   mapped.reserve(lbas.size());
   for (size_t i = 0; i < lbas.size(); ++i) {
@@ -480,18 +518,22 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
       if (data_out != nullptr) {
         (*data_out)[i].assign(config_.nand.page_size_bytes, 0);
       }
-      r.op.issue_ns = issue_ns;
-      r.op.finish_ns = issue_ns;
+      r.op.issue_ns = IssueAt(i);
+      r.op.finish_ns = IssueAt(i);
     } else {
       paddrs.push_back(*paddr);
       mapped.push_back(i);
+      if (!issue_at.empty()) {
+        mapped_issue.push_back(issue_at[i]);
+      }
     }
   }
   if (!paddrs.empty()) {
     std::vector<std::vector<uint8_t>> data;
     std::vector<NandOp> ops;
-    const Status batch_status = device_->ReadBatch(
-        paddrs, issue_ns, nullptr, data_out != nullptr ? &data : nullptr, &ops);
+    const Status batch_status =
+        device_->ReadBatch(paddrs, issue_ns, nullptr,
+                           data_out != nullptr ? &data : nullptr, &ops, mapped_issue);
     size_t done = ops.size();
     for (size_t k = 0; k < done; ++k) {
       results[mapped[k]].op = ops[k];
@@ -505,8 +547,8 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
       for (size_t k = done; k < mapped.size(); ++k) {
         std::vector<uint8_t> page;
         StatusOr<NandOp> op = device_->ReadPageWithRetry(
-            paddrs[k], issue_ns, nullptr, data_out != nullptr ? &page : nullptr,
-            config_.read_retry_limit);
+            paddrs[k], IssueAt(mapped[k]), nullptr,
+            data_out != nullptr ? &page : nullptr, config_.read_retry_limit);
         if (!op.ok()) {
           ++stats_.user_read_errors;
           return op.status();
@@ -520,7 +562,7 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
   }
   if (trace_ != nullptr) {
     for (size_t i = 0; i < lbas.size(); ++i) {
-      trace_->Record(TraceEventType::kUserRead, issue_ns, results[i].CompletionNs(),
+      trace_->Record(TraceEventType::kUserRead, IssueAt(i), results[i].CompletionNs(),
                      lbas[i], view.view_id);
     }
     if (!lbas.empty()) {
@@ -545,6 +587,21 @@ StatusOr<std::vector<IoResult>> Ftl::ReadV(std::span<const uint64_t> lbas,
                                            uint64_t issue_ns,
                                            std::vector<std::vector<uint8_t>>* data_out) {
   return ReadVInternal(*FindView(kPrimaryView), lbas, issue_ns, data_out);
+}
+
+StatusOr<std::vector<IoResult>> Ftl::WriteVAt(std::span<const WriteRequest> requests,
+                                              uint64_t issue_ns,
+                                              std::span<const uint64_t> issue_at) {
+  RETURN_IF_ERROR(CheckIssueAt(requests.size(), issue_at));
+  return WriteVInternal(FindView(kPrimaryView), requests, issue_ns, issue_at);
+}
+
+StatusOr<std::vector<IoResult>> Ftl::ReadVAt(std::span<const uint64_t> lbas,
+                                             uint64_t issue_ns,
+                                             std::span<const uint64_t> issue_at,
+                                             std::vector<std::vector<uint8_t>>* data_out) {
+  RETURN_IF_ERROR(CheckIssueAt(lbas.size(), issue_at));
+  return ReadVInternal(*FindView(kPrimaryView), lbas, issue_ns, data_out, issue_at);
 }
 
 StatusOr<IoResult> Ftl::Read(uint64_t lba, uint64_t issue_ns,
@@ -596,6 +653,16 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
 
 StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests,
                                            uint64_t issue_ns) {
+  return TrimVAt(requests, issue_ns, {});
+}
+
+StatusOr<std::vector<IoResult>> Ftl::TrimVAt(std::span<const TrimRequest> requests,
+                                             uint64_t issue_ns,
+                                             std::span<const uint64_t> issue_at) {
+  const auto IssueAt = [&](size_t i) {
+    return issue_at.empty() ? issue_ns : issue_at[i];
+  };
+  RETURN_IF_ERROR(CheckIssueAt(requests.size(), issue_at));
   if (closed_) {
     return FailedPrecondition("ftl: closed");
   }
@@ -614,8 +681,8 @@ StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests
   std::vector<LogManager::AppendRequest> appends;
   size_t next = 0;
   while (next < requests.size()) {
-    RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
-    validity_.NoteTimeNs(issue_ns);
+    RETURN_IF_ERROR(EnsureAppendSpace(IssueAt(next)));
+    validity_.NoteTimeNs(IssueAt(next));
     // Trims never pace the cleaner, so only append room limits the note run.
     const uint64_t run = std::min<uint64_t>(
         requests.size() - next, std::max<uint64_t>(1, log_.ActiveHeadFreePages()));
@@ -632,7 +699,9 @@ StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests
     }
     std::vector<AppendResult> ars;
     const Status append_status =
-        log_.AppendBatch(LogManager::kActiveHead, appends, issue_ns, &ars);
+        log_.AppendBatch(LogManager::kActiveHead, appends, IssueAt(next), &ars,
+                         issue_at.empty() ? std::span<const uint64_t>{}
+                                          : issue_at.subspan(next, run));
     // Apply only the durably appended prefix (see WriteVInternal).
     const uint64_t done = ars.size();
 
@@ -655,8 +724,8 @@ StatusOr<std::vector<IoResult>> Ftl::TrimV(std::span<const TrimRequest> requests
       result.op = ars[i].op;
       result.host_ns = host_ns;
       if (trace_ != nullptr) {
-        trace_->Record(TraceEventType::kUserTrim, issue_ns, result.CompletionNs(), r.lba,
-                       r.count);
+        trace_->Record(TraceEventType::kUserTrim, IssueAt(next + i), result.CompletionNs(),
+                       r.lba, r.count);
       }
       results.push_back(result);
     }

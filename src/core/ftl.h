@@ -32,14 +32,15 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/worker_pool.h"
 #include "src/core/activation.h"
 #include "src/core/ftl_config.h"
 #include "src/core/ftl_stats.h"
 #include "src/core/segment_cleaner.h"
 #include "src/core/snapshot_tree.h"
-#include "src/ftl/btree.h"
 #include "src/ftl/log_manager.h"
 #include "src/ftl/rate_limiter.h"
+#include "src/ftl/sharded_map.h"
 #include "src/ftl/validity_map.h"
 #include "src/nand/nand_device.h"
 #include "src/obs/trace.h"
@@ -134,6 +135,25 @@ class Ftl {
   StatusOr<std::vector<IoResult>> TrimV(std::span<const TrimRequest> requests,
                                         uint64_t issue_ns);
 
+  // --- Vectored I/O with per-request issue times (multi-queue submission) ---
+  //
+  // Identical to WriteV/ReadV/TrimV except each request i is issued at issue_at[i]
+  // (must be size requests.size() and non-decreasing; issue_ns still stamps the batch
+  // trace event and must be <= issue_at[0]). The io_queue layer uses these so ops
+  // admitted by different queues at different times share one ordered commit pass.
+  // Passing an empty issue_at span (or a span of issue_ns copies) is bit-identical to
+  // the plain vectored call.
+  StatusOr<std::vector<IoResult>> WriteVAt(std::span<const WriteRequest> requests,
+                                           uint64_t issue_ns,
+                                           std::span<const uint64_t> issue_at);
+  StatusOr<std::vector<IoResult>> ReadVAt(std::span<const uint64_t> lbas,
+                                          uint64_t issue_ns,
+                                          std::span<const uint64_t> issue_at,
+                                          std::vector<std::vector<uint8_t>>* data_out);
+  StatusOr<std::vector<IoResult>> TrimVAt(std::span<const TrimRequest> requests,
+                                          uint64_t issue_ns,
+                                          std::span<const uint64_t> issue_at);
+
   // --- Snapshot operations (§5.8) ---
 
   StatusOr<SnapshotOpResult> CreateSnapshot(std::string name, uint64_t issue_ns);
@@ -222,7 +242,9 @@ class Ftl {
     uint32_t epoch = 0;
     bool writable = false;
     bool ready = false;    // False while activation is still running.
-    BPlusTree map;
+    // LBA-sharded for the primary view (config.map_shards); snapshot views keep the
+    // default single-shard form.
+    ShardedMap map;
   };
 
   Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device);
@@ -232,13 +254,17 @@ class Ftl {
                                    uint64_t issue_ns);
   StatusOr<IoResult> ReadInternal(const View& view, uint64_t lba, uint64_t issue_ns,
                                   std::vector<uint8_t>* data_out);
+  // `issue_at` (empty, or one non-decreasing time per request) gives each request its
+  // own issue time; empty means "all at issue_ns".
   StatusOr<std::vector<IoResult>> WriteVInternal(View* view,
                                                  std::span<const WriteRequest> requests,
-                                                 uint64_t issue_ns);
+                                                 uint64_t issue_ns,
+                                                 std::span<const uint64_t> issue_at = {});
   StatusOr<std::vector<IoResult>> ReadVInternal(const View& view,
                                                 std::span<const uint64_t> lbas,
                                                 uint64_t issue_ns,
-                                                std::vector<std::vector<uint8_t>>* data_out);
+                                                std::vector<std::vector<uint8_t>>* data_out,
+                                                std::span<const uint64_t> issue_at = {});
 
   // Ensures the active head can append, running synchronous emergency cleaning if the
   // free pool is exhausted. Returns the device-time horizon the caller must wait behind.
@@ -265,6 +291,9 @@ class Ftl {
 
   FtlConfig config_;
   std::unique_ptr<NandDevice> device_;
+  // Host-side workers for parallel per-shard map updates (config.map_update_threads).
+  // Null when updates run inline; either way simulator state is bit-identical.
+  std::unique_ptr<WorkerPool> map_pool_;
   LogManager log_;
   ValidityMap validity_;
   SnapshotTree tree_;

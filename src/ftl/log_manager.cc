@@ -109,7 +109,9 @@ StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
 }
 
 Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests,
-                               uint64_t issue_ns, std::vector<AppendResult>* results_out) {
+                               uint64_t issue_ns, std::vector<AppendResult>* results_out,
+                               std::span<const uint64_t> issue_at) {
+  IOSNAP_CHECK(issue_at.empty() || issue_at.size() == requests.size());
   IOSNAP_CHECK(results_out != nullptr);
   const uint64_t pages_per_segment = device_->config().pages_per_segment;
   Head& h = HeadFor(head);
@@ -140,8 +142,10 @@ Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests
     for (size_t i = 0; i < run_len; ++i) {
       run.push_back({requests[next + i].header, requests[next + i].data});
     }
-    const Status run_status = device_->ProgramBatch(seg, run, issue_ns, &run_paddrs,
-                                                    &run_ops);
+    const Status run_status = device_->ProgramBatch(
+        seg, run, issue_ns, &run_paddrs, &run_ops,
+        issue_at.empty() ? std::span<const uint64_t>{}
+                         : issue_at.subspan(next, run_len));
     // A torn run committed `run_ops.size()` pages before failing; account exactly those.
     const size_t done = run_ops.size();
     SegmentInfo& info = segments_[seg];

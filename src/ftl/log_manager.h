@@ -90,8 +90,12 @@ class LogManager {
   // appended (a prefix of `requests`) — the caller must apply that prefix's effects
   // before propagating the error. Program failures reroute to a fresh segment like
   // Append; a mid-batch crash returns kUnavailable with the torn prefix in place.
+  // `issue_at` (empty, or one non-decreasing time per record with issue_at[0] >=
+  // issue_ns) staggers the records' issue times — the multi-queue path, where ops
+  // admitted at different times commit as one batch.
   Status AppendBatch(int head, std::span<const AppendRequest> requests, uint64_t issue_ns,
-                     std::vector<AppendResult>* results_out);
+                     std::vector<AppendResult>* results_out,
+                     std::span<const uint64_t> issue_at = {});
 
   // True if `head` can accept a record without violating the GC reserve.
   bool CanAppend(int head) const;

@@ -1,0 +1,126 @@
+// LBA-range-sharded forward map: N BPlusTree instances behind one facade.
+//
+// The multi-queue submission layer (src/core/io_queue) commits batches that span the
+// whole LBA space; a single tree serializes every map update behind one root. Sharding
+// by LBA range lets one batch update disjoint shards in parallel on a WorkerPool while
+// keeping every observable result identical to a single tree:
+//
+//   * Routing is pure: shard(key) = key / keys_per_shard (clamped to the last shard),
+//     so duplicate keys always land in the same shard and resolve in submission order.
+//     InsertBatch therefore returns the same new-key count and the same per-entry
+//     old_values as the unsharded tree, regardless of thread schedule.
+//   * Shards partition the key space in order, so ForEach/ToSortedVector walk shards
+//     0..N-1 and emerge globally key-sorted with no merge step.
+//   * MemoryBytes() is the sum of per-shard footprints (ShardMemoryBytes), keeping the
+//     Table 3 accounting exact under sharding.
+//
+// Mutations that must stay totally ordered for crash determinism (validity-bitmap CoW,
+// segment allocation) do NOT live here — see DESIGN.md "Multi-queue submission &
+// sharded map". Per-shard mutexes guard the parallel InsertBatch tasks; scalar
+// Insert/Lookup/Erase run on the single simulation thread and stay lock-free.
+//
+// A default-constructed ShardedMap has one shard covering the whole key space and
+// behaves exactly like a bare BPlusTree — activated snapshot views keep using that
+// compact single-shard form.
+
+#ifndef SRC_FTL_SHARDED_MAP_H_
+#define SRC_FTL_SHARDED_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/worker_pool.h"
+#include "src/ftl/btree.h"
+
+namespace iosnap {
+
+class ShardedMap {
+ public:
+  // One shard spanning all keys; no pool. The form every snapshot view uses.
+  ShardedMap() { Configure(1, 0, nullptr); }
+
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+  ShardedMap(ShardedMap&&) noexcept = default;
+  ShardedMap& operator=(ShardedMap&&) noexcept = default;
+
+  // Re-partitions an *empty* map into `num_shards` ranges over [0, key_span).
+  // key_span 0 means "unbounded" (all keys route to shard key / keys_per_shard with
+  // keys_per_shard = 2^64-1, i.e. shard 0 unless num_shards keys overflow — callers
+  // pass the real LBA count). `pool` (may be null) runs per-shard batch updates.
+  void Configure(uint32_t num_shards, uint64_t key_span, WorkerPool* pool);
+
+  // --- BPlusTree-compatible surface (see btree.h for contracts) ---
+
+  bool Insert(uint64_t key, uint64_t value);
+
+  // Equivalent to per-entry Insert in submission order. When `pool` threads are
+  // available and the batch touches several shards, per-shard sub-batches run in
+  // parallel under the shard mutexes; results are scattered back by original index, so
+  // the outcome is schedule-independent.
+  size_t InsertBatch(std::span<const std::pair<uint64_t, uint64_t>> entries,
+                     std::vector<std::optional<uint64_t>>* old_values = nullptr);
+
+  std::optional<uint64_t> Lookup(uint64_t key) const;
+  bool Erase(uint64_t key);
+  void Clear();
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // In-order visit across shards (shards partition the key space in order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      shard->tree.ForEach(fn);
+    }
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> ToSortedVector() const;
+
+  // Replaces the contents with a packed bulk-load of key-sorted unique pairs, keeping
+  // the current shard partitioning (each shard bulk-loads its key range). With one
+  // shard this is exactly BPlusTree::BulkLoad — the activation path.
+  void BulkLoadReplace(const std::vector<std::pair<uint64_t, uint64_t>>& sorted_pairs);
+
+  // --- Introspection (Table 3) ---
+  size_t LeafNodeCount() const;
+  size_t InternalNodeCount() const;
+  size_t NodeCount() const { return LeafNodeCount() + InternalNodeCount(); }
+  // Total forward-map footprint: the sum over ShardMemoryBytes(i).
+  size_t MemoryBytes() const;
+
+  uint32_t ShardCount() const { return static_cast<uint32_t>(shards_.size()); }
+  uint64_t KeysPerShard() const { return keys_per_shard_; }
+  size_t ShardMemoryBytes(uint32_t shard) const;
+  size_t ShardEntryCount(uint32_t shard) const;
+
+  // Structural invariants of every shard tree, plus the routing invariant that each
+  // shard only holds keys from its own range.
+  bool CheckInvariants() const;
+
+ private:
+  struct Shard {
+    BPlusTree tree;
+    std::mutex mu;  // Guards tree during parallel InsertBatch tasks.
+  };
+
+  size_t ShardOf(uint64_t key) const {
+    const size_t s = static_cast<size_t>(key / keys_per_shard_);
+    return s < shards_.size() ? s : shards_.size() - 1;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t keys_per_shard_ = ~uint64_t{0};
+  WorkerPool* pool_ = nullptr;
+};
+
+}  // namespace iosnap
+
+#endif  // SRC_FTL_SHARDED_MAP_H_

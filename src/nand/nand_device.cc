@@ -191,7 +191,9 @@ StatusOr<NandOp> NandDevice::ProgramCommit(uint64_t segment, const PageHeader& h
 
 Status NandDevice::ProgramBatch(uint64_t segment, std::span<const ProgramRequest> requests,
                                 uint64_t issue_ns, std::vector<uint64_t>* paddrs_out,
-                                std::vector<NandOp>* ops_out) {
+                                std::vector<NandOp>* ops_out,
+                                std::span<const uint64_t> issue_at) {
+  IOSNAP_CHECK(issue_at.empty() || issue_at.size() == requests.size());
   if (segment >= config_.num_segments) {
     return OutOfRange("program-batch: segment " + std::to_string(segment) +
                       " out of range");
@@ -222,11 +224,13 @@ Status NandDevice::ProgramBatch(uint64_t segment, std::span<const ProgramRequest
   if (ops_out != nullptr) {
     ops_out->reserve(ops_out->size() + requests.size());
   }
-  for (const ProgramRequest& request : requests) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ProgramRequest& request = requests[i];
     uint64_t paddr = 0;
     // A fault or crash mid-batch tears the batch: the prefix already pushed to the
     // out-vectors is durable, the rest was never programmed.
-    StatusOr<NandOp> op = ProgramCommit(segment, request.header, request.data, issue_ns,
+    StatusOr<NandOp> op = ProgramCommit(segment, request.header, request.data,
+                                        issue_at.empty() ? issue_ns : issue_at[i],
                                         &paddr);
     if (!op.ok()) {
       return op.status();
@@ -295,7 +299,9 @@ StatusOr<NandOp> NandDevice::ReadCommit(uint64_t paddr, uint64_t issue_ns,
 Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns,
                              std::vector<PageHeader>* headers_out,
                              std::vector<std::vector<uint8_t>>* data_out,
-                             std::vector<NandOp>* ops_out) {
+                             std::vector<NandOp>* ops_out,
+                             std::span<const uint64_t> issue_at) {
+  IOSNAP_CHECK(issue_at.empty() || issue_at.size() == paddrs.size());
   for (uint64_t paddr : paddrs) {
     if (paddr >= config_.TotalPages()) {
       return OutOfRange("read-batch: paddr out of range");
@@ -315,10 +321,11 @@ Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns
   if (ops_out != nullptr) {
     ops_out->reserve(ops_out->size() + paddrs.size());
   }
-  for (uint64_t paddr : paddrs) {
+  for (size_t i = 0; i < paddrs.size(); ++i) {
+    const uint64_t paddr = paddrs[i];
     PageHeader header;
     std::vector<uint8_t> data;
-    StatusOr<NandOp> op = ReadCommit(paddr, issue_ns,
+    StatusOr<NandOp> op = ReadCommit(paddr, issue_at.empty() ? issue_ns : issue_at[i],
                                      headers_out != nullptr ? &header : nullptr,
                                      data_out != nullptr ? &data : nullptr);
     if (!op.ok()) {

@@ -88,9 +88,12 @@ class NandDevice {
   // The whole batch is validated up front, so a validation error programs nothing; an
   // injected fault or crash mid-batch, however, leaves the committed prefix behind (a
   // torn batch) — the out-vectors then hold exactly the pages that were programmed.
+  // `issue_at` (empty, or one non-decreasing time per request) issues request i at
+  // issue_at[i] instead of the shared `issue_ns` — the multi-queue staggered path.
   Status ProgramBatch(uint64_t segment, std::span<const ProgramRequest> requests,
                       uint64_t issue_ns, std::vector<uint64_t>* paddrs_out,
-                      std::vector<NandOp>* ops_out);
+                      std::vector<NandOp>* ops_out,
+                      std::span<const uint64_t> issue_at = {});
 
   // Reads a programmed page. `data_out` may be nullptr to skip payload copying.
   StatusOr<NandOp> ReadPage(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
@@ -100,10 +103,12 @@ class NandDevice {
   // pass). Out-vectors, when non-null, receive one element per paddr in order. The
   // whole batch is validated up front; a validation error reads nothing, while an
   // injected fault mid-batch leaves the successfully read prefix in the out-vectors.
+  // `issue_at` as in ProgramBatch: per-paddr issue times for the multi-queue path.
   Status ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns,
                    std::vector<PageHeader>* headers_out,
                    std::vector<std::vector<uint8_t>>* data_out,
-                   std::vector<NandOp>* ops_out);
+                   std::vector<NandOp>* ops_out,
+                   std::span<const uint64_t> issue_at = {});
 
   // ReadPage with bounded retry: transient failures (kUnavailable) are retried up to
   // `max_attempts` total attempts; permanent errors (CRC mismatch -> kDataLoss,

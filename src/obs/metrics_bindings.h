@@ -9,6 +9,7 @@
 #define SRC_OBS_METRICS_BINDINGS_H_
 
 #include "src/core/ftl_stats.h"
+#include "src/core/io_queue.h"
 #include "src/ftl/log_manager.h"
 #include "src/ftl/validity_map.h"
 #include "src/nand/nand_device.h"
@@ -21,6 +22,7 @@ inline constexpr size_t kFtlStatsMetricCount = 29;
 inline constexpr size_t kNandStatsMetricCount = 12;
 inline constexpr size_t kValidityStatsMetricCount = 7;
 inline constexpr size_t kLogStatsMetricCount = 2;
+inline constexpr size_t kIoQueueStatsMetricCount = 9;
 
 inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
                              const std::string& prefix = "ftl.") {
@@ -98,6 +100,25 @@ inline void RegisterLogStats(MetricsRegistry* registry, const LogStats& s,
   };
   add("append_reroutes", &s.append_reroutes);
   add("segments_retired", &s.segments_retired);
+}
+
+// `inflight_ops` registers as a gauge (it rises and falls); the rest as counters.
+inline void RegisterIoQueueStats(MetricsRegistry* registry, const IoQueueStats& s,
+                                 const std::string& prefix = "io_queue.") {
+  const auto add = [&](const char* name, const uint64_t* v) {
+    registry->RegisterCounter(prefix + name, v);
+  };
+  add("submissions", &s.submissions);
+  add("ops_submitted", &s.ops_submitted);
+  add("ops_completed", &s.ops_completed);
+  add("ops_failed", &s.ops_failed);
+  add("flushes", &s.flushes);
+  add("merged_runs", &s.merged_runs);
+  add("queue_full_rejections", &s.queue_full_rejections);
+  add("max_inflight_ops", &s.max_inflight_ops);
+  const uint64_t* inflight = &s.inflight_ops;
+  registry->RegisterGauge(prefix + "inflight_ops",
+                          [inflight] { return static_cast<double>(*inflight); });
 }
 
 }  // namespace iosnap

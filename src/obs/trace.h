@@ -62,6 +62,10 @@ enum class TraceEventType : uint8_t {
   kFaultInjected,    // args: kind (0=program 1=erase 2=read 3=corrupt), where, op_index
   kSegmentRetired,   // args: segment, erase_count
   kReadRetry,        // args: paddr, attempt
+  // Multi-queue submission layer (src/core/io_queue).
+  kQueueSubmit,      // args: queue, ops, submission_id
+  kQueueFlush,       // args: pending_ops, merged_runs
+  kQueueComplete,    // args: queue, op_id, lba
 
   kNumTypes,  // Sentinel; keep last.
 };

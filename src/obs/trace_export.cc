@@ -57,6 +57,9 @@ const TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
     {"fault_injected", "device", kTrackDevice, {"kind", "where", "op_index"}},
     {"segment_retired", "device", kTrackDevice, {"segment", "erase_count", nullptr}},
     {"read_retry", "device", kTrackDevice, {"paddr", "attempt", nullptr}},
+    {"queue_submit", "io", kTrackIo, {"queue", "ops", "submission_id"}},
+    {"queue_flush", "io", kTrackIo, {"pending_ops", "merged_runs", nullptr}},
+    {"queue_complete", "io", kTrackIo, {"queue", "op_id", "lba"}},
 };
 
 void AppendU64(std::string* out, uint64_t v) {

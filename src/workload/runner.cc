@@ -86,7 +86,133 @@ Status FtlTarget::DoOpV(std::span<const IoOp> ops, uint64_t issue_ns,
   return OkStatus();
 }
 
+StatusOr<RunResult> Runner::RunQueued(Workload* workload, uint64_t ops,
+                                      const RunOptions& options) {
+  Ftl* ftl = target_->QueueFtl();
+  if (ftl == nullptr) {
+    return InvalidArgument("runner: target has no queued submission path");
+  }
+  IoQueueLayer::Options qopts;
+  qopts.queues = options.queues;
+  qopts.iodepth = std::max<uint32_t>(1, options.iodepth);
+  IoQueueLayer layer(ftl, qopts);
+  const uint64_t batch = std::max<uint64_t>(1, options.batch);
+
+  RunResult result;
+  result.start_ns = clock_->NowNs();
+  Status io_error;
+  const auto account = [&](const IoCompletion& c) {
+    if (!c.status.ok()) {
+      if (io_error.ok()) {
+        io_error = c.status;
+      }
+      return;
+    }
+    const uint64_t latency = c.result.LatencyNs();
+    result.latency.Add(latency);
+    if (options.record_timeline) {
+      result.timeline.Add(c.result.op.issue_ns, NsToUs(latency));
+    }
+    result.bytes += page_bytes_;
+    ++result.ops;
+    if (options.after_op) {
+      options.after_op(result.ops - 1, c.CompletionNs());
+    }
+  };
+
+  uint64_t issued = 0;
+  bool exhausted = false;
+  uint32_t rr = 0;  // Round-robin queue cursor.
+  std::vector<QueueOp> sub;
+  const auto any_free_slot = [&] {
+    for (uint32_t q = 0; q < qopts.queues; ++q) {
+      if (layer.CanSubmit(q)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (io_error.ok()) {
+    const uint64_t now = clock_->NowNs();
+    // Pump only when about to admit work, mirroring the batch loop's cadence:
+    // completions delivered mid-submission do not trigger background work on their own.
+    if (!exhausted && issued < ops && any_free_slot()) {
+      target_->Pump(now);
+    }
+    // Fill every free slot round-robin with `batch`-op submissions at `now`.
+    while (!exhausted && issued < ops) {
+      uint32_t queue = 0;
+      bool found = false;
+      for (uint32_t k = 0; k < qopts.queues; ++k) {
+        const uint32_t cand = (rr + k) % qopts.queues;
+        if (layer.CanSubmit(cand)) {
+          queue = cand;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        break;
+      }
+      sub.clear();
+      while (sub.size() < batch && issued + sub.size() < ops) {
+        const std::optional<IoOp> op = workload->Next();
+        if (!op.has_value()) {
+          exhausted = true;
+          break;
+        }
+        QueueOp qop;
+        switch (op->kind) {
+          case IoKind::kRead:
+            qop.kind = QueueOpKind::kRead;
+            break;
+          case IoKind::kWrite:
+            qop.kind = QueueOpKind::kWrite;
+            break;
+          case IoKind::kTrim:
+            qop.kind = QueueOpKind::kTrim;
+            qop.count = op->count;
+            break;
+        }
+        qop.lba = op->lba;
+        sub.push_back(qop);
+      }
+      if (sub.empty()) {
+        break;
+      }
+      RETURN_IF_ERROR(layer.Submit(queue, sub, now).status());
+      issued += sub.size();
+      rr = (queue + 1) % qopts.queues;
+    }
+
+    const std::optional<uint64_t> next = layer.NextCompletionNs();
+    if (!next.has_value()) {
+      break;  // Nothing in flight and nothing left to admit.
+    }
+    clock_->AdvanceTo(*next);
+    for (const IoCompletion& c : layer.PollCompletions(clock_->NowNs())) {
+      account(c);
+    }
+  }
+  for (const IoCompletion& c : layer.Drain()) {
+    account(c);
+    clock_->AdvanceTo(c.CompletionNs());
+  }
+  if (!io_error.ok()) {
+    return io_error;
+  }
+  result.queue_stats = layer.stats();
+  result.per_queue = layer.per_queue();
+  result.end_ns = clock_->NowNs();
+  result.drain_end_ns = std::max(result.end_ns, target_->DrainNs());
+  return result;
+}
+
 StatusOr<RunResult> Runner::Run(Workload* workload, uint64_t ops, const RunOptions& options) {
+  if (options.queues > 0) {
+    return RunQueued(workload, ops, options);
+  }
+
   RunResult result;
   result.start_ns = clock_->NowNs();
 

@@ -23,6 +23,7 @@
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/core/ftl.h"
+#include "src/core/io_queue.h"
 #include "src/workload/workload.h"
 
 namespace iosnap {
@@ -42,6 +43,9 @@ class BlockTarget {
   virtual uint64_t LbaCount() const = 0;
   // Earliest time all queued device work completes (throughput accounting).
   virtual uint64_t DrainNs() const = 0;
+  // The Ftl to drive through an IoQueueLayer for multi-queue runs, or nullptr when
+  // the target has no queued path (baseline store, snapshot views).
+  virtual Ftl* QueueFtl() { return nullptr; }
 };
 
 // Adapts an Ftl view (default: primary) to BlockTarget.
@@ -58,6 +62,8 @@ class FtlTarget : public BlockTarget {
   void Pump(uint64_t now_ns) override { ftl_->PumpBackground(now_ns); }
   uint64_t LbaCount() const override { return ftl_->LbaCount(); }
   uint64_t DrainNs() const override { return ftl_->device().DrainTimeNs(); }
+  // Queued submission only drives the primary view.
+  Ftl* QueueFtl() override { return view_id_ == kPrimaryView ? ftl_ : nullptr; }
 
  private:
   Ftl* ftl_;
@@ -70,6 +76,13 @@ struct RunOptions {
   // pre-batching loop, bit for bit. Larger values group `batch` ops into one DoOpV
   // call issued at a shared time (queue_depth is subsumed: the batch *is* the queue).
   uint64_t batch = 1;
+  // Multi-queue submission: queues > 0 drives the target's Ftl through an
+  // IoQueueLayer with that many queue pairs, `iodepth` in-flight submissions per
+  // queue, and `batch` ops per submission. queues=1, iodepth=1 reproduces the batch
+  // mode bit for bit; deeper settings pipeline submissions so ops admitted at
+  // different times share one ordered commit.
+  uint32_t queues = 0;
+  uint32_t iodepth = 1;
   bool record_timeline = false;
   // Invoked after each completed op with (op index, virtual now). Benchmarks use this to
   // create snapshots on a cadence, start activations, etc.
@@ -84,6 +97,9 @@ struct RunResult {
   LatencyHistogram latency;
   Timeline timeline;             // (issue time, latency in usec) when recorded.
   uint64_t bytes = 0;
+  // Multi-queue runs only: the layer's counters and per-queue breakdown.
+  IoQueueStats queue_stats;
+  std::vector<IoQueueLayer::PerQueueStats> per_queue;
 
   uint64_t ElapsedNs() const { return drain_end_ns > start_ns ? drain_end_ns - start_ns : 0; }
 };
@@ -97,6 +113,8 @@ class Runner {
   StatusOr<RunResult> Run(Workload* workload, uint64_t ops, const RunOptions& options);
 
  private:
+  StatusOr<RunResult> RunQueued(Workload* workload, uint64_t ops,
+                                const RunOptions& options);
   BlockTarget* target_;
   SimClock* clock_;
   uint64_t page_bytes_;

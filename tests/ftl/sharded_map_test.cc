@@ -1,0 +1,204 @@
+// ShardedMap: the LBA-range-sharded forward map must be observably identical to a
+// single BPlusTree — same InsertBatch results (new-key count, per-entry old_values),
+// same sorted contents, same lookups — for any shard count and with or without a
+// WorkerPool, and its per-shard memory accounting must sum to the facade total.
+
+#include "src/ftl/sharded_map.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/worker_pool.h"
+#include "src/ftl/btree.h"
+
+namespace iosnap {
+namespace {
+
+constexpr uint64_t kKeySpan = 4096;
+
+std::vector<std::pair<uint64_t, uint64_t>> RandomBatch(Rng* rng, size_t n,
+                                                       uint64_t key_span) {
+  std::vector<std::pair<uint64_t, uint64_t>> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // ~25% duplicate pressure within the span keeps the overwrite path hot.
+    batch.emplace_back(rng->Next() % key_span, rng->Next());
+  }
+  return batch;
+}
+
+TEST(ShardedMapTest, DefaultConstructionIsOneUnboundedShard) {
+  ShardedMap map;
+  EXPECT_EQ(map.ShardCount(), 1u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.Insert(0, 1));
+  EXPECT_TRUE(map.Insert(~uint64_t{0}, 2));  // Any key routes to the only shard.
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.Lookup(~uint64_t{0}), std::optional<uint64_t>(2));
+  EXPECT_TRUE(map.CheckInvariants());
+}
+
+TEST(ShardedMapTest, RoutingPartitionsTheKeySpaceInOrder) {
+  ShardedMap map;
+  map.Configure(4, kKeySpan, nullptr);
+  EXPECT_EQ(map.ShardCount(), 4u);
+  EXPECT_EQ(map.KeysPerShard(), kKeySpan / 4);
+  for (uint64_t key = 0; key < kKeySpan; key += 17) {
+    map.Insert(key, key + 1);
+  }
+  // Each shard holds exactly the keys of its contiguous range; CheckInvariants
+  // verifies the routing, and the entry counts confirm a non-degenerate spread.
+  EXPECT_TRUE(map.CheckInvariants());
+  size_t total = 0;
+  for (uint32_t s = 0; s < map.ShardCount(); ++s) {
+    EXPECT_GT(map.ShardEntryCount(s), 0u) << "shard " << s;
+    total += map.ShardEntryCount(s);
+  }
+  EXPECT_EQ(total, map.size());
+  // Keys past the span clamp into the last shard rather than indexing out of range.
+  map.Insert(kKeySpan + 100, 7);
+  EXPECT_EQ(map.Lookup(kKeySpan + 100), std::optional<uint64_t>(7));
+  EXPECT_TRUE(map.CheckInvariants());
+}
+
+TEST(ShardedMapTest, ForEachEmergesGloballySorted) {
+  ShardedMap map;
+  map.Configure(8, kKeySpan, nullptr);
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    map.Insert(rng.Next() % kKeySpan, i);
+  }
+  std::vector<uint64_t> keys;
+  map.ForEach([&](uint64_t key, uint64_t) { keys.push_back(key); });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), map.size());
+  EXPECT_EQ(map.ToSortedVector().size(), map.size());
+}
+
+// The central contract: for every shard count, InsertBatch returns the same new-key
+// count and the same per-entry old_values as the reference single tree, and the final
+// contents match exactly. Duplicates within a batch must chain in submission order.
+TEST(ShardedMapTest, InsertBatchMatchesSingleTreeForEveryShardCount) {
+  for (uint32_t shards : {1u, 2u, 4u, 7u, 16u}) {
+    BPlusTree reference;
+    ShardedMap map;
+    map.Configure(shards, kKeySpan, nullptr);
+    Rng rng(2014 + shards);
+    for (int round = 0; round < 20; ++round) {
+      const auto batch = RandomBatch(&rng, 200, kKeySpan);
+      std::vector<std::optional<uint64_t>> ref_old;
+      std::vector<std::optional<uint64_t>> map_old;
+      const size_t ref_new = reference.InsertBatch(batch, &ref_old);
+      const size_t map_new = map.InsertBatch(batch, &map_old);
+      ASSERT_EQ(map_new, ref_new) << "shards=" << shards << " round=" << round;
+      ASSERT_EQ(map_old, ref_old) << "shards=" << shards << " round=" << round;
+      // A few point erases so later rounds see re-insertions.
+      for (int e = 0; e < 10; ++e) {
+        const uint64_t key = rng.Next() % kKeySpan;
+        ASSERT_EQ(map.Erase(key), reference.Erase(key));
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size());
+    ASSERT_EQ(map.ToSortedVector(), reference.ToSortedVector());
+    ASSERT_TRUE(map.CheckInvariants());
+  }
+}
+
+// Same contract with a live WorkerPool: the thread schedule must not change any
+// result. Repeat a few times to shake races out under TSan.
+TEST(ShardedMapTest, ParallelInsertBatchIsScheduleIndependent) {
+  WorkerPool pool(4);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    BPlusTree reference;
+    ShardedMap map;
+    map.Configure(8, kKeySpan, &pool);
+    Rng rng(99 + attempt);
+    for (int round = 0; round < 10; ++round) {
+      const auto batch = RandomBatch(&rng, 400, kKeySpan);
+      std::vector<std::optional<uint64_t>> ref_old;
+      std::vector<std::optional<uint64_t>> map_old;
+      const size_t ref_new = reference.InsertBatch(batch, &ref_old);
+      const size_t map_new = map.InsertBatch(batch, &map_old);
+      ASSERT_EQ(map_new, ref_new);
+      ASSERT_EQ(map_old, ref_old);
+    }
+    ASSERT_EQ(map.ToSortedVector(), reference.ToSortedVector());
+    ASSERT_TRUE(map.CheckInvariants());
+  }
+}
+
+TEST(ShardedMapTest, BulkLoadReplaceKeepsPartitioningAndContents) {
+  ShardedMap map;
+  map.Configure(4, kKeySpan, nullptr);
+  map.Insert(1, 1);  // Pre-existing contents must be replaced.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (uint64_t key = 0; key < kKeySpan; key += 3) {
+    pairs.emplace_back(key, key * 2);
+  }
+  map.BulkLoadReplace(pairs);
+  EXPECT_EQ(map.size(), pairs.size());
+  EXPECT_EQ(map.ToSortedVector(), pairs);
+  EXPECT_EQ(map.Lookup(1), std::nullopt);
+  EXPECT_EQ(map.ShardCount(), 4u);  // Partitioning survives the reload.
+  EXPECT_TRUE(map.CheckInvariants());
+  size_t total = 0;
+  for (uint32_t s = 0; s < map.ShardCount(); ++s) {
+    total += map.ShardEntryCount(s);
+  }
+  EXPECT_EQ(total, pairs.size());
+}
+
+// Table 3 accounting: the facade's MemoryBytes must be exactly the sum of the
+// per-shard footprints, and node counts must aggregate the same way.
+TEST(ShardedMapTest, MemoryBytesIsTheSumOfShardFootprints) {
+  ShardedMap map;
+  map.Configure(4, kKeySpan, nullptr);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    map.Insert(rng.Next() % kKeySpan, i);
+  }
+  size_t shard_sum = 0;
+  for (uint32_t s = 0; s < map.ShardCount(); ++s) {
+    shard_sum += map.ShardMemoryBytes(s);
+  }
+  EXPECT_EQ(map.MemoryBytes(), shard_sum);
+  EXPECT_GT(map.MemoryBytes(), 0u);
+  EXPECT_EQ(map.NodeCount(), map.LeafNodeCount() + map.InternalNodeCount());
+
+  // An equally loaded single-shard map reports the same totals as a bare tree.
+  ShardedMap single;
+  BPlusTree tree;
+  for (uint64_t key = 0; key < 512; ++key) {
+    single.Insert(key, key);
+    tree.Insert(key, key);
+  }
+  EXPECT_EQ(single.MemoryBytes(), tree.MemoryBytes());
+  EXPECT_EQ(single.LeafNodeCount(), tree.LeafNodeCount());
+  EXPECT_EQ(single.InternalNodeCount(), tree.InternalNodeCount());
+}
+
+TEST(ShardedMapTest, ClearEmptiesEveryShard) {
+  ShardedMap map;
+  map.Configure(4, kKeySpan, nullptr);
+  for (uint64_t key = 0; key < kKeySpan; key += 5) {
+    map.Insert(key, key);
+  }
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  for (uint32_t s = 0; s < map.ShardCount(); ++s) {
+    EXPECT_EQ(map.ShardEntryCount(s), 0u);
+  }
+  // Reusable after Clear.
+  EXPECT_TRUE(map.Insert(10, 1));
+  EXPECT_EQ(map.Lookup(10), std::optional<uint64_t>(1));
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -64,6 +64,7 @@ TEST(MetricsBindingsTest, FieldCountsMatchStructLayouts) {
   static_assert(sizeof(NandStats) == kNandStatsMetricCount * sizeof(uint64_t));
   static_assert(sizeof(ValidityStats) == kValidityStatsMetricCount * sizeof(uint64_t));
   static_assert(sizeof(LogStats) == kLogStatsMetricCount * sizeof(uint64_t));
+  static_assert(sizeof(IoQueueStats) == kIoQueueStatsMetricCount * sizeof(uint64_t));
 }
 
 TEST(MetricsBindingsTest, RegistersEveryField) {
@@ -72,12 +73,15 @@ TEST(MetricsBindingsTest, RegistersEveryField) {
   NandStats nand_stats;
   ValidityStats validity_stats;
   LogStats log_stats;
+  IoQueueStats queue_stats;
   RegisterFtlStats(&registry, ftl_stats);
   RegisterNandStats(&registry, nand_stats);
   RegisterValidityStats(&registry, validity_stats);
   RegisterLogStats(&registry, log_stats);
+  RegisterIoQueueStats(&registry, queue_stats);
   EXPECT_EQ(registry.MetricCount(), kFtlStatsMetricCount + kNandStatsMetricCount +
-                                        kValidityStatsMetricCount + kLogStatsMetricCount);
+                                        kValidityStatsMetricCount + kLogStatsMetricCount +
+                                        kIoQueueStatsMetricCount);
 
   // Every registered counter tracks its struct field.
   ftl_stats.gc_pages_copied = 11;
@@ -85,11 +89,15 @@ TEST(MetricsBindingsTest, RegistersEveryField) {
   validity_stats.cow_chunk_copies = 3;
   nand_stats.program_failures = 9;
   log_stats.segments_retired = 2;
+  queue_stats.merged_runs = 7;
+  queue_stats.inflight_ops = 4;
   bool saw_gc = false;
   bool saw_erase = false;
   bool saw_cow = false;
   bool saw_fail = false;
   bool saw_retired = false;
+  bool saw_runs = false;
+  bool saw_inflight = false;
   for (const auto& s : registry.Snapshot()) {
     if (s.name == "ftl.gc_pages_copied") {
       saw_gc = true;
@@ -106,6 +114,13 @@ TEST(MetricsBindingsTest, RegistersEveryField) {
     } else if (s.name == "log.segments_retired") {
       saw_retired = true;
       EXPECT_EQ(s.u64, 2u);
+    } else if (s.name == "io_queue.merged_runs") {
+      saw_runs = true;
+      EXPECT_EQ(s.u64, 7u);
+    } else if (s.name == "io_queue.inflight_ops") {
+      // Registered as a gauge: sampled live through the lambda.
+      saw_inflight = true;
+      EXPECT_DOUBLE_EQ(s.value, 4.0);
     }
   }
   EXPECT_TRUE(saw_gc);
@@ -113,6 +128,8 @@ TEST(MetricsBindingsTest, RegistersEveryField) {
   EXPECT_TRUE(saw_cow);
   EXPECT_TRUE(saw_fail);
   EXPECT_TRUE(saw_retired);
+  EXPECT_TRUE(saw_runs);
+  EXPECT_TRUE(saw_inflight);
 }
 
 }  // namespace

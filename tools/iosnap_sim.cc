@@ -53,6 +53,8 @@ Workload:
   --zipf_theta=F         skew for zipf                        (default 0.9)
   --qd=N                 queue depth                          (default 1)
   --batch=N              ops per vectored submission; 1 = scalar path (default 1)
+  --queues=N             multi-queue mode: N submission queues (default 0 = off)
+  --iodepth=N            in-flight submissions per queue      (default 1)
   --seed=N               workload RNG seed                    (default 42)
 
 Snapshots:
@@ -86,7 +88,8 @@ Observability:
 const std::vector<std::string> kKnownFlags = {
     "device_mib", "page_kib", "segment_pages", "channels", "overprovision",
     "chunk_bits", "policy", "vanilla", "vanilla_gc_rate", "workload", "ops",
-    "lba_frac", "read_frac", "zipf_theta", "qd", "batch", "seed", "snapshot_every",
+    "lba_frac", "read_frac", "zipf_theta", "qd", "batch", "queues", "iodepth", "seed",
+    "snapshot_every",
     "snapshots",
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
     "fault_seed", "fault_program_ppm", "fault_erase_ppm", "fault_read_ppm",
@@ -172,6 +175,24 @@ void PrintStats(const Ftl& ftl, const RunResult& result) {
   std::printf("validity maps           %12llu bytes (%zu distinct chunks)\n",
               (unsigned long long)ftl.validity().MemoryBytes(),
               ftl.validity().DistinctChunkCount());
+  if (result.queue_stats.submissions > 0) {
+    const IoQueueStats& q = result.queue_stats;
+    std::printf("--- queues -----------------------------------------------\n");
+    std::printf("submissions / ops       %llu / %llu (flushes %llu, merged runs %llu)\n",
+                (unsigned long long)q.submissions, (unsigned long long)q.ops_submitted,
+                (unsigned long long)q.flushes, (unsigned long long)q.merged_runs);
+    std::printf("completed / failed      %llu / %llu (max inflight ops %llu)\n",
+                (unsigned long long)q.ops_completed, (unsigned long long)q.ops_failed,
+                (unsigned long long)q.max_inflight_ops);
+    for (size_t i = 0; i < result.per_queue.size(); ++i) {
+      const IoQueueLayer::PerQueueStats& pq = result.per_queue[i];
+      std::printf("  queue %zu: %llu subs, %llu ops, %llu completed, max depth %llu\n", i,
+                  (unsigned long long)pq.submissions,
+                  (unsigned long long)pq.ops_submitted,
+                  (unsigned long long)pq.ops_completed,
+                  (unsigned long long)pq.max_inflight_subs);
+    }
+  }
 }
 
 }  // namespace
@@ -301,6 +322,8 @@ int main(int argc, char** argv) {
   RunOptions options;
   options.queue_depth = (uint64_t)flags.GetInt("qd", 1);
   options.batch = (uint64_t)flags.GetInt("batch", 1);
+  options.queues = (uint32_t)flags.GetInt("queues", 0);
+  options.iodepth = (uint32_t)flags.GetInt("iodepth", 1);
   options.record_timeline = flags.GetBool("timeline", false);
   if (snapshot_every > 0 && config.snapshots_enabled) {
     options.after_op = [&](uint64_t index, uint64_t now_ns) {
@@ -438,6 +461,9 @@ int main(int argc, char** argv) {
     RegisterNandStats(&registry, ftl->device().stats());
     RegisterValidityStats(&registry, ftl->validity().stats());
     RegisterLogStats(&registry, ftl->log_manager().stats());
+    RegisterIoQueueStats(&registry, GlobalIoQueueStats());
+    registry.RegisterHistogram("io_queue.completion_latency",
+                               &GlobalQueueCompletionHistogram());
     if (result.ok()) {
       registry.RegisterHistogram("run.latency", &result->latency);
     }
