@@ -13,10 +13,12 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/flags.h"
@@ -25,6 +27,7 @@
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/core/ftl.h"
+#include "src/obs/latency.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_bindings.h"
 #include "src/obs/trace.h"
@@ -47,7 +50,16 @@ inline constexpr size_t kBenchTraceCapacity = 1 << 15;
 struct BenchEnv {
   std::string trace_out;
   std::string metrics_out;
+  std::string bench_out;
   std::unique_ptr<TraceRecorder> trace;
+  // Per-op latency attribution across every FTL the bench constructs (--attribution).
+  // Off by default: the bench overhead budget treats attribution like tracing — a
+  // feature under test, not ambient cost.
+  std::unique_ptr<LatencyAttributor> attributor;
+  // Deterministic virtual-time results (BenchRecord): these depend only on the
+  // simulation, never on host speed, so they are the metrics the CI regression gate
+  // may compare commit-over-commit.
+  std::vector<std::pair<std::string, double>> gauges;
 };
 
 inline BenchEnv& GlobalBenchEnv() {
@@ -56,12 +68,15 @@ inline BenchEnv& GlobalBenchEnv() {
 }
 
 // Parses the shared bench flags (--trace_out=, --trace_capacity=, --metrics_out=,
-// --log_level=) plus any bench-specific `extra_known` flags, rejecting typos. Call
-// first in main(); the returned Flags serves the bench's own lookups.
+// --bench_out=, --attribution, --attribution_stride=, --log_level=) plus any
+// bench-specific `extra_known` flags, rejecting typos. Call first in main(); the
+// returned Flags serves the bench's own lookups.
 inline Flags BenchInit(int argc, char** argv,
                        const std::vector<std::string>& extra_known = {}) {
   Flags flags = Flags::Parse(argc, argv);
-  std::vector<std::string> known = {"trace_out", "trace_capacity", "metrics_out",
+  std::vector<std::string> known = {"trace_out",   "trace_capacity",
+                                    "metrics_out", "bench_out",
+                                    "attribution", "attribution_stride",
                                     "log_level"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   const auto unknown = flags.UnknownFlags(known);
@@ -82,11 +97,40 @@ inline Flags BenchInit(int argc, char** argv,
   BenchEnv& env = GlobalBenchEnv();
   env.trace_out = flags.GetString("trace_out", "");
   env.metrics_out = flags.GetString("metrics_out", "");
+  env.bench_out = flags.GetString("bench_out", "");
   if (!env.trace_out.empty()) {
     env.trace = std::make_unique<TraceRecorder>(
         (size_t)flags.GetInt("trace_capacity", kBenchTraceCapacity));
   }
+  if (flags.GetBool("attribution", false)) {
+    // Benches only read the aggregates (span shares + histograms), so keep the cost
+    // off the measured loop: a small ring (the default 24 MiB one streams through the
+    // cache once per op) and a 1-in-16 sampling stride. Full recording costs ~30 ns
+    // per op — ~9% of bench_table2's wall clock — while stride 16 keeps the overhead
+    // under 1% and still sees >1M sampled ops per bench run. Span shares from the
+    // sample are unbiased; pass --attribution_stride=1 to record every op.
+    const uint64_t stride =
+        (uint64_t)std::max<int64_t>(1, flags.GetInt("attribution_stride", 16));
+    env.attributor = std::make_unique<LatencyAttributor>(4096, stride);
+  }
   return flags;
+}
+
+// Records one deterministic virtual-time result under "bench.<name>". These land in
+// --bench_out (BenchFinish) and feed tools/bench_trajectory.py --check, so record only
+// values that are a pure function of the simulation (MB/s over the virtual clock,
+// virtual latencies) — never wall-clock measurements.
+inline void BenchRecord(const std::string& name, double value) {
+  GlobalBenchEnv().gauges.emplace_back("bench." + name, value);
+}
+
+// "Sequential Write" -> "sequential_write": row labels as gauge-name components.
+inline std::string BenchSlug(const std::string& label) {
+  std::string slug;
+  for (char c : label) {
+    slug += c == ' ' ? '_' : (char)std::tolower((unsigned char)c);
+  }
+  return slug;
 }
 
 // Dumps every FtlStats/NandStats/ValidityStats/LogStats counter of `ftl` to
@@ -109,6 +153,9 @@ inline void BenchDumpMetrics(const Ftl& ftl) {
   RegisterIoQueueStats(&registry, GlobalIoQueueStats());
   registry.RegisterHistogram("io_queue.completion_latency",
                              &GlobalQueueCompletionHistogram());
+  if (env.attributor != nullptr) {
+    env.attributor->RegisterMetrics(&registry);
+  }
   if (registry.WriteFile(env.metrics_out)) {
     std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
                 env.metrics_out.c_str());
@@ -117,10 +164,46 @@ inline void BenchDumpMetrics(const Ftl& ftl) {
   }
 }
 
-// Writes the accumulated trace to --trace_out (no-op when unset). Call once at the end
+// Writes the accumulated trace to --trace_out, the BenchRecord gauges to --bench_out
+// (flat {"bench.<name>": value} JSON — the shape bench_trajectory.py collects), and
+// prints an aggregate span-share table when --attribution is on. Call once at the end
 // of main.
 inline void BenchFinish() {
   BenchEnv& env = GlobalBenchEnv();
+  if (env.attributor != nullptr && env.attributor->ops() > 0) {
+    std::printf("\nlatency attribution over %llu ops (share of total latency):\n",
+                (unsigned long long)env.attributor->ops());
+    uint64_t grand_total = 0;
+    for (size_t i = 0; i < kNumLatencySpans; ++i) {
+      grand_total += env.attributor->SpanTotalNs(static_cast<LatencySpan>(i));
+    }
+    for (size_t i = 0; i < kNumLatencySpans; ++i) {
+      const LatencySpan span = static_cast<LatencySpan>(i);
+      const uint64_t total = env.attributor->SpanTotalNs(span);
+      std::printf("  %-11s %10.2f ms  %5.1f%%\n", LatencySpanName(span), NsToMs(total),
+                  grand_total > 0 ? 100.0 * (double)total / (double)grand_total : 0.0);
+    }
+  }
+  if (!env.bench_out.empty()) {
+    std::string json = "{\n";
+    for (size_t i = 0; i < env.gauges.size(); ++i) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "  \"%s\": %.6f%s\n",
+                    env.gauges[i].first.c_str(), env.gauges[i].second,
+                    i + 1 < env.gauges.size() ? "," : "");
+      json += line;
+    }
+    json += "}\n";
+    std::FILE* f = std::fopen(env.bench_out.c_str(), "wb");
+    if (f != nullptr && std::fwrite(json.data(), 1, json.size(), f) == json.size()) {
+      std::printf("bench gauges: %zu to %s\n", env.gauges.size(), env.bench_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write --bench_out=%s\n", env.bench_out.c_str());
+    }
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
   if (env.trace == nullptr) {
     return;
   }
@@ -162,6 +245,7 @@ inline std::unique_ptr<Ftl> MustCreate(const FtlConfig& config) {
   IOSNAP_CHECK(ftl_or.ok());
   std::unique_ptr<Ftl> ftl = std::move(ftl_or).value();
   ftl->SetTraceRecorder(GlobalBenchEnv().trace.get());
+  ftl->SetLatencyAttributor(GlobalBenchEnv().attributor.get());
   return ftl;
 }
 

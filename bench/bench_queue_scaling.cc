@@ -74,6 +74,9 @@ void Row(const char* label, const std::string& pattern, IoKind kind,
     }
     std::printf("  %8.1f (%4.2fx)", m.stats.mean(),
                 base > 0 ? m.stats.mean() / base : 0);
+    BenchRecord("queue_scaling." + BenchSlug(label) + ".q" + std::to_string(queues) +
+                    "_mbps",
+                m.stats.mean());
   }
   std::printf("  MB/s\n");
 }

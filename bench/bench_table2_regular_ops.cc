@@ -64,6 +64,9 @@ void Row(const char* label, const std::string& pattern, IoKind kind) {
   }
   std::printf("%-18s %s   %s\n", label, vanilla.Format("MB/s").c_str(),
               iosnap.Format("MB/s").c_str());
+  // Virtual-time MB/s is deterministic across hosts: the regression-gate anchor.
+  BenchRecord("table2." + BenchSlug(label) + ".vanilla_mbps", vanilla.stats.mean());
+  BenchRecord("table2." + BenchSlug(label) + ".iosnap_mbps", iosnap.stats.mean());
 }
 
 // Same patterns on ioSnap via vectored submission (--batch), one column per size.
@@ -76,6 +79,9 @@ void BatchRow(const char* label, const std::string& pattern, IoKind kind,
       m.Add(RunCase(true, pattern, kind, 1000 + rep, batch));
     }
     std::printf("  %9.2f", m.stats.mean());
+    BenchRecord("table2." + BenchSlug(label) + ".batch" + std::to_string(batch) +
+                    "_mbps",
+                m.stats.mean());
   }
   std::printf("  MB/s\n");
 }

@@ -32,20 +32,6 @@ double OnlineStats::stddev() const {
 
 LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
 
-int LatencyHistogram::BucketFor(uint64_t ns) {
-  if (ns == 0) {
-    return 0;
-  }
-  const int log2 = 63 - std::countl_zero(ns);
-  int sub = 0;
-  if (log2 > 4) {
-    // Position within the power-of-two range, quantized to kSubBuckets slots.
-    sub = static_cast<int>((ns - (uint64_t{1} << log2)) >> (log2 - 4));
-  }
-  const int bucket = log2 * kSubBuckets + sub;
-  return std::min(bucket, kNumBuckets - 1);
-}
-
 uint64_t LatencyHistogram::BucketValue(int bucket) {
   const int log2 = bucket / kSubBuckets;
   const int sub = bucket % kSubBuckets;
@@ -55,13 +41,6 @@ uint64_t LatencyHistogram::BucketValue(int bucket) {
   }
   // Midpoint of the sub-bucket.
   return base + (static_cast<uint64_t>(sub) << (log2 - 4)) + (uint64_t{1} << (log2 - 5));
-}
-
-void LatencyHistogram::Add(uint64_t latency_ns) {
-  ++buckets_[static_cast<size_t>(BucketFor(latency_ns))];
-  ++count_;
-  sum_ns_ += static_cast<double>(latency_ns);
-  max_ns_ = std::max(max_ns_, latency_ns);
 }
 
 uint64_t LatencyHistogram::PercentileNs(double p) const {

@@ -7,6 +7,8 @@
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,7 +46,14 @@ class LatencyHistogram {
  public:
   LatencyHistogram();
 
-  void Add(uint64_t latency_ns);
+  // Inline: the attribution layer calls this 8x per completed op, so Add must stay a
+  // handful of instructions (see LatencyAttributor::Record).
+  void Add(uint64_t latency_ns) {
+    ++buckets_[static_cast<size_t>(BucketFor(latency_ns))];
+    ++count_;
+    sum_ns_ += static_cast<double>(latency_ns);
+    max_ns_ = std::max(max_ns_, latency_ns);
+  }
 
   uint64_t count() const { return count_; }
   double MeanNs() const { return count_ == 0 ? 0.0 : sum_ns_ / static_cast<double>(count_); }
@@ -59,7 +68,20 @@ class LatencyHistogram {
   static constexpr int kSubBuckets = 16;
   static constexpr int kNumBuckets = 64 * kSubBuckets;
 
-  static int BucketFor(uint64_t ns);
+  static int BucketFor(uint64_t ns) {
+    if (ns == 0) {
+      return 0;
+    }
+    const int log2 = 63 - std::countl_zero(ns);
+    int sub = 0;
+    if (log2 > 4) {
+      // Position within the power-of-two range, quantized to kSubBuckets slots.
+      sub = static_cast<int>((ns - (uint64_t{1} << log2)) >> (log2 - 4));
+    }
+    const int bucket = log2 * kSubBuckets + sub;
+    return std::min(bucket, kNumBuckets - 1);
+  }
+
   static uint64_t BucketValue(int bucket);
 
   std::vector<uint64_t> buckets_;

@@ -51,6 +51,8 @@ StatusOr<uint64_t> ActivationTask::ScanOneSegment(uint64_t now_ns) {
   }
 
   std::vector<std::pair<uint64_t, PageHeader>> headers;
+  // Activation scans are background device traffic for latency attribution.
+  NandDevice::BackgroundScope bg(ftl_->device_.get());
   ASSIGN_OR_RETURN(NandOp op, ftl_->device_->ScanSegmentHeaders(seg, now_ns, &headers));
   ++ftl_->stats_.activation_segments_scanned;
   // The scan walks the segment in paddr order, so a chunk-caching cursor resolves the

@@ -282,6 +282,9 @@ StatusOr<IoResult> Ftl::WriteInternal(View* view, uint64_t lba, std::span<const 
   IoResult result;
   result.op = ar.op;
   result.host_ns = host_ns;
+  result.host_map_ns = config_.host_map_lookup_ns + config_.host_map_update_ns;
+  result.host_cow_ns = cow_bytes * config_.host_cow_ns_per_byte;
+  RecordLatency(LatencyOpKind::kWrite, lba, result);
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kUserWrite, issue_ns, result.CompletionNs(), lba,
                    view->view_id);
@@ -303,6 +306,7 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
 
   IoResult result;
   result.host_ns = config_.host_map_lookup_ns;
+  result.host_map_ns = config_.host_map_lookup_ns;
   ++stats_.user_reads;
   stats_.user_bytes_read += config_.nand.page_size_bytes;
 
@@ -325,6 +329,7 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
     }
     result.op = *op;
   }
+  RecordLatency(LatencyOpKind::kRead, lba, result);
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kUserRead, issue_ns, result.CompletionNs(), lba,
                    view.view_id);
@@ -461,6 +466,9 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
       result.host_ns = config_.host_map_lookup_ns + config_.host_map_update_ns +
                        2 * config_.host_bitmap_update_ns +
                        cow_bytes * config_.host_cow_ns_per_byte;
+      result.host_map_ns = config_.host_map_lookup_ns + config_.host_map_update_ns;
+      result.host_cow_ns = cow_bytes * config_.host_cow_ns_per_byte;
+      RecordLatency(LatencyOpKind::kWrite, requests[next + i].lba, result);
       if (trace_ != nullptr) {
         trace_->Record(TraceEventType::kUserWrite, IssueAt(next + i), result.CompletionNs(),
                        requests[next + i].lba, view->view_id);
@@ -511,6 +519,7 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
   for (size_t i = 0; i < lbas.size(); ++i) {
     IoResult& r = results[i];
     r.host_ns = config_.host_map_lookup_ns;
+    r.host_map_ns = config_.host_map_lookup_ns;
     ++stats_.user_reads;
     stats_.user_bytes_read += config_.nand.page_size_bytes;
     const std::optional<uint64_t> paddr = view.map.Lookup(lbas[i]);
@@ -558,6 +567,11 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
           (*data_out)[mapped[k]] = std::move(page);
         }
       }
+    }
+  }
+  if (attributor_ != nullptr) {
+    for (size_t i = 0; i < lbas.size(); ++i) {
+      RecordLatency(LatencyOpKind::kRead, lbas[i], results[i]);
     }
   }
   if (trace_ != nullptr) {
@@ -631,6 +645,8 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
   ++stats_.total_pages_programmed;
 
   uint64_t host_ns = config_.host_note_ns;
+  uint64_t map_ns = 0;
+  uint64_t cow_ns = 0;
   for (uint64_t i = 0; i < count; ++i) {
     const std::optional<uint64_t> old_paddr = view->map.Lookup(lba + i);
     if (old_paddr.has_value()) {
@@ -638,6 +654,8 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
       view->map.Erase(lba + i);
       host_ns += config_.host_map_update_ns + config_.host_bitmap_update_ns +
                  cow * config_.host_cow_ns_per_byte;
+      map_ns += config_.host_map_update_ns;
+      cow_ns += cow * config_.host_cow_ns_per_byte;
     }
   }
   ++stats_.user_trims;
@@ -645,6 +663,9 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
   IoResult result;
   result.op = ar.op;
   result.host_ns = host_ns;
+  result.host_map_ns = map_ns;
+  result.host_cow_ns = cow_ns;
+  RecordLatency(LatencyOpKind::kTrim, lba, result);
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kUserTrim, issue_ns, result.CompletionNs(), lba, count);
   }
@@ -709,6 +730,8 @@ StatusOr<std::vector<IoResult>> Ftl::TrimVAt(std::span<const TrimRequest> reques
       const TrimRequest& r = requests[next + i];
       ++stats_.total_pages_programmed;
       uint64_t host_ns = config_.host_note_ns;
+      uint64_t map_ns = 0;
+      uint64_t cow_ns = 0;
       for (uint64_t j = 0; j < r.count; ++j) {
         const std::optional<uint64_t> old_paddr = view->map.Lookup(r.lba + j);
         if (old_paddr.has_value()) {
@@ -716,6 +739,8 @@ StatusOr<std::vector<IoResult>> Ftl::TrimVAt(std::span<const TrimRequest> reques
           view->map.Erase(r.lba + j);
           host_ns += config_.host_map_update_ns + config_.host_bitmap_update_ns +
                      cow * config_.host_cow_ns_per_byte;
+          map_ns += config_.host_map_update_ns;
+          cow_ns += cow * config_.host_cow_ns_per_byte;
         }
       }
       ++stats_.user_trims;
@@ -723,6 +748,9 @@ StatusOr<std::vector<IoResult>> Ftl::TrimVAt(std::span<const TrimRequest> reques
       IoResult result;
       result.op = ars[i].op;
       result.host_ns = host_ns;
+      result.host_map_ns = map_ns;
+      result.host_cow_ns = cow_ns;
+      RecordLatency(LatencyOpKind::kTrim, r.lba, result);
       if (trace_ != nullptr) {
         trace_->Record(TraceEventType::kUserTrim, IssueAt(next + i), result.CompletionNs(),
                        r.lba, r.count);

@@ -43,17 +43,38 @@
 #include "src/ftl/sharded_map.h"
 #include "src/ftl/validity_map.h"
 #include "src/nand/nand_device.h"
+#include "src/obs/latency.h"
 #include "src/obs/trace.h"
 
 namespace iosnap {
 
 // Completion record for one FTL operation: device-time window plus host CPU time.
+// `host_map_ns`/`host_cow_ns` break host_ns down for latency attribution: they are
+// accumulated from the same terms that are summed into host_ns at each charge site,
+// so host_map_ns + host_cow_ns <= host_ns always holds exactly (the remainder is the
+// op's other host work: trim notes, bitmap flips, ...). The device-side breakdown
+// rides on `op` (see NandOp).
 struct IoResult {
   NandOp op;            // Device window (issue -> finish). finish==issue for cache-only ops.
   uint64_t host_ns = 0; // Host CPU time charged to this op.
+  uint64_t host_map_ns = 0;  // Forward-map share of host_ns (lookup + update).
+  uint64_t host_cow_ns = 0;  // Validity-CoW share of host_ns.
 
   uint64_t LatencyNs() const { return (op.finish_ns - op.issue_ns) + host_ns; }
   uint64_t CompletionNs() const { return op.finish_ns + host_ns; }
+
+  // The seven-span attribution of LatencyNs(); components sum to it bit-exactly.
+  LatencySpans Spans() const {
+    LatencySpans s;
+    s[LatencySpan::kQueueWait] = op.FgWaitNs();
+    s[LatencySpan::kGcWait] = op.bg_wait_ns;
+    s[LatencySpan::kBus] = op.bus_ns;
+    s[LatencySpan::kCell] = op.cell_ns;
+    s[LatencySpan::kMap] = host_map_ns;
+    s[LatencySpan::kCow] = host_cow_ns;
+    s[LatencySpan::kHostOther] = host_ns - host_map_ns - host_cow_ns;
+    return s;
+  }
 };
 
 struct SnapshotOpResult {
@@ -103,6 +124,12 @@ class Ftl {
   // already computed, so behaviour and reported latencies are unchanged.
   void SetTraceRecorder(TraceRecorder* trace);
   TraceRecorder* trace_recorder() const { return trace_; }
+  // Attaches (or detaches, with nullptr) a latency attributor. Same discipline as the
+  // trace recorder: a nullptr-guarded sink fed values the data path already computed,
+  // so runs are bit-identical with attribution on or off. Every completed user data op
+  // (write/read/trim, scalar or vectored, any view) records exactly one SpanRecord.
+  void SetLatencyAttributor(LatencyAttributor* attributor) { attributor_ = attributor; }
+  LatencyAttributor* latency_attributor() const { return attributor_; }
   const NandDevice& device() const { return *device_; }
   const SnapshotTree& snapshot_tree() const { return tree_; }
   const ValidityMap& validity() const { return validity_; }
@@ -322,6 +349,16 @@ class Ftl {
   std::vector<std::pair<uint64_t, uint64_t>> gc_relocations_;
   bool closed_ = false;
   TraceRecorder* trace_ = nullptr;
+  LatencyAttributor* attributor_ = nullptr;
+
+  // One call per completed user data op, at the IoResult construction site. Tick()
+  // runs before Spans() so a stride-sampled attributor skips span assembly too.
+  void RecordLatency(LatencyOpKind kind, uint64_t lba, const IoResult& result) {
+    if (attributor_ != nullptr && attributor_->Tick()) {
+      attributor_->Record(kind, lba, result.op.issue_ns, result.CompletionNs(),
+                          result.Spans());
+    }
+  }
 
   void MaybeClearRelocations() {
     if (activations_.empty()) {

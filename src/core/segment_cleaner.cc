@@ -123,6 +123,9 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   if (victim_.has_value()) {
     return true;
   }
+  // Everything the victim scan touches on the device (header scan, tree-summary
+  // append) is background traffic for latency attribution.
+  NandDevice::BackgroundScope bg(ftl_->device_.get());
   const std::optional<uint64_t> seg = SelectVictim(now_ns);
   if (!seg.has_value()) {
     return false;
@@ -402,6 +405,9 @@ StatusOr<uint64_t> SegmentCleaner::Step(uint64_t now_ns, uint64_t max_pages) {
   if (!victim_.has_value()) {
     return now_ns;
   }
+  // Copy-forward reads/appends, trim-summary flushes, and the release erase are all
+  // background device traffic for latency attribution.
+  NandDevice::BackgroundScope bg(ftl_->device_.get());
   uint64_t t = now_ns;
   uint64_t copied = 0;
   while (victim_->cursor < victim_->entries.size() && copied < max_pages) {

@@ -79,7 +79,8 @@ NandDevice::NandDevice(const NandConfig& config)
       fault_(config.fault),
       pages_(config.TotalPages()),
       segments_(config.num_segments),
-      channel_busy_until_(config.num_channels, 0) {
+      channel_busy_until_(config.num_channels, 0),
+      channel_bg_until_(config.num_channels, 0) {
   IOSNAP_CHECK(config.num_channels > 0);
   IOSNAP_CHECK(config.pages_per_segment > 0);
   IOSNAP_CHECK(config.num_segments > 0);
@@ -90,17 +91,39 @@ NandDevice::NandDevice(const NandConfig& config)
   }
 }
 
-uint64_t NandDevice::Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns,
-                            uint64_t cell_ns) {
-  uint64_t start = std::max(issue_ns, channel_busy_until_[channel]);
+NandOp NandDevice::Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns,
+                          uint64_t cell_ns) {
+  NandOp op;
+  op.issue_ns = issue_ns;
+  op.bus_ns = bus_ns;
+  op.cell_ns = cell_ns;
+
+  const uint64_t chan_start = std::max(issue_ns, channel_busy_until_[channel]);
+  op.chan_wait_ns = chan_start - issue_ns;
+  // Background share of the channel wait: time spent before the channel's
+  // background horizon passed. Clamped arithmetic only — timing is untouched.
+  op.bg_wait_ns =
+      std::min(chan_start, std::max(issue_ns, channel_bg_until_[channel])) - issue_ns;
+
+  uint64_t start = chan_start;
   if (bus_ns > 0) {
     const uint64_t bus_start = std::max(start, bus_busy_until_);
+    op.bus_wait_ns = bus_start - start;
+    op.bg_wait_ns +=
+        std::min(bus_start, std::max(start, bus_bg_until_)) - start;
     bus_busy_until_ = bus_start + bus_ns;
+    if (background_depth_ > 0) {
+      bus_bg_until_ = bus_busy_until_;
+    }
     start = bus_start + bus_ns;
   }
   const uint64_t finish = start + cell_ns;
   channel_busy_until_[channel] = finish;
-  return finish;
+  if (background_depth_ > 0) {
+    channel_bg_until_[channel] = finish;
+  }
+  op.finish_ns = finish;
+  return op;
 }
 
 StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& header,
@@ -179,10 +202,8 @@ StatusOr<NandOp> NandDevice::ProgramCommit(uint64_t segment, const PageHeader& h
   ++stats_.pages_programmed;
   stats_.bytes_programmed += config_.page_size_bytes;
 
-  NandOp op;
-  op.issue_ns = issue_ns;
-  op.finish_ns = Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page,
-                        config_.program_ns);
+  const NandOp op =
+      Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.program_ns);
   if (paddr_out != nullptr) {
     *paddr_out = paddr;
   }
@@ -288,12 +309,8 @@ StatusOr<NandOp> NandDevice::ReadCommit(uint64_t paddr, uint64_t issue_ns,
   ++stats_.pages_read;
   stats_.bytes_read += config_.page_size_bytes;
 
-  NandOp op;
-  op.issue_ns = issue_ns;
   // Read: cell sense first, then bus transfer; modeled as serialized occupancy.
-  op.finish_ns =
-      Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.read_ns);
-  return op;
+  return Occupy(ChannelOfPage(paddr), issue_ns, config_.bus_ns_per_page, config_.read_ns);
 }
 
 Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns,
@@ -396,11 +413,8 @@ StatusOr<NandOp> NandDevice::ReadHeader(uint64_t paddr, uint64_t issue_ns,
   }
   ++stats_.headers_scanned;
 
-  NandOp op;
-  op.issue_ns = issue_ns;
   // A single OOB read still pays a cell sense but no page-size bus transfer.
-  op.finish_ns = Occupy(ChannelOfPage(paddr), issue_ns, 0, config_.read_ns);
-  return op;
+  return Occupy(ChannelOfPage(paddr), issue_ns, 0, config_.read_ns);
 }
 
 StatusOr<NandOp> NandDevice::ScanSegmentHeaders(
@@ -433,11 +447,8 @@ StatusOr<NandOp> NandDevice::ScanSegmentHeaders(
   }
   stats_.headers_scanned += scanned;
 
-  NandOp op;
-  op.issue_ns = issue_ns;
-  op.finish_ns = Occupy(ChannelOfSegment(segment), issue_ns, 0,
-                        scanned * config_.header_scan_ns_per_page);
-  return op;
+  return Occupy(ChannelOfSegment(segment), issue_ns, 0,
+                scanned * config_.header_scan_ns_per_page);
 }
 
 StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
@@ -481,9 +492,7 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
   max_erase_count_ = std::max(max_erase_count_, seg.erase_count);
   ++stats_.segments_erased;
 
-  NandOp op;
-  op.issue_ns = issue_ns;
-  op.finish_ns = Occupy(ChannelOfSegment(segment), issue_ns, 0, config_.erase_ns);
+  const NandOp op = Occupy(ChannelOfSegment(segment), issue_ns, 0, config_.erase_ns);
   if (trace_ != nullptr) {
     trace_->Record(TraceEventType::kNandErase, op.issue_ns, op.finish_ns, segment,
                    seg.erase_count);

@@ -28,12 +28,27 @@
 
 namespace iosnap {
 
-// Completion report for a single device operation.
+// Completion report for a single device operation. Besides the issue/finish pair the
+// device decomposes where the time went; the four span fields are filled inside
+// Occupy() from the same arithmetic that produces finish_ns, so
+//   chan_wait_ns + bus_wait_ns + bus_ns + cell_ns == finish_ns - issue_ns
+// holds bit-exactly for every op. `bg_wait_ns` is the portion of the two wait spans
+// that was spent behind background traffic (GC, activation, rate-limited bursts); it
+// is always <= chan_wait_ns + bus_wait_ns. Synthetic ops (issue == finish) carry
+// all-zero spans.
 struct NandOp {
   uint64_t issue_ns = 0;   // When the caller issued the op.
   uint64_t finish_ns = 0;  // When the device completed it.
 
+  uint64_t chan_wait_ns = 0;  // Queued behind earlier ops on the same channel.
+  uint64_t bus_wait_ns = 0;   // Queued for the shared transfer bus.
+  uint64_t bus_ns = 0;        // Actual bus transfer time.
+  uint64_t cell_ns = 0;       // Cell program/read/erase/scan time.
+  uint64_t bg_wait_ns = 0;    // Share of the waits caused by background occupancy.
+
   uint64_t LatencyNs() const { return finish_ns - issue_ns; }
+  // Foreground contention share of the wait (other user ops on the channel/bus).
+  uint64_t FgWaitNs() const { return chan_wait_ns + bus_wait_ns - bg_wait_ns; }
 };
 
 // Cumulative device counters.
@@ -165,6 +180,30 @@ class NandDevice {
   // Optional flight-recorder hook (erase events); nullptr (the default) disables it.
   void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
 
+  // --- Background-op classification (latency attribution) ---
+  //
+  // While a BackgroundScope is alive, every op the device serves is classified as
+  // background traffic: its occupancy extends per-channel and bus *background* busy
+  // horizons (shadow copies of the real horizons — they never influence timing).
+  // Foreground ops later split their waits against those horizons into a
+  // GC/activation-interference share (NandOp::bg_wait_ns). Pure bookkeeping: issue
+  // and finish times are identical whether or not any scope was ever opened.
+  class BackgroundScope {
+   public:
+    explicit BackgroundScope(NandDevice* device) : device_(device) {
+      if (device_ != nullptr) ++device_->background_depth_;
+    }
+    ~BackgroundScope() {
+      if (device_ != nullptr) --device_->background_depth_;
+    }
+    BackgroundScope(const BackgroundScope&) = delete;
+    BackgroundScope& operator=(const BackgroundScope&) = delete;
+
+   private:
+    NandDevice* device_;
+  };
+  bool InBackgroundScope() const { return background_depth_ > 0; }
+
   // Earliest time at which the whole device is idle (max over channels and bus). Workload
   // drivers use this to convert a stream of async writes into sustained bandwidth.
   uint64_t DrainTimeNs() const;
@@ -190,8 +229,9 @@ class NandDevice {
     return static_cast<uint32_t>(segment % config_.num_channels);
   }
 
-  // Serializes an op through a channel and (optionally) the shared bus; returns finish time.
-  uint64_t Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns, uint64_t cell_ns);
+  // Serializes an op through a channel and (optionally) the shared bus. Returns the
+  // completed NandOp with its span decomposition filled in (see NandOp).
+  NandOp Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns, uint64_t cell_ns);
 
   // Post-validation single-page bodies shared by the scalar and batch entry points.
   // These run the fault gates: crash check, injected program/read failures, silent
@@ -214,6 +254,11 @@ class NandDevice {
   std::vector<SegmentState> segments_;
   std::vector<uint64_t> channel_busy_until_;
   uint64_t bus_busy_until_ = 0;
+  // Shadow horizons advanced only by ops served under a BackgroundScope; read-only
+  // inputs to the bg_wait_ns attribution of foreground ops. Never affect timing.
+  std::vector<uint64_t> channel_bg_until_;
+  uint64_t bus_bg_until_ = 0;
+  uint64_t background_depth_ = 0;
   uint64_t max_erase_count_ = 0;
   NandStats stats_;
   TraceRecorder* trace_ = nullptr;

@@ -59,7 +59,7 @@ void MetricsRegistry::RegisterHistogram(const std::string& name,
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
   std::vector<Sample> out;
-  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 6);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 7);
   for (const Counter& c : counters_) {
     Sample s;
     s.name = c.name;
@@ -91,6 +91,7 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
     integer(".p50_ns", h.hist->PercentileNs(50));
     integer(".p90_ns", h.hist->PercentileNs(90));
     integer(".p99_ns", h.hist->PercentileNs(99));
+    integer(".p999_ns", h.hist->PercentileNs(99.9));
     integer(".max_ns", h.hist->MaxNs());
   }
   return out;

@@ -8,7 +8,7 @@
 //
 // Names use dotted components ("ftl.gc_pages_copied", "nand.segments_erased");
 // histograms flatten into ".count", ".mean_ns", ".p50_ns", ".p90_ns", ".p99_ns",
-// ".max_ns" sub-metrics at snapshot time.
+// ".p999_ns", ".max_ns" sub-metrics at snapshot time.
 
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_

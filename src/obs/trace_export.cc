@@ -29,38 +29,88 @@ const char* const kTrackNames[kNumTracks] = {
     "validity cow",  "rate limiting", "nand device", "lifecycle",
 };
 
-// Indexed by TraceEventType; order must match the enum.
-const TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
-    {"user_write", "io", kTrackIo, {"lba", "view_id", nullptr}},
-    {"user_read", "io", kTrackIo, {"lba", "view_id", nullptr}},
-    {"user_trim", "io", kTrackIo, {"lba", "count", nullptr}},
-    {"user_batch", "io", kTrackIo, {"batch_ops", "view_id", nullptr}},
-    {"snap_create", "snapshot", kTrackSnapshot, {"snap_id", "frozen_epoch", nullptr}},
-    {"snap_delete", "snapshot", kTrackSnapshot, {"snap_id", "epoch", nullptr}},
-    {"snap_rollback", "snapshot", kTrackSnapshot, {"snap_id", "new_epoch", nullptr}},
-    {"snap_deactivate", "snapshot", kTrackSnapshot, {"snap_id", "view_id", nullptr}},
-    {"activate_begin", "activation", kTrackActivation, {"snap_id", "view_id", nullptr}},
-    {"activation_burst", "activation", kTrackActivation,
-     {"view_id", "segments_scanned", nullptr}},
-    {"activate_end", "activation", kTrackActivation, {"view_id", "map_entries", nullptr}},
-    {"gc_victim_select", "gc", kTrackGc,
+// Indexed by TraceEventType. Each entry leads with the enumerator it describes;
+// EventInfoTableInSync() below proves at compile time that the table is complete, in
+// enum order, and well-formed.
+constexpr TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
+    {TraceEventType::kUserWrite, "user_write", "io", kTrackIo,
+     {"lba", "view_id", nullptr}},
+    {TraceEventType::kUserRead, "user_read", "io", kTrackIo,
+     {"lba", "view_id", nullptr}},
+    {TraceEventType::kUserTrim, "user_trim", "io", kTrackIo, {"lba", "count", nullptr}},
+    {TraceEventType::kUserBatch, "user_batch", "io", kTrackIo,
+     {"batch_ops", "view_id", nullptr}},
+    {TraceEventType::kSnapCreate, "snap_create", "snapshot", kTrackSnapshot,
+     {"snap_id", "frozen_epoch", nullptr}},
+    {TraceEventType::kSnapDelete, "snap_delete", "snapshot", kTrackSnapshot,
+     {"snap_id", "epoch", nullptr}},
+    {TraceEventType::kSnapRollback, "snap_rollback", "snapshot", kTrackSnapshot,
+     {"snap_id", "new_epoch", nullptr}},
+    {TraceEventType::kSnapDeactivate, "snap_deactivate", "snapshot", kTrackSnapshot,
+     {"snap_id", "view_id", nullptr}},
+    {TraceEventType::kActivateBegin, "activate_begin", "activation", kTrackActivation,
+     {"snap_id", "view_id", nullptr}},
+    {TraceEventType::kActivationBurst, "activation_burst", "activation",
+     kTrackActivation, {"view_id", "segments_scanned", nullptr}},
+    {TraceEventType::kActivateEnd, "activate_end", "activation", kTrackActivation,
+     {"view_id", "map_entries", nullptr}},
+    {TraceEventType::kGcVictimSelect, "gc_victim_select", "gc", kTrackGc,
      {"segment", "merged_valid_pages", "free_segments"}},
-    {"gc_copy_forward", "gc", kTrackGc, {"lba", "old_paddr", "new_paddr"}},
-    {"gc_segment_erase", "gc", kTrackGc, {"segment", nullptr, nullptr}},
-    {"gc_inline_stall", "gc", kTrackGc, {"stall_round", nullptr, nullptr}},
-    {"validity_cow_chunk", "validity", kTrackValidity, {"chunk_index", "bytes", "epoch"}},
-    {"rate_limit_sleep", "pacing", kTrackPacing, {"sleep_ns", nullptr, nullptr}},
-    {"nand_erase", "device", kTrackDevice, {"segment", "erase_count", nullptr}},
-    {"checkpoint_write", "lifecycle", kTrackLifecycle, {"pages", nullptr, nullptr}},
-    {"recovery", "lifecycle", kTrackLifecycle,
+    {TraceEventType::kGcCopyForward, "gc_copy_forward", "gc", kTrackGc,
+     {"lba", "old_paddr", "new_paddr"}},
+    {TraceEventType::kGcSegmentErase, "gc_segment_erase", "gc", kTrackGc,
+     {"segment", nullptr, nullptr}},
+    {TraceEventType::kGcInlineStall, "gc_inline_stall", "gc", kTrackGc,
+     {"stall_round", nullptr, nullptr}},
+    {TraceEventType::kValidityCowChunk, "validity_cow_chunk", "validity", kTrackValidity,
+     {"chunk_index", "bytes", "epoch"}},
+    {TraceEventType::kRateLimiterSleep, "rate_limit_sleep", "pacing", kTrackPacing,
+     {"sleep_ns", nullptr, nullptr}},
+    {TraceEventType::kNandErase, "nand_erase", "device", kTrackDevice,
+     {"segment", "erase_count", nullptr}},
+    {TraceEventType::kCheckpointWrite, "checkpoint_write", "lifecycle", kTrackLifecycle,
+     {"pages", nullptr, nullptr}},
+    {TraceEventType::kRecoveryRun, "recovery", "lifecycle", kTrackLifecycle,
      {"from_checkpoint", "map_entries", nullptr}},
-    {"fault_injected", "device", kTrackDevice, {"kind", "where", "op_index"}},
-    {"segment_retired", "device", kTrackDevice, {"segment", "erase_count", nullptr}},
-    {"read_retry", "device", kTrackDevice, {"paddr", "attempt", nullptr}},
-    {"queue_submit", "io", kTrackIo, {"queue", "ops", "submission_id"}},
-    {"queue_flush", "io", kTrackIo, {"pending_ops", "merged_runs", nullptr}},
-    {"queue_complete", "io", kTrackIo, {"queue", "op_id", "lba"}},
+    {TraceEventType::kFaultInjected, "fault_injected", "device", kTrackDevice,
+     {"kind", "where", "op_index"}},
+    {TraceEventType::kSegmentRetired, "segment_retired", "device", kTrackDevice,
+     {"segment", "erase_count", nullptr}},
+    {TraceEventType::kReadRetry, "read_retry", "device", kTrackDevice,
+     {"paddr", "attempt", nullptr}},
+    {TraceEventType::kQueueSubmit, "queue_submit", "io", kTrackIo,
+     {"queue", "ops", "submission_id"}},
+    {TraceEventType::kQueueFlush, "queue_flush", "io", kTrackIo,
+     {"pending_ops", "merged_runs", nullptr}},
+    {TraceEventType::kQueueComplete, "queue_complete", "io", kTrackIo,
+     {"queue", "op_id", "lba"}},
 };
+
+// Compile-time proof that every enumerator has a well-formed table entry: self-id
+// matches the index (enum order), non-empty name, a category, a known track, and arg
+// labels that are contiguous (no hole before a later label).
+consteval bool EventInfoTableInSync() {
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    const TraceEventInfo& info = kEventInfo[i];
+    if (info.type != static_cast<TraceEventType>(i)) return false;
+    if (info.name == nullptr || info.name[0] == '\0') return false;
+    if (info.category == nullptr || info.category[0] == '\0') return false;
+    if (info.track < 0 || info.track >= kNumTracks) return false;
+    bool ended = false;
+    for (int a = 0; a < 3; ++a) {
+      if (info.arg_names[a] == nullptr) {
+        ended = true;
+      } else if (ended || info.arg_names[a][0] == '\0') {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+static_assert(EventInfoTableInSync(),
+              "kEventInfo is out of sync with TraceEventType: every enumerator needs "
+              "an in-order entry with a name, category, track, and contiguous arg "
+              "labels");
 
 void AppendU64(std::string* out, uint64_t v) {
   char buf[20];
@@ -99,6 +149,23 @@ const TraceEventInfo& TraceEventInfoFor(TraceEventType type) {
   const size_t index = static_cast<size_t>(type);
   IOSNAP_CHECK(index < kNumTraceEventTypes);
   return kEventInfo[index];
+}
+
+std::string CsvEscape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
 }
 
 void ExportChromeTrace(const TraceRecorder& recorder, std::ostream& os) {
@@ -164,11 +231,15 @@ void ExportTraceCsv(const TraceRecorder& recorder, std::ostream& os) {
   CsvPerType per_type[kNumTraceEventTypes];
   for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
     const TraceEventInfo& info = kEventInfo[i];
-    per_type[i].prefix = std::string(info.name) + "," + info.category + ",";
+    per_type[i].prefix = CsvEscape(info.name) + "," + CsvEscape(info.category) + ",";
+    std::string names;
     for (int a = 0; a < 3 && info.arg_names[a] != nullptr; ++a) {
-      per_type[i].names += (a > 0 ? ";" : "");
-      per_type[i].names += info.arg_names[a];
+      names += (a > 0 ? ";" : "");
+      names += info.arg_names[a];
     }
+    // The ';' join is the column's own sub-separator; escaping guards the CSV framing
+    // (commas/quotes/newlines) around it.
+    per_type[i].names = CsvEscape(names);
   }
 
   std::string out;

@@ -13,13 +13,19 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "src/obs/trace.h"
 
 namespace iosnap {
 
-// Static description of one event type (exporter metadata).
+// Static description of one event type (exporter metadata). The leading `type` field
+// self-identifies each table entry so a compile-time check (trace_export.cc) can prove
+// the table covers every TraceEventType enumerator, in enum order, with a name and
+// contiguous arg labels — adding an enumerator without exporter metadata no longer
+// compiles.
 struct TraceEventInfo {
+  TraceEventType type;       // The enumerator this entry describes.
   const char* name;          // Chrome event name, e.g. "gc_copy_forward".
   const char* category;      // Chrome "cat" field, e.g. "gc".
   int track;                 // Synthetic tid grouping related events.
@@ -27,6 +33,11 @@ struct TraceEventInfo {
 };
 
 const TraceEventInfo& TraceEventInfoFor(TraceEventType type);
+
+// RFC 4180 CSV field escaping: fields containing a comma, double quote, CR, or LF are
+// wrapped in double quotes with embedded quotes doubled; all other fields pass through
+// unchanged. Shared by the trace and latency-span CSV writers.
+std::string CsvEscape(std::string_view field);
 
 // Writes the full Chrome trace JSON object ({"traceEvents": [...], ...}).
 void ExportChromeTrace(const TraceRecorder& recorder, std::ostream& os);

@@ -118,6 +118,9 @@ StatusOr<RunResult> Runner::RunQueued(Workload* workload, uint64_t ops,
     if (options.after_op) {
       options.after_op(result.ops - 1, c.CompletionNs());
     }
+    if (options.sampler != nullptr) {
+      options.sampler->MaybeSample(c.CompletionNs());
+    }
   };
 
   uint64_t issued = 0;
@@ -256,6 +259,9 @@ StatusOr<RunResult> Runner::Run(Workload* workload, uint64_t ops, const RunOptio
         if (options.after_op) {
           options.after_op(result.ops - 1, batch_end);
         }
+        if (options.sampler != nullptr) {
+          options.sampler->MaybeSample(io.CompletionNs());
+        }
       }
       clock_->AdvanceTo(batch_end);
     }
@@ -293,6 +299,9 @@ StatusOr<RunResult> Runner::Run(Workload* workload, uint64_t ops, const RunOptio
       ++issued;
       if (options.after_op) {
         options.after_op(result.ops - 1, batch_end);
+      }
+      if (options.sampler != nullptr) {
+        options.sampler->MaybeSample(io.CompletionNs());
       }
     }
     clock_->AdvanceTo(batch_end);

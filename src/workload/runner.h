@@ -24,6 +24,7 @@
 #include "src/common/status.h"
 #include "src/core/ftl.h"
 #include "src/core/io_queue.h"
+#include "src/obs/metrics_sampler.h"
 #include "src/workload/workload.h"
 
 namespace iosnap {
@@ -87,6 +88,9 @@ struct RunOptions {
   // Invoked after each completed op with (op index, virtual now). Benchmarks use this to
   // create snapshots on a cadence, start activations, etc.
   std::function<void(uint64_t index, uint64_t now_ns)> after_op;
+  // Optional periodic metric sampler, offered each op's completion time (virtual
+  // clock); nullptr (the default) disables time-series sampling.
+  MetricsSampler* sampler = nullptr;
 };
 
 struct RunResult {

@@ -1,0 +1,184 @@
+#include "src/obs/latency.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_sampler.h"
+
+namespace iosnap {
+namespace {
+
+LatencySpans MakeSpans(uint64_t queue_wait, uint64_t gc_wait, uint64_t bus,
+                       uint64_t cell, uint64_t map, uint64_t cow, uint64_t host_other) {
+  LatencySpans spans;
+  spans[LatencySpan::kQueueWait] = queue_wait;
+  spans[LatencySpan::kGcWait] = gc_wait;
+  spans[LatencySpan::kBus] = bus;
+  spans[LatencySpan::kCell] = cell;
+  spans[LatencySpan::kMap] = map;
+  spans[LatencySpan::kCow] = cow;
+  spans[LatencySpan::kHostOther] = host_other;
+  return spans;
+}
+
+TEST(LatencySpanTest, NamesCoverEverySpanAndKind) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kNumLatencySpans; ++i) {
+    names.push_back(LatencySpanName(static_cast<LatencySpan>(i)));
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"queue_wait", "gc_wait", "bus", "cell",
+                                             "map", "cow", "host_other"}));
+  EXPECT_STREQ(LatencyOpKindName(LatencyOpKind::kWrite), "write");
+  EXPECT_STREQ(LatencyOpKindName(LatencyOpKind::kRead), "read");
+  EXPECT_STREQ(LatencyOpKindName(LatencyOpKind::kTrim), "trim");
+}
+
+TEST(LatencyAttributorTest, RecordAccumulatesHistogramsAndTotals) {
+  LatencyAttributor attributor(16);
+  const LatencySpans a = MakeSpans(10, 5, 3, 50, 7, 0, 2);  // 77 total.
+  const LatencySpans b = MakeSpans(0, 0, 3, 20, 4, 0, 0);   // 27 total.
+  attributor.Record(LatencyOpKind::kWrite, 1, 1000, 1077, a);
+  attributor.Record(LatencyOpKind::kRead, 2, 2000, 2027, b);
+
+  EXPECT_EQ(attributor.ops(), 2u);
+  EXPECT_EQ(attributor.size(), 2u);
+  EXPECT_EQ(attributor.dropped(), 0u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kQueueWait), 10u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kGcWait), 5u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kBus), 6u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kCell), 70u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kMap), 11u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kCow), 0u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kHostOther), 2u);
+  // Span histograms see every op (zeros included), e2e histograms split by kind.
+  EXPECT_EQ(attributor.SpanHistogram(LatencySpan::kCow).count(), 2u);
+  EXPECT_EQ(attributor.EndToEndHistogram(LatencyOpKind::kWrite).count(), 1u);
+  EXPECT_EQ(attributor.EndToEndHistogram(LatencyOpKind::kWrite).MaxNs(), 77u);
+  EXPECT_EQ(attributor.EndToEndHistogram(LatencyOpKind::kRead).MaxNs(), 27u);
+  EXPECT_EQ(attributor.EndToEndHistogram(LatencyOpKind::kTrim).count(), 0u);
+
+  const std::vector<SpanRecord> records = attributor.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 0u);
+  EXPECT_EQ(records[0].kind, LatencyOpKind::kWrite);
+  EXPECT_EQ(records[0].TotalNs(), 77u);
+  EXPECT_EQ(records[0].spans.TotalNs(), 77u);
+  EXPECT_EQ(records[1].lba, 2u);
+}
+
+TEST(LatencyAttributorTest, RingDropsOldestButKeepsAggregates) {
+  LatencyAttributor attributor(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    attributor.Record(LatencyOpKind::kWrite, i, i * 100, i * 100 + 7,
+                      MakeSpans(0, 0, 0, 7, 0, 0, 0));
+  }
+  EXPECT_EQ(attributor.ops(), 10u);
+  EXPECT_EQ(attributor.size(), 4u);
+  EXPECT_EQ(attributor.dropped(), 6u);
+  // Aggregates cover all 10 ops, not just the retained ring.
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kCell), 70u);
+  EXPECT_EQ(attributor.EndToEndHistogram(LatencyOpKind::kWrite).count(), 10u);
+  // The ring unwraps oldest-first: seq 6..9 survive.
+  const std::vector<SpanRecord> records = attributor.Records();
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 6 + i);
+    EXPECT_EQ(records[i].lba, 6 + i);
+  }
+}
+
+TEST(LatencyAttributorTest, CsvRowsCarryExactSums) {
+  LatencyAttributor attributor(8);
+  attributor.Record(LatencyOpKind::kTrim, 42, 500, 577, MakeSpans(10, 5, 3, 50, 7, 0, 2));
+  const std::string csv = attributor.ToCsv();
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "seq,kind,lba,issue_ns,complete_ns,total_ns,queue_wait_ns,gc_wait_ns,"
+            "bus_ns,cell_ns,map_ns,cow_ns,host_other_ns");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "0,trim,42,500,577,77,10,5,3,50,7,0,2");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(LatencyAttributorTest, RegisterMetricsExposesSpansAndTotals) {
+  LatencyAttributor attributor(8);
+  attributor.Record(LatencyOpKind::kWrite, 1, 0, 77, MakeSpans(10, 5, 3, 50, 7, 0, 2));
+  MetricsRegistry registry;
+  attributor.RegisterMetrics(&registry);
+  std::map<std::string, uint64_t> integers;
+  for (const MetricsRegistry::Sample& s : registry.Snapshot()) {
+    if (s.is_integer) {
+      integers[s.name] = s.u64;
+    }
+  }
+  EXPECT_EQ(integers.at("lat.ops"), 1u);
+  EXPECT_EQ(integers.at("lat.records_dropped"), 0u);
+  EXPECT_EQ(integers.at("lat.span.queue_wait.total_ns"), 10u);
+  EXPECT_EQ(integers.at("lat.span.gc_wait.total_ns"), 5u);
+  EXPECT_EQ(integers.at("lat.span.cell.count"), 1u);
+  EXPECT_EQ(integers.at("lat.span.cell.max_ns"), 50u);
+  EXPECT_EQ(integers.at("lat.e2e.write.count"), 1u);
+  EXPECT_EQ(integers.at("lat.e2e.write.max_ns"), 77u);
+  EXPECT_EQ(integers.at("lat.e2e.read.count"), 0u);
+}
+
+TEST(LatencyAttributorTest, ClearResets) {
+  LatencyAttributor attributor(4);
+  attributor.Record(LatencyOpKind::kWrite, 1, 0, 10, MakeSpans(0, 0, 0, 10, 0, 0, 0));
+  attributor.Clear();
+  EXPECT_EQ(attributor.ops(), 0u);
+  EXPECT_EQ(attributor.size(), 0u);
+  EXPECT_EQ(attributor.SpanTotalNs(LatencySpan::kCell), 0u);
+  EXPECT_EQ(attributor.EndToEndHistogram(LatencyOpKind::kWrite).count(), 0u);
+  EXPECT_TRUE(attributor.Records().empty());
+}
+
+TEST(MetricsSamplerTest, SamplesOnIntervalBoundaries) {
+  uint64_t counter = 0;
+  MetricsRegistry registry;
+  registry.RegisterCounter("test.counter", &counter);
+  MetricsSampler sampler(&registry, 100);
+
+  counter = 1;
+  sampler.MaybeSample(50);  // First call always samples; next due at 150.
+  counter = 2;
+  sampler.MaybeSample(149);  // Too soon.
+  sampler.MaybeSample(150);  // Samples; next due at 250.
+  counter = 3;
+  sampler.MaybeSample(200);  // Too soon.
+  sampler.MaybeSample(700);  // Samples (idle gap produces no fabricated rows).
+  EXPECT_EQ(sampler.samples(), 3u);
+
+  std::istringstream in(sampler.ToCsv());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "t_ns,test.counter");
+  std::vector<std::string> rows;
+  while (std::getline(in, line)) {
+    rows.push_back(line);
+  }
+  EXPECT_EQ(rows, (std::vector<std::string>{"50,1", "150,2", "700,3"}));
+}
+
+TEST(MetricsSamplerTest, WideCsvCoversHistogramColumns) {
+  LatencyHistogram hist;
+  hist.Add(1000);
+  MetricsRegistry registry;
+  registry.RegisterHistogram("lat", &hist);
+  MetricsSampler sampler(&registry, 10);
+  sampler.MaybeSample(5);
+  const std::string csv = sampler.ToCsv();
+  EXPECT_NE(csv.find("lat.count"), std::string::npos);
+  EXPECT_NE(csv.find("lat.p999_ns"), std::string::npos);
+  EXPECT_NE(csv.find("lat.max_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iosnap

@@ -30,15 +30,16 @@ TEST(MetricsRegistryTest, GaugesAndHistogramsFlatten) {
   registry.RegisterHistogram("run.latency", &hist);
   EXPECT_EQ(registry.MetricCount(), 2u);
   const auto samples = registry.Snapshot();
-  // 1 gauge + 6 flattened histogram sub-metrics.
-  ASSERT_EQ(samples.size(), 7u);
+  // 1 gauge + 7 flattened histogram sub-metrics.
+  ASSERT_EQ(samples.size(), 8u);
   EXPECT_EQ(samples[0].name, "wear.mean");
   EXPECT_DOUBLE_EQ(samples[0].value, 2.5);
   EXPECT_EQ(samples[1].name, "run.latency.count");
   EXPECT_EQ(samples[1].u64, 2u);
   EXPECT_EQ(samples[3].name, "run.latency.p50_ns");
-  EXPECT_EQ(samples[6].name, "run.latency.max_ns");
-  EXPECT_EQ(samples[6].u64, 3000u);
+  EXPECT_EQ(samples[6].name, "run.latency.p999_ns");
+  EXPECT_EQ(samples[7].name, "run.latency.max_ns");
+  EXPECT_EQ(samples[7].u64, 3000u);
 }
 
 TEST(MetricsRegistryTest, JsonAndCsvRenderEveryMetric) {

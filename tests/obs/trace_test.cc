@@ -1,7 +1,9 @@
 #include "src/obs/trace.h"
 
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -230,6 +232,127 @@ TEST(TraceExportTest, EveryTypeHasInfo) {
     EXPECT_STRNE(info.name, "");
     EXPECT_NE(info.category, nullptr);
   }
+}
+
+// Runtime mirror of the consteval EventInfoTableInSync() proof in trace_export.cc:
+// every enumerator's entry self-identifies (catches reordered rows), names are unique
+// (catches copy-paste duplicates, which the compile-time check can't see), and arg
+// labels are contiguous.
+TEST(TraceExportTest, EventInfoTableMatchesEnum) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    const TraceEventType type = static_cast<TraceEventType>(i);
+    const TraceEventInfo& info = TraceEventInfoFor(type);
+    EXPECT_EQ(info.type, type) << "entry " << i << " (" << info.name
+                               << ") is out of order";
+    EXPECT_TRUE(names.insert(info.name).second) << "duplicate name " << info.name;
+    bool ended = false;
+    for (int a = 0; a < 3; ++a) {
+      if (info.arg_names[a] == nullptr) {
+        ended = true;
+      } else {
+        EXPECT_FALSE(ended) << info.name << ": hole in arg labels at " << a;
+        EXPECT_STRNE(info.arg_names[a], "");
+      }
+    }
+  }
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("has space"), "has space");
+  EXPECT_EQ(CsvEscape("a;b"), "a;b");  // Sub-separator needs no framing quote.
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+// RFC 4180 field splitter for the round-trip check below.
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+// The multi-queue events are the analyzer's join targets: their CSV rows must parse
+// back to exactly the recorded values, arg labels included, through a standard
+// RFC 4180 reader.
+TEST(TraceExportTest, CsvRoundTripsQueueEvents) {
+  TraceRecorder trace(8);
+  trace.Record(TraceEventType::kQueueSubmit, 1000, 1000, /*queue=*/3, /*ops=*/32,
+               /*submission_id=*/41);
+  trace.Record(TraceEventType::kQueueFlush, 2000, 2500, /*pending_ops=*/7,
+               /*merged_runs=*/2);
+  trace.Record(TraceEventType::kQueueComplete, 3000, 4500, /*queue=*/1, /*op_id=*/99,
+               /*lba=*/123456789);
+  std::ostringstream os;
+  ExportTraceCsv(trace, os);
+
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(os.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    rows.push_back(SplitCsv(line));
+  }
+  ASSERT_EQ(rows.size(), 4u);  // Header + three events.
+  const std::vector<std::string> header = {"type", "category", "start_ns", "end_ns",
+                                           "arg0", "arg1", "arg2", "arg_names"};
+  EXPECT_EQ(rows[0], header);
+  const std::vector<std::string> submit = {"queue_submit", "io",  "1000", "1000",
+                                           "3",            "32",  "41",
+                                           "queue;ops;submission_id"};
+  const std::vector<std::string> flush = {"queue_flush", "io", "2000", "2500",
+                                          "7",           "2",  "0",
+                                          "pending_ops;merged_runs"};
+  const std::vector<std::string> complete = {"queue_complete", "io",        "3000",
+                                             "4500",           "1",         "99",
+                                             "123456789",      "queue;op_id;lba"};
+  EXPECT_EQ(rows[1], submit);
+  EXPECT_EQ(rows[2], flush);
+  EXPECT_EQ(rows[3], complete);
+}
+
+// Every exported CSV row must survive an RFC 4180 round trip even if a future event
+// name or label ever contains a delimiter; exercise the full table.
+TEST(TraceExportTest, CsvEveryTypeParsesToEightFields) {
+  TraceRecorder trace(64);
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    trace.Record(static_cast<TraceEventType>(i), i * 10, i * 10 + 5, i, i + 1, i + 2);
+  }
+  std::ostringstream os;
+  ExportTraceCsv(trace, os);
+  std::istringstream in(os.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(SplitCsv(line).size(), 8u) << line;
+  }
+  EXPECT_EQ(lines, 1 + kNumTraceEventTypes);
 }
 
 TEST(TraceExportTest, ChromeJsonIsSyntacticallyValid) {

@@ -20,8 +20,17 @@ so CI can upload one artifact per run and a later pass (or a human with jq) can 
 runs commit-over-commit. Appending to a history file keeps a local trajectory across
 rebuilds.
 
+``--check`` turns the script into a perf-regression gate: the freshly collected point
+is compared against a committed baseline trajectory (``--baseline``, defaulting to the
+highest-numbered ``BENCH_<n>.json`` at the repo root). Only deterministic virtual-time
+metrics — names starting with ``bench.`` — are gated; wall-clock metrics (the
+google-benchmark microbenches, ``*_ns`` counters) vary with host load and are reported
+but never fail the gate. A gated metric regresses when it drops more than
+``--threshold`` (default 10%) below the baseline; any regression exits nonzero.
+
 Usage:
     tools/bench_trajectory.py [--dir DIR] [--out FILE] [--append-history FILE]
+                              [--check] [--baseline FILE] [--threshold 0.10]
 """
 
 import argparse
@@ -79,6 +88,63 @@ def collect(directory):
     return benches
 
 
+def find_default_baseline():
+    """Latest committed trajectory snapshot: highest-numbered BENCH_<n>.json in cwd."""
+    best, best_n = "", -1
+    for path in glob.glob("BENCH_*.json"):
+        stem = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        if stem.isdigit() and int(stem) > best_n:
+            best, best_n = path, int(stem)
+    return best
+
+
+def check_against_baseline(point, baseline_path, threshold):
+    """Gate bench.* metrics of `point` against the baseline trajectory. Returns the
+    number of regressions (0 = pass)."""
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read baseline {baseline_path}: {err}", file=sys.stderr)
+        return 1
+    base_benches = baseline.get("benches", {})
+    print(f"gate: comparing against {baseline_path} "
+          f"(commit {baseline.get('commit', '?')[:12]}, threshold {threshold:.0%})")
+    regressions = 0
+    compared = 0
+    for name, bench in sorted(point["benches"].items()):
+        base = base_benches.get(name)
+        if base is None:
+            print(f"  {name}: new bench, no baseline — skipped")
+            continue
+        for metric, value in sorted(bench["metrics"].items()):
+            if not metric.startswith("bench."):
+                continue  # Wall-clock or raw counter: informational only.
+            base_value = base["metrics"].get(metric)
+            if base_value is None:
+                print(f"  {name}/{metric}: new metric, no baseline — skipped")
+                continue
+            compared += 1
+            if base_value <= 0:
+                continue
+            delta = (value - base_value) / base_value
+            if delta < -threshold:
+                regressions += 1
+                print(f"  REGRESSION {name}/{metric}: "
+                      f"{base_value:.2f} -> {value:.2f} ({delta:+.1%})")
+            elif abs(delta) > threshold:
+                print(f"  improved {name}/{metric}: "
+                      f"{base_value:.2f} -> {value:.2f} ({delta:+.1%})")
+    if compared == 0:
+        print("gate: baseline has no bench.* metrics to compare — nothing gated")
+    elif regressions == 0:
+        print(f"gate: {compared} metrics within {threshold:.0%} of baseline")
+    else:
+        print(f"gate: {regressions} of {compared} metrics regressed more than "
+              f"{threshold:.0%}", file=sys.stderr)
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json files")
@@ -87,6 +153,22 @@ def main():
         "--append-history",
         default="",
         help="also append the point to this JSON-lines history file",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate deterministic bench.* metrics against a committed baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="",
+        help="baseline trajectory file (default: highest-numbered BENCH_<n>.json in cwd)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum allowed fractional drop for gated metrics (default 0.10)",
     )
     args = parser.parse_args()
 
@@ -109,6 +191,15 @@ def main():
             f.write(json.dumps(point, sort_keys=True) + "\n")
     total = sum(len(b["metrics"]) for b in benches.values())
     print(f"trajectory: {len(benches)} benches, {total} metrics -> {args.out}")
+
+    if args.check:
+        baseline = args.baseline or find_default_baseline()
+        if not baseline:
+            print("error: --check set but no baseline BENCH_<n>.json found "
+                  "(pass --baseline)", file=sys.stderr)
+            return 1
+        if check_against_baseline(point, baseline, args.threshold) > 0:
+            return 1
     return 0
 
 

@@ -1,0 +1,472 @@
+// iosnap_analyze — offline tail-latency attribution reports.
+//
+// Reads the per-op span CSV written by --spans_out (iosnap_sim / attribution tests)
+// and, optionally, the CSV flight-recorder trace written by --trace_out=*.csv, and
+// prints where the latency went:
+//
+//   * a hard re-check of the exactness invariant (every row's spans sum to total_ns),
+//   * end-to-end percentiles per op kind,
+//   * aggregate span shares over the whole run,
+//   * GC/background interference share (ops affected, tail among affected),
+//   * the top-K slowest ops with their full breakdowns,
+//   * with --trace: per-queue aggregation (spans joined to queue_complete events on
+//     (lba, issue_ns, complete_ns)) and overlap buckets against GC / activation
+//     windows from the trace.
+//
+// Exit codes: 0 report printed; 1 I/O or invariant failure; 2 bad flags.
+//
+// Examples:
+//   iosnap_sim --ops=200000 --spans_out=spans.csv --trace_out=trace.csv
+//   iosnap_analyze --spans=spans.csv --trace=trace.csv --top=10
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/obs/latency.h"
+
+using namespace iosnap;
+
+namespace {
+
+constexpr const char* kUsage = R"(iosnap_analyze: tail-latency attribution reports
+
+  --spans=PATH   per-op span CSV from --spans_out            (required)
+  --trace=PATH   CSV trace from --trace_out=*.csv            (optional)
+  --top=N        slowest ops to list with breakdowns         (default 10)
+  --help         this text
+)";
+
+const std::vector<std::string> kKnownFlags = {"spans", "trace", "top", "help"};
+
+// RFC 4180 field splitter (the trace CSV quotes fields containing , " or newlines;
+// the span CSV never needs quoting but parses identically).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+struct SpanRow {
+  uint64_t seq = 0;
+  std::string kind;
+  uint64_t lba = 0;
+  uint64_t issue_ns = 0;
+  uint64_t complete_ns = 0;
+  uint64_t total_ns = 0;
+  uint64_t span[kNumLatencySpans] = {};
+};
+
+// Span CSV column order after the six id columns; must match LatencyAttributor::ToCsv.
+const char* const kSpanColumns[kNumLatencySpans] = {
+    "queue_wait_ns", "gc_wait_ns", "bus_ns", "cell_ns", "map_ns", "cow_ns",
+    "host_other_ns"};
+
+bool ParseSpansCsv(const std::string& path, std::vector<SpanRow>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open --spans=%s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    std::fprintf(stderr, "%s: empty file\n", path.c_str());
+    return false;
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  std::vector<std::string> expected = {"seq",         "kind",     "lba",
+                                       "issue_ns",    "complete_ns", "total_ns"};
+  for (const char* col : kSpanColumns) {
+    expected.push_back(col);
+  }
+  if (header != expected) {
+    std::fprintf(stderr, "%s: unexpected header (not a --spans_out file?)\n",
+                 path.c_str());
+    return false;
+  }
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsvLine(line);
+    if (f.size() != expected.size()) {
+      std::fprintf(stderr, "%s:%zu: %zu fields, want %zu\n", path.c_str(), lineno,
+                   f.size(), expected.size());
+      return false;
+    }
+    SpanRow row;
+    row.seq = std::strtoull(f[0].c_str(), nullptr, 10);
+    row.kind = f[1];
+    row.lba = std::strtoull(f[2].c_str(), nullptr, 10);
+    row.issue_ns = std::strtoull(f[3].c_str(), nullptr, 10);
+    row.complete_ns = std::strtoull(f[4].c_str(), nullptr, 10);
+    row.total_ns = std::strtoull(f[5].c_str(), nullptr, 10);
+    for (size_t s = 0; s < kNumLatencySpans; ++s) {
+      row.span[s] = std::strtoull(f[6 + s].c_str(), nullptr, 10);
+    }
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+struct TraceRow {
+  std::string type;
+  std::string category;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint64_t arg2 = 0;
+};
+
+bool ParseTraceCsv(const std::string& path, std::vector<TraceRow>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open --trace=%s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      SplitCsvLine(line) !=
+          std::vector<std::string>{"type", "category", "start_ns", "end_ns", "arg0",
+                                   "arg1", "arg2", "arg_names"}) {
+    std::fprintf(stderr, "%s: not a --trace_out=*.csv file\n", path.c_str());
+    return false;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsvLine(line);
+    if (f.size() != 8) {
+      std::fprintf(stderr, "%s: malformed row\n", path.c_str());
+      return false;
+    }
+    TraceRow row;
+    row.type = f[0];
+    row.category = f[1];
+    row.start_ns = std::strtoull(f[2].c_str(), nullptr, 10);
+    row.end_ns = std::strtoull(f[3].c_str(), nullptr, 10);
+    row.arg0 = std::strtoull(f[4].c_str(), nullptr, 10);
+    row.arg1 = std::strtoull(f[5].c_str(), nullptr, 10);
+    row.arg2 = std::strtoull(f[6].c_str(), nullptr, 10);
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+void PrintPercentileLine(const char* label, const LatencyHistogram& h) {
+  std::printf("  %-7s %8llu ops  mean %8.1f  p50 %8.1f  p90 %8.1f  p99 %8.1f  "
+              "p99.9 %8.1f  max %8.1f us\n",
+              label, (unsigned long long)h.count(), h.MeanNs() / 1000.0,
+              NsToUs(h.PercentileNs(50)), NsToUs(h.PercentileNs(90)),
+              NsToUs(h.PercentileNs(99)), NsToUs(h.PercentileNs(99.9)),
+              NsToUs(h.MaxNs()));
+}
+
+// Merged, sorted busy windows from trace events of one category; Overlaps() then
+// answers "did this op's [issue, complete) intersect any of them".
+class WindowSet {
+ public:
+  void Add(uint64_t start_ns, uint64_t end_ns) {
+    if (end_ns > start_ns) {
+      raw_.emplace_back(start_ns, end_ns);
+    }
+  }
+  void Seal() {
+    std::sort(raw_.begin(), raw_.end());
+    for (const auto& [s, e] : raw_) {
+      if (!merged_.empty() && s <= merged_.back().second) {
+        merged_.back().second = std::max(merged_.back().second, e);
+      } else {
+        merged_.emplace_back(s, e);
+      }
+    }
+    raw_.clear();
+  }
+  bool Overlaps(uint64_t start_ns, uint64_t end_ns) const {
+    auto it = std::upper_bound(merged_.begin(), merged_.end(),
+                               std::make_pair(end_ns, UINT64_MAX));
+    if (it == merged_.begin()) {
+      return false;
+    }
+    --it;
+    return it->second > start_ns;
+  }
+  size_t size() const { return merged_.size(); }
+  uint64_t TotalNs() const {
+    uint64_t total = 0;
+    for (const auto& [s, e] : merged_) {
+      total += e - s;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::pair<uint64_t, uint64_t>> raw_;
+  std::vector<std::pair<uint64_t, uint64_t>> merged_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const auto unknown = flags.UnknownFlags(kKnownFlags);
+  if (!unknown.empty()) {
+    for (const auto& name : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string spans_path = flags.GetString("spans", "");
+  if (spans_path.empty()) {
+    std::fprintf(stderr, "--spans=PATH is required\n%s", kUsage);
+    return 2;
+  }
+  const std::string trace_path = flags.GetString("trace", "");
+  const size_t top_k = (size_t)flags.GetInt("top", 10);
+
+  std::vector<SpanRow> rows;
+  if (!ParseSpansCsv(spans_path, &rows)) {
+    return 1;
+  }
+  if (rows.empty()) {
+    std::printf("%s: no span records\n", spans_path.c_str());
+    return 0;
+  }
+
+  // The invariant the attribution layer promises: spans sum bit-exactly to the
+  // end-to-end latency. A violation means the producer is broken — fail hard so CI
+  // catches it.
+  size_t violations = 0;
+  for (const SpanRow& row : rows) {
+    uint64_t sum = 0;
+    for (uint64_t s : row.span) {
+      sum += s;
+    }
+    if (sum != row.total_ns || row.total_ns != row.complete_ns - row.issue_ns) {
+      if (++violations <= 5) {
+        std::fprintf(stderr,
+                     "span-sum violation at seq=%llu: spans sum %llu, total %llu\n",
+                     (unsigned long long)row.seq, (unsigned long long)sum,
+                     (unsigned long long)row.total_ns);
+      }
+    }
+  }
+  std::printf("== span-sum check: %zu records, %zu violations ==\n", rows.size(),
+              violations);
+  if (violations > 0) {
+    return 1;
+  }
+
+  uint64_t first_issue = UINT64_MAX;
+  uint64_t last_complete = 0;
+  uint64_t grand_total = 0;
+  uint64_t span_total[kNumLatencySpans] = {};
+  std::map<std::string, LatencyHistogram> by_kind;
+  for (const SpanRow& row : rows) {
+    first_issue = std::min(first_issue, row.issue_ns);
+    last_complete = std::max(last_complete, row.complete_ns);
+    grand_total += row.total_ns;
+    for (size_t s = 0; s < kNumLatencySpans; ++s) {
+      span_total[s] += row.span[s];
+    }
+    by_kind[row.kind].Add(row.total_ns);
+  }
+
+  std::printf("\n== end-to-end latency (%zu ops over %.3f virtual s) ==\n", rows.size(),
+              NsToSec(last_complete - first_issue));
+  for (const auto& [kind, hist] : by_kind) {
+    PrintPercentileLine(kind.c_str(), hist);
+  }
+
+  std::printf("\n== where the latency went (aggregate span shares) ==\n");
+  for (size_t s = 0; s < kNumLatencySpans; ++s) {
+    std::printf("  %-11s %12.2f ms  %5.1f%%\n",
+                LatencySpanName(static_cast<LatencySpan>(s)), NsToMs(span_total[s]),
+                grand_total > 0 ? 100.0 * (double)span_total[s] / (double)grand_total
+                                : 0.0);
+  }
+
+  // GC interference: kGcWait is the share of device wait spent behind background
+  // work (cleaner copies/erases, activation scans) rather than other foreground ops.
+  const size_t gc_idx = static_cast<size_t>(LatencySpan::kGcWait);
+  size_t gc_affected = 0;
+  LatencyHistogram gc_wait_hist;
+  for (const SpanRow& row : rows) {
+    if (row.span[gc_idx] > 0) {
+      ++gc_affected;
+      gc_wait_hist.Add(row.span[gc_idx]);
+    }
+  }
+  std::printf("\n== background (GC/activation) interference ==\n");
+  std::printf("  ops delayed by background work  %zu / %zu (%.2f%%)\n", gc_affected,
+              rows.size(), 100.0 * (double)gc_affected / (double)rows.size());
+  std::printf("  share of all latency            %.2f%%\n",
+              grand_total > 0 ? 100.0 * (double)span_total[gc_idx] / (double)grand_total
+                              : 0.0);
+  if (gc_affected > 0) {
+    PrintPercentileLine("gc_wait", gc_wait_hist);
+  }
+
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  const size_t k = std::min(top_k, rows.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](size_t a, size_t b) { return rows[a].total_ns > rows[b].total_ns; });
+  std::printf("\n== top %zu slowest ops ==\n", k);
+  std::printf("  %-5s %-10s %10s %9s | %9s %9s %9s %9s %7s %7s %7s (us)\n", "kind",
+              "lba", "issue_us", "total_us", "q_wait", "gc_wait", "bus", "cell", "map",
+              "cow", "other");
+  for (size_t i = 0; i < k; ++i) {
+    const SpanRow& r = rows[order[i]];
+    std::printf("  %-5s %-10llu %10.1f %9.1f | %9.1f %9.1f %9.1f %9.1f %7.1f %7.1f "
+                "%7.1f\n",
+                r.kind.c_str(), (unsigned long long)r.lba, NsToUs(r.issue_ns),
+                NsToUs(r.total_ns), NsToUs(r.span[0]), NsToUs(r.span[1]),
+                NsToUs(r.span[2]), NsToUs(r.span[3]), NsToUs(r.span[4]),
+                NsToUs(r.span[5]), NsToUs(r.span[6]));
+  }
+
+  if (trace_path.empty()) {
+    return 0;
+  }
+  std::vector<TraceRow> trace;
+  if (!ParseTraceCsv(trace_path, &trace)) {
+    return 1;
+  }
+
+  // Per-queue aggregation: queue_complete events carry (queue, op_id, lba) and span the
+  // op's [issue, complete) window — (lba, issue_ns, complete_ns) is the join key back
+  // to span rows. The trace ring may have dropped older events, so a partial join is
+  // expected; the unmatched count says how partial.
+  struct QueueAgg {
+    LatencyHistogram latency;
+    uint64_t span_total[kNumLatencySpans] = {};
+    uint64_t total_ns = 0;
+  };
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, uint64_t> complete_to_queue;
+  for (const TraceRow& e : trace) {
+    if (e.type == "queue_complete") {
+      complete_to_queue[{e.arg2, e.start_ns, e.end_ns}] = e.arg0;
+    }
+  }
+  if (!complete_to_queue.empty()) {
+    std::map<uint64_t, QueueAgg> queues;
+    size_t joined = 0;
+    for (const SpanRow& row : rows) {
+      const auto it = complete_to_queue.find({row.lba, row.issue_ns, row.complete_ns});
+      if (it == complete_to_queue.end()) {
+        continue;
+      }
+      ++joined;
+      QueueAgg& agg = queues[it->second];
+      agg.latency.Add(row.total_ns);
+      agg.total_ns += row.total_ns;
+      for (size_t s = 0; s < kNumLatencySpans; ++s) {
+        agg.span_total[s] += row.span[s];
+      }
+    }
+    std::printf("\n== per-queue attribution (%zu of %zu ops joined to %zu "
+                "queue_complete events) ==\n",
+                joined, rows.size(), complete_to_queue.size());
+    for (const auto& [queue, agg] : queues) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "queue %llu", (unsigned long long)queue);
+      PrintPercentileLine(label, agg.latency);
+      std::printf("          shares:");
+      for (size_t s = 0; s < kNumLatencySpans; ++s) {
+        std::printf(" %s %.1f%%", LatencySpanName(static_cast<LatencySpan>(s)),
+                    agg.total_ns > 0
+                        ? 100.0 * (double)agg.span_total[s] / (double)agg.total_ns
+                        : 0.0);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Phase overlap: bucket ops by whether they ran while the cleaner (gc category) or
+  // an activation scan had the device busy.
+  WindowSet gc_windows;
+  WindowSet activation_windows;
+  for (const TraceRow& e : trace) {
+    if (e.category == "gc") {
+      gc_windows.Add(e.start_ns, e.end_ns);
+    } else if (e.category == "activation") {
+      activation_windows.Add(e.start_ns, e.end_ns);
+    }
+  }
+  gc_windows.Seal();
+  activation_windows.Seal();
+  struct PhaseAgg {
+    const char* label;
+    LatencyHistogram latency;
+    uint64_t gc_wait_ns = 0;
+    uint64_t total_ns = 0;
+  };
+  PhaseAgg phases[3] = {{"quiet", {}}, {"gc", {}}, {"activation", {}}};
+  for (const SpanRow& row : rows) {
+    const bool in_gc = gc_windows.Overlaps(row.issue_ns, row.complete_ns);
+    const bool in_act = activation_windows.Overlaps(row.issue_ns, row.complete_ns);
+    PhaseAgg& agg = phases[in_act ? 2 : (in_gc ? 1 : 0)];
+    agg.latency.Add(row.total_ns);
+    agg.gc_wait_ns += row.span[gc_idx];
+    agg.total_ns += row.total_ns;
+  }
+  std::printf("\n== phase overlap (gc: %zu windows, %.2f ms busy; activation: %zu "
+              "windows, %.2f ms busy) ==\n",
+              gc_windows.size(), NsToMs(gc_windows.TotalNs()), activation_windows.size(),
+              NsToMs(activation_windows.TotalNs()));
+  for (const PhaseAgg& agg : phases) {
+    if (agg.latency.count() == 0) {
+      continue;
+    }
+    PrintPercentileLine(agg.label, agg.latency);
+    std::printf("          gc_wait share %.2f%%\n",
+                agg.total_ns > 0 ? 100.0 * (double)agg.gc_wait_ns / (double)agg.total_ns
+                                 : 0.0);
+  }
+  return 0;
+}

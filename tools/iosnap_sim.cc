@@ -21,8 +21,10 @@
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/core/ftl.h"
+#include "src/obs/latency.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_bindings.h"
+#include "src/obs/metrics_sampler.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_export.h"
 #include "src/workload/runner.h"
@@ -81,6 +83,13 @@ Observability:
                          else for Chrome trace-event JSON (load in Perfetto)
   --trace_capacity=N     trace ring-buffer capacity in events    (default 262144)
   --metrics_out=PATH     dump every FTL/NAND/validity counter; .csv or JSON
+  --spans_out=PATH       write per-op latency attribution CSV (one row per op with
+                         queue_wait/gc_wait/bus/cell/map/cow/host_other spans that
+                         sum exactly to the end-to-end latency); also adds lat.*
+                         span histograms to --metrics_out
+  --metrics_interval_ns=N  sample every registered counter each N virtual ns
+                         during the measured run (default 0 = off)
+  --metrics_series_out=PATH  write the sampled time series as wide CSV
   --log_level=NAME       debug | info | warning | error          (default info)
   --help                 this text
 )";
@@ -94,7 +103,8 @@ const std::vector<std::string> kKnownFlags = {
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
     "fault_seed", "fault_program_ppm", "fault_erase_ppm", "fault_read_ppm",
     "fault_corrupt_ppm", "crash_after_op",
-    "trace_out", "trace_capacity", "metrics_out", "log_level", "help"};
+    "trace_out", "trace_capacity", "metrics_out", "spans_out", "metrics_interval_ns",
+    "metrics_series_out", "log_level", "help"};
 
 void PrintFaultStats(const Ftl& ftl) {
   const NandStats& n = ftl.device().stats();
@@ -306,6 +316,31 @@ int main(int argc, char** argv) {
     clock.AdvanceTo(filled->drain_end_ns);
   }
 
+  // Latency attribution records per-op span breakdowns; attached after the prefill so
+  // the CSV covers only the measured workload. The attributor outlives the ftl (it is
+  // a passive sink), so a crash/reopen at the end leaves the records intact.
+  const std::string spans_out = flags.GetString("spans_out", "");
+  std::unique_ptr<LatencyAttributor> attributor;
+  if (!spans_out.empty()) {
+    attributor = std::make_unique<LatencyAttributor>();
+    ftl->SetLatencyAttributor(attributor.get());
+  }
+
+  // Periodic time-series sampling: the registry binds pointers into this ftl's stats
+  // structs, so it is built before the run and only sampled while this ftl is alive
+  // (samples copy the values out, so writing the CSV after a reopen is safe).
+  const uint64_t metrics_interval_ns = (uint64_t)flags.GetInt("metrics_interval_ns", 0);
+  const std::string metrics_series_out = flags.GetString("metrics_series_out", "");
+  MetricsRegistry live_registry;
+  std::unique_ptr<MetricsSampler> sampler;
+  if (metrics_interval_ns > 0) {
+    RegisterFtlStats(&live_registry, ftl->stats());
+    RegisterNandStats(&live_registry, ftl->device().stats());
+    RegisterValidityStats(&live_registry, ftl->validity().stats());
+    RegisterLogStats(&live_registry, ftl->log_manager().stats());
+    sampler = std::make_unique<MetricsSampler>(&live_registry, metrics_interval_ns);
+  }
+
   // Snapshot cadence + rotation via the runner's per-op hook. --snapshots=N is
   // shorthand for "spread N snapshots evenly over the run".
   uint64_t snapshot_every = (uint64_t)flags.GetInt("snapshot_every", 0);
@@ -325,6 +360,7 @@ int main(int argc, char** argv) {
   options.queues = (uint32_t)flags.GetInt("queues", 0);
   options.iodepth = (uint32_t)flags.GetInt("iodepth", 1);
   options.record_timeline = flags.GetBool("timeline", false);
+  options.sampler = sampler.get();
   if (snapshot_every > 0 && config.snapshots_enabled) {
     options.after_op = [&](uint64_t index, uint64_t now_ns) {
       if ((index + 1) % snapshot_every != 0) {
@@ -455,6 +491,25 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (attributor != nullptr) {
+    if (attributor->WriteCsvFile(spans_out)) {
+      std::printf("spans: %zu ops to %s (%llu dropped)\n", attributor->size(),
+                  spans_out.c_str(), (unsigned long long)attributor->dropped());
+    } else {
+      std::fprintf(stderr, "failed to write --spans_out=%s\n", spans_out.c_str());
+      return 1;
+    }
+  }
+  if (sampler != nullptr && !metrics_series_out.empty()) {
+    if (sampler->WriteCsvFile(metrics_series_out)) {
+      std::printf("metrics series: %zu samples to %s\n", sampler->samples(),
+                  metrics_series_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write --metrics_series_out=%s\n",
+                   metrics_series_out.c_str());
+      return 1;
+    }
+  }
   if (!metrics_out.empty()) {
     MetricsRegistry registry;
     RegisterFtlStats(&registry, ftl->stats());
@@ -466,6 +521,9 @@ int main(int argc, char** argv) {
                                &GlobalQueueCompletionHistogram());
     if (result.ok()) {
       registry.RegisterHistogram("run.latency", &result->latency);
+    }
+    if (attributor != nullptr) {
+      attributor->RegisterMetrics(&registry);
     }
     if (registry.WriteFile(metrics_out)) {
       std::printf("metrics: %zu metrics to %s\n", registry.MetricCount(),
