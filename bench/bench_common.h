@@ -145,6 +145,7 @@ inline void BenchDumpMetrics(const Ftl& ftl) {
   MetricsRegistry registry;
   RegisterFtlStats(&registry, ftl.stats());
   RegisterNandStats(&registry, ftl.device().stats());
+  RegisterNandBusGauges(&registry, ftl.device());
   RegisterValidityStats(&registry, ftl.validity().stats());
   RegisterLogStats(&registry, ftl.log_manager().stats());
   // Multi-queue layer: process-wide aggregates (queue-depth gauge, completion-latency

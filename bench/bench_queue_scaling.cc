@@ -22,7 +22,8 @@ constexpr uint64_t kDefaultIodepth = 1;
 constexpr uint64_t kRepeats = 3;
 
 double RunCase(const std::string& pattern, IoKind kind, uint32_t queues,
-               uint32_t iodepth, uint64_t batch, uint64_t pages, uint64_t seed) {
+               uint32_t iodepth, uint64_t batch, uint64_t pages, uint64_t seed,
+               uint32_t buses = 1, bool copyback = false) {
   FtlConfig config = BenchConfig();
   // 32 channels instead of BenchConfig's 16: at 16, the per-channel cycle
   // (50us program + 3us transfer) exceeds the 16-slot bus rotation (48us), so the
@@ -30,6 +31,8 @@ double RunCase(const std::string& pattern, IoKind kind, uint32_t queues,
   // sweep. At 32 the bus is the binding resource, which is the contention this
   // experiment is about.
   config.nand.num_channels = 32;
+  config.nand.buses = buses;
+  config.gc_copyback = copyback;
   std::unique_ptr<Ftl> ftl = MustCreate(config);
   SimClock clock;
 
@@ -81,12 +84,41 @@ void Row(const char* label, const std::string& pattern, IoKind kind,
   std::printf("  MB/s\n");
 }
 
+// Multi-bus sweep: same workload at a fixed queue count, buses ∈ `bus_counts`.
+// buses=1 is the single-shared-bus ceiling (≈1365 MB/s at 4 KiB / 3 µs); more buses
+// stripe the channels across independent transfer paths until the channel array
+// itself becomes the binding resource.
+void BusRow(const char* label, const std::string& pattern, IoKind kind,
+            const std::vector<uint32_t>& bus_counts, uint32_t queues, uint32_t iodepth,
+            uint64_t batch, uint64_t pages, bool copyback) {
+  std::printf("%-18s", label);
+  double base = 0;
+  for (uint32_t buses : bus_counts) {
+    Measurement m;
+    for (uint64_t rep = 0; rep < kRepeats; ++rep) {
+      m.Add(RunCase(pattern, kind, queues, iodepth, batch, pages, 5000 + rep, buses,
+                    copyback));
+    }
+    if (base == 0) {
+      base = m.stats.mean();
+    }
+    std::printf("  %8.1f (%4.2fx)", m.stats.mean(),
+                base > 0 ? m.stats.mean() / base : 0);
+    BenchRecord("queue_scaling." + BenchSlug(label) + ".buses" + std::to_string(buses) +
+                    "_mbps",
+                m.stats.mean());
+  }
+  std::printf("  MB/s\n");
+}
+
 }  // namespace
 }  // namespace iosnap
 
 int main(int argc, char** argv) {
   using namespace iosnap;
-  Flags flags = BenchInit(argc, argv, {"queue_counts", "iodepth", "batch", "pages"});
+  Flags flags = BenchInit(argc, argv,
+                          {"queue_counts", "bus_counts", "iodepth", "batch", "pages",
+                           "copyback"});
   std::vector<uint32_t> queue_counts;
   const std::string counts_str = flags.GetString("queue_counts", "1,2,4,8");
   for (size_t pos = 0; pos < counts_str.size();) {
@@ -119,6 +151,40 @@ int main(int argc, char** argv) {
   Row("Random Read", "rand", IoKind::kRead, queue_counts, iodepth, batch, pages);
   PrintRule();
   std::printf("(speedup in parentheses is relative to the first queue count listed)\n");
+
+  std::vector<uint32_t> bus_counts;
+  const std::string buses_str = flags.GetString("bus_counts", "1,2,4");
+  for (size_t pos = 0; pos < buses_str.size();) {
+    const size_t comma = buses_str.find(',', pos);
+    const std::string tok = buses_str.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const uint64_t b = std::strtoull(tok.c_str(), nullptr, 10);
+    IOSNAP_CHECK(b > 0);
+    bus_counts.push_back((uint32_t)b);
+    pos = comma == std::string::npos ? buses_str.size() : comma + 1;
+  }
+  const bool copyback = flags.GetBool("copyback", false);
+  const uint32_t bus_sweep_queues = 4;
+
+  PrintHeader("Per-channel buses: virtual-time throughput vs bus count",
+              "buses=1 is the shared-bus ceiling; striping channels across buses "
+              "lifts it until the channel array binds");
+  std::printf("(queues=%u, iodepth=%u, batch=%llu, copyback=%s)\n", bus_sweep_queues,
+              iodepth, (unsigned long long)batch, copyback ? "on" : "off");
+  std::printf("%-18s", "");
+  for (uint32_t b : bus_counts) {
+    std::printf("  buses=%-11u", b);
+  }
+  std::printf("\n");
+  PrintRule();
+  BusRow("Sequential Write", "seq", IoKind::kWrite, bus_counts, bus_sweep_queues,
+         iodepth, batch, pages, copyback);
+  BusRow("Random Write", "rand", IoKind::kWrite, bus_counts, bus_sweep_queues, iodepth,
+         batch, pages, copyback);
+  BusRow("Sequential Read", "seq", IoKind::kRead, bus_counts, bus_sweep_queues, iodepth,
+         batch, pages, copyback);
+  PrintRule();
+  std::printf("(speedup in parentheses is relative to the first bus count listed)\n");
   BenchFinish();
   return 0;
 }

@@ -131,6 +131,9 @@ class Ftl {
   void SetLatencyAttributor(LatencyAttributor* attributor) { attributor_ = attributor; }
   LatencyAttributor* latency_attributor() const { return attributor_; }
   const NandDevice& device() const { return *device_; }
+  // Test-only mutable hook: fault campaigns corrupt pages in place (the device's own
+  // CorruptPageForTesting) on a live FTL to exercise scrub/drop paths mid-run.
+  NandDevice& MutableDeviceForTesting() { return *device_; }
   const SnapshotTree& snapshot_tree() const { return tree_; }
   const ValidityMap& validity() const { return validity_; }
   const LogManager& log_manager() const { return log_; }

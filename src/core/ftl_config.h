@@ -44,6 +44,14 @@ struct FtlConfig {
   bool snapshot_aware_gc_rate = true;
   // Max pages copy-forwarded per pacing burst.
   uint64_t gc_pages_per_step = 16;
+  // Relocate live pages via on-die copyback (NandDevice::CopybackPage) instead of a
+  // host read + append: the data never crosses a transfer bus when source and
+  // destination share a channel, so cleaning stops competing with foreground I/O for
+  // bus time. The cleaner also reorders a victim's live pages to chase the GC head's
+  // next-append channel (maximizing the on-die hit rate). Host-side CRC verification
+  // is replaced by the device's scrub-on-copyback (NandConfig::copyback_scrub).
+  // Default off: the classic read+append path, bit-identical to prior behavior.
+  bool gc_copyback = false;
   // Static wear leveling: when the erase-count gap between the most-worn segment and a
   // cleanable cold segment reaches this threshold, the cleaner picks the cold segment
   // regardless of its valid count, recycling it into the rotation. 0 disables.

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/core/ftl.h"
+#include "src/obs/latency.h"
 
 namespace iosnap {
 
@@ -174,6 +175,22 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   ftl_->stats_.gc_merge_host_ns += merge_ns;
   ftl_->stats_.gc_total_host_ns += merge_ns;
 
+  if (ftl_->config_.gc_copyback) {
+    // Bucket data entries by source channel for channel-matched draining (see Step);
+    // everything else keeps scan order.
+    victim.channel_queues.assign(ftl_->config_.nand.num_channels, {});
+    for (size_t i = 0; i < victim.entries.size(); ++i) {
+      if (victim.entries[i].second.type == RecordType::kData) {
+        const uint32_t channel = static_cast<uint32_t>(
+            victim.entries[i].first % ftl_->config_.nand.num_channels);
+        victim.channel_queues[channel].push_back(i);
+        ++victim.data_remaining;
+      } else {
+        victim.meta_order.push_back(i);
+      }
+    }
+  }
+
   victim_ = std::move(victim);
   if (ftl_->trace_ != nullptr) {
     ftl_->trace_->Record(TraceEventType::kGcVictimSelect, now_ns, now_ns, victim_->segment,
@@ -253,6 +270,116 @@ StatusOr<uint64_t> SegmentCleaner::FlushTrimSummaries(uint64_t now_ns) {
   return t;
 }
 
+void SegmentCleaner::DropUnreadablePage(uint64_t paddr, const PageHeader& header,
+                                        const std::vector<uint32_t>& live,
+                                        uint64_t now_ns) {
+  ftl_->validity_.NoteTimeNs(now_ns);
+  for (uint32_t epoch : live) {
+    if (ftl_->validity_.Test(epoch, paddr)) {
+      ftl_->validity_.ClearValid(epoch, paddr);
+    }
+  }
+  for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
+    auto* view = ftl_->FindView(view_id);
+    const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
+    if (mapped.has_value() && *mapped == paddr) {
+      view->map.Erase(header.lba);
+    }
+  }
+  ++ftl_->stats_.gc_pages_lost;
+}
+
+uint64_t SegmentCleaner::FinishRelocation(uint64_t paddr, const PageHeader& header,
+                                          const AppendResult& ar,
+                                          const std::vector<uint32_t>& live,
+                                          uint64_t now_ns, bool via_copyback,
+                                          bool* copied_data_page) {
+  // Move validity bits in every epoch that referenced the old location.
+  ftl_->validity_.NoteTimeNs(now_ns);
+  const uint64_t cow_bytes = ftl_->validity_.MoveBit(live, paddr, ar.paddr);
+  const uint64_t cow_ns = cow_bytes * ftl_->config_.host_cow_ns_per_byte;
+  const uint64_t host_ns = live.size() * ftl_->config_.host_bitmap_update_ns + cow_ns;
+  ftl_->stats_.gc_total_host_ns += host_ns;
+
+  // Let in-flight activation scans know the block moved.
+  if (!ftl_->activations_.empty()) {
+    ftl_->gc_relocations_.emplace_back(header.lba, ar.paddr);
+  }
+
+  // Fix any view whose forward map pointed at the old location — only views whose
+  // epoch lineage can reference this record's epoch need consulting.
+  for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
+    auto* view = ftl_->FindView(view_id);
+    const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
+    if (mapped.has_value() && *mapped == paddr) {
+      view->map.Insert(header.lba, ar.paddr);
+    }
+  }
+
+  ++ftl_->stats_.gc_pages_copied;
+  ++ftl_->stats_.total_pages_programmed;
+  ++victim_->pacing_done;
+  *copied_data_page = true;
+  if (ftl_->trace_ != nullptr) {
+    ftl_->trace_->Record(TraceEventType::kGcCopyForward, now_ns, ar.op.finish_ns,
+                         header.lba, paddr, ar.paddr);
+  }
+  if (via_copyback && ftl_->attributor_ != nullptr && ftl_->attributor_->Tick()) {
+    // Copyback relocations never reach the host, so the classic write/read span
+    // producers never see them; record them as their own kind. The span sum stays
+    // bit-exact: device spans cover finish-issue, host terms cover the rest.
+    LatencySpans spans;
+    spans[LatencySpan::kQueueWait] = ar.op.FgWaitNs();
+    spans[LatencySpan::kGcWait] = ar.op.bg_wait_ns;
+    spans[LatencySpan::kBus] = ar.op.bus_ns;
+    spans[LatencySpan::kCell] = ar.op.cell_ns;
+    spans[LatencySpan::kCow] = cow_ns;
+    spans[LatencySpan::kHostOther] = host_ns - cow_ns;
+    ftl_->attributor_->Record(LatencyOpKind::kGcCopy, header.lba, ar.op.issue_ns,
+                              ar.op.finish_ns + host_ns, spans);
+  }
+  return ar.op.finish_ns;
+}
+
+std::optional<size_t> SegmentCleaner::PickCopybackEntry() {
+  std::vector<std::deque<size_t>>& queues = victim_->channel_queues;
+  // First choice: a queue whose source channel equals the channel its relocation
+  // would be programmed on — that copyback stays on-die. The destination head
+  // depends on the entry's epoch (colocation), so each queue is checked against its
+  // own front entry's head.
+  for (uint32_t c = 0; c < queues.size(); ++c) {
+    if (queues[c].empty()) {
+      continue;
+    }
+    const PageHeader& header = victim_->entries[queues[c].front()].second;
+    const std::optional<uint32_t> want =
+        ftl_->log_.NextAppendChannel(HeadForEpoch(header.epoch));
+    if (want.has_value() && *want == c) {
+      const size_t index = queues[c].front();
+      queues[c].pop_front();
+      --victim_->data_remaining;
+      return index;
+    }
+  }
+  for (std::deque<size_t>& queue : queues) {
+    if (!queue.empty()) {
+      const size_t index = queue.front();
+      queue.pop_front();
+      --victim_->data_remaining;
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SegmentCleaner::VictimExhausted() const {
+  if (ftl_->config_.gc_copyback) {
+    return victim_->meta_cursor >= victim_->meta_order.size() &&
+           victim_->data_remaining == 0;
+  }
+  return victim_->cursor >= victim_->entries.size();
+}
+
 uint64_t SegmentCleaner::PacingEstimateRemaining() const {
   if (!victim_.has_value()) {
     return 0;
@@ -277,6 +404,38 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
         return now_ns;  // Invalid in every live epoch: drop.
       }
       const std::vector<uint32_t>& live = LiveEpochsCached();
+
+      if (ftl_->config_.gc_copyback) {
+        // On-die relocation: the stored bytes move inside the device without a host
+        // read, so no DMA crosses a transfer bus when source and destination share a
+        // channel. The device's scrub-on-copyback stands in for the CRC verification
+        // the classic host read performed.
+        const int head = HeadForEpoch(header.epoch);
+        StatusOr<AppendResult> ar =
+            ftl_->log_.AppendCopyback(head, paddr, header, now_ns);
+        for (uint32_t attempt = 1; !ar.ok() &&
+                                   ar.status().code() == StatusCode::kUnavailable &&
+                                   attempt < ftl_->config_.read_retry_limit;
+             ++attempt) {
+          ar = ftl_->log_.AppendCopyback(head, paddr, header, now_ns);
+        }
+        if (!ar.ok()) {
+          if (ar.status().code() == StatusCode::kDataLoss &&
+              !ftl_->device_->PageCrcIntact(paddr)) {
+            // Scrub-on-copyback caught a corrupted source: the page cannot be copied
+            // forward anywhere. Same drop path as a classic unreadable page.
+            IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr
+                                 << " (lba " << header.lba
+                                 << "): " << ar.status();
+            DropUnreadablePage(paddr, header, live, now_ns);
+            return now_ns;
+          }
+          return ar.status();
+        }
+        return FinishRelocation(paddr, header, *ar, live, now_ns,
+                                /*via_copyback=*/true, copied_data_page);
+      }
+
       // Copy-forward with the original identity (lba, epoch, seq).
       std::vector<uint8_t> data;
       StatusOr<NandOp> read = ftl_->device_->ReadPageWithRetry(
@@ -289,59 +448,15 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
         // with a typed error rather than returning corrupt data.)
         IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr << " (lba "
                              << header.lba << "): " << read.status();
-        ftl_->validity_.NoteTimeNs(now_ns);
-        for (uint32_t epoch : live) {
-          if (ftl_->validity_.Test(epoch, paddr)) {
-            ftl_->validity_.ClearValid(epoch, paddr);
-          }
-        }
-        for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
-          auto* view = ftl_->FindView(view_id);
-          const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
-          if (mapped.has_value() && *mapped == paddr) {
-            view->map.Erase(header.lba);
-          }
-        }
-        ++ftl_->stats_.gc_pages_lost;
+        DropUnreadablePage(paddr, header, live, now_ns);
         return now_ns;
       }
       ASSIGN_OR_RETURN(NandOp read_op, std::move(read));
       ASSIGN_OR_RETURN(AppendResult ar,
                        ftl_->log_.Append(HeadForEpoch(header.epoch), header, data,
                                          read_op.finish_ns));
-
-      // Move validity bits in every epoch that referenced the old location.
-      ftl_->validity_.NoteTimeNs(now_ns);
-      const uint64_t cow_bytes = ftl_->validity_.MoveBit(live, paddr, ar.paddr);
-      const uint64_t host_ns =
-          live.size() * ftl_->config_.host_bitmap_update_ns +
-          cow_bytes * ftl_->config_.host_cow_ns_per_byte;
-      ftl_->stats_.gc_total_host_ns += host_ns;
-
-      // Let in-flight activation scans know the block moved.
-      if (!ftl_->activations_.empty()) {
-        ftl_->gc_relocations_.emplace_back(header.lba, ar.paddr);
-      }
-
-      // Fix any view whose forward map pointed at the old location — only views whose
-      // epoch lineage can reference this record's epoch need consulting.
-      for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
-        auto* view = ftl_->FindView(view_id);
-        const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
-        if (mapped.has_value() && *mapped == paddr) {
-          view->map.Insert(header.lba, ar.paddr);
-        }
-      }
-
-      ++ftl_->stats_.gc_pages_copied;
-      ++ftl_->stats_.total_pages_programmed;
-      ++victim_->pacing_done;
-      *copied_data_page = true;
-      if (ftl_->trace_ != nullptr) {
-        ftl_->trace_->Record(TraceEventType::kGcCopyForward, now_ns, ar.op.finish_ns,
-                             header.lba, paddr, ar.paddr);
-      }
-      return ar.op.finish_ns;
+      return FinishRelocation(paddr, header, ar, live, now_ns,
+                              /*via_copyback=*/false, copied_data_page);
     }
     case RecordType::kTrim: {
       if (!TrimStillNeeded(header.epoch, header.seq)) {
@@ -410,15 +525,39 @@ StatusOr<uint64_t> SegmentCleaner::Step(uint64_t now_ns, uint64_t max_pages) {
   NandDevice::BackgroundScope bg(ftl_->device_.get());
   uint64_t t = now_ns;
   uint64_t copied = 0;
-  while (victim_->cursor < victim_->entries.size() && copied < max_pages) {
-    bool copied_data = false;
-    ASSIGN_OR_RETURN(t, ProcessEntry(victim_->entries[victim_->cursor], t, &copied_data));
-    ++victim_->cursor;
-    if (copied_data) {
-      ++copied;
+  if (ftl_->config_.gc_copyback) {
+    // Copyback order: notes first (scan order), then data entries chasing the
+    // destination head's next-append channel so relocations stay on-die.
+    while (victim_->meta_cursor < victim_->meta_order.size()) {
+      bool copied_data = false;
+      ASSIGN_OR_RETURN(
+          t, ProcessEntry(victim_->entries[victim_->meta_order[victim_->meta_cursor]], t,
+                          &copied_data));
+      ++victim_->meta_cursor;
+    }
+    while (copied < max_pages) {
+      const std::optional<size_t> index = PickCopybackEntry();
+      if (!index.has_value()) {
+        break;
+      }
+      bool copied_data = false;
+      ASSIGN_OR_RETURN(t, ProcessEntry(victim_->entries[*index], t, &copied_data));
+      if (copied_data) {
+        ++copied;
+      }
+    }
+  } else {
+    while (victim_->cursor < victim_->entries.size() && copied < max_pages) {
+      bool copied_data = false;
+      ASSIGN_OR_RETURN(t,
+                       ProcessEntry(victim_->entries[victim_->cursor], t, &copied_data));
+      ++victim_->cursor;
+      if (copied_data) {
+        ++copied;
+      }
     }
   }
-  if (victim_->cursor >= victim_->entries.size()) {
+  if (VictimExhausted()) {
     ASSIGN_OR_RETURN(t, FlushTrimSummaries(t));
     const uint64_t release_start_ns = t;
     ASSIGN_OR_RETURN(NandOp erase_op, ftl_->log_.ReleaseSegment(victim_->segment, t));

@@ -21,6 +21,7 @@
 #define SRC_CORE_SEGMENT_CLEANER_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -29,6 +30,7 @@
 #include "src/common/bitmap.h"
 #include "src/common/status.h"
 #include "src/core/trim_summary.h"
+#include "src/ftl/log_manager.h"
 #include "src/nand/page_header.h"
 
 namespace iosnap {
@@ -87,6 +89,15 @@ class SegmentCleaner {
     uint64_t epoch_set_version = ~uint64_t{0};
     std::vector<uint32_t> live_epochs;
     std::unordered_map<uint32_t, std::vector<uint32_t>> views_for_epoch;
+    // Copyback-mode processing order (FtlConfig::gc_copyback; empty otherwise).
+    // Non-data entries drain first in scan order; data entries are bucketed by source
+    // channel and drained chasing the destination head's next-append channel, so
+    // relocations line up with the on-die copyback fast path. Reordering is safe:
+    // copy-forward preserves each record's logical identity (lba, epoch, seq).
+    std::vector<size_t> meta_order;
+    size_t meta_cursor = 0;
+    std::vector<std::deque<size_t>> channel_queues;
+    size_t data_remaining = 0;
   };
 
   // Drops stale per-victim epoch caches when the FTL's epoch set changed.
@@ -110,6 +121,27 @@ class SegmentCleaner {
   // Processes one entry; returns the device finish time (now_ns if entry was dropped).
   StatusOr<uint64_t> ProcessEntry(const std::pair<uint64_t, PageHeader>& entry,
                                   uint64_t now_ns, bool* copied_data_page);
+
+  // Scrubs every reference to a permanently unreadable page so nothing points at it
+  // once the victim is erased (validity bits in every live epoch + view forward maps).
+  void DropUnreadablePage(uint64_t paddr, const PageHeader& header,
+                          const std::vector<uint32_t>& live, uint64_t now_ns);
+
+  // Post-relocation bookkeeping shared by the classic read+append path and the
+  // copyback path: validity-bit moves, activation journal, view fix-ups, stats, and
+  // the copy-forward trace event. `via_copyback` additionally records a kGcCopy
+  // latency span breakdown (copyback-only so default runs carry no extra records).
+  uint64_t FinishRelocation(uint64_t paddr, const PageHeader& header,
+                            const AppendResult& ar, const std::vector<uint32_t>& live,
+                            uint64_t now_ns, bool via_copyback, bool* copied_data_page);
+
+  // Next data entry to relocate in copyback mode: a channel queue whose relocation
+  // would land on-die if one exists, else the first non-empty queue. nullopt when all
+  // data entries are drained.
+  std::optional<size_t> PickCopybackEntry();
+
+  // True when every entry of the current victim has been processed.
+  bool VictimExhausted() const;
 
   // Destination append head for a copy-forwarded record.
   int HeadForEpoch(uint32_t epoch) const;

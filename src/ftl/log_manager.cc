@@ -108,6 +108,73 @@ StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
   }
 }
 
+StatusOr<AppendResult> LogManager::AppendCopyback(int head, uint64_t src_paddr,
+                                                  const PageHeader& header,
+                                                  uint64_t issue_ns) {
+  Head& h = HeadFor(head);
+
+  for (int attempt = 0;; ++attempt) {
+    if (h.open_segment.has_value()) {
+      const uint64_t seg = *h.open_segment;
+      if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+        segments_[seg].state = SegmentState::kClosed;
+        h.open_segment.reset();
+      }
+    }
+    if (!h.open_segment.has_value()) {
+      ASSIGN_OR_RETURN(uint64_t seg, AcquireSegment(head));
+      h.open_segment = seg;
+    }
+
+    const uint64_t seg = *h.open_segment;
+    AppendResult result;
+    StatusOr<NandOp> op = device_->CopybackPage(src_paddr, seg, issue_ns, &result.paddr);
+    if (!op.ok()) {
+      // kDataLoss means either a program failure (destination block retired — reroute
+      // to a fresh segment, exactly like Append) or a scrub-detected CRC mismatch on
+      // the source (the destination is fine; rerouting cannot fix the source, so the
+      // error propagates for the caller's unreadable-page handling).
+      if (op.status().code() == StatusCode::kDataLoss && device_->IsBadSegment(seg) &&
+          attempt < kMaxAppendReroutes) {
+        AbandonOpenSegment(head);
+        ++stats_.append_reroutes;
+        continue;
+      }
+      return op.status();
+    }
+    result.op = *op;
+
+    SegmentInfo& info = segments_[seg];
+    info.min_seq = std::min(info.min_seq, header.seq);
+    if (header.type == RecordType::kData) {
+      info.min_data_seq = std::min(info.min_data_seq, header.seq);
+      ++info.epoch_pages[header.epoch];
+    }
+    if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+      info.state = SegmentState::kClosed;
+      h.open_segment.reset();
+    }
+    return result;
+  }
+}
+
+std::optional<uint32_t> LogManager::NextAppendChannel(int head) const {
+  const uint64_t pages_per_segment = device_->config().pages_per_segment;
+  const uint32_t channels = device_->config().num_channels;
+  auto it = heads_.find(head);
+  if (it != heads_.end() && it->second.open_segment.has_value()) {
+    const uint64_t seg = *it->second.open_segment;
+    const uint64_t next = device_->NextFreePage(seg);
+    if (next < pages_per_segment) {
+      return static_cast<uint32_t>((device_->FirstPageOf(seg) + next) % channels);
+    }
+  }
+  if (!free_segments_.empty()) {
+    return static_cast<uint32_t>(device_->FirstPageOf(free_segments_.front()) % channels);
+  }
+  return std::nullopt;
+}
+
 Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests,
                                uint64_t issue_ns, std::vector<AppendResult>* results_out,
                                std::span<const uint64_t> issue_at) {

@@ -97,6 +97,23 @@ class LogManager {
                      std::vector<AppendResult>* results_out,
                      std::span<const uint64_t> issue_at = {});
 
+  // Appends one record through `head` by on-die copyback from `src_paddr` instead of a
+  // host-supplied payload (NandDevice::CopybackPage; the stored bytes move verbatim).
+  // `header` must be the source page's header — it is used only for segment accounting
+  // (min_seq/epoch), never re-programmed. Segment lifecycle matches Append, including
+  // reroute-on-program-failure bounded by kMaxAppendReroutes; a kDataLoss that did NOT
+  // retire the destination segment is a scrub-detected unreadable source and propagates
+  // immediately (rerouting cannot fix the source). kUnavailable (transient read
+  // failure) also propagates — the caller owns retry policy.
+  StatusOr<AppendResult> AppendCopyback(int head, uint64_t src_paddr,
+                                        const PageHeader& header, uint64_t issue_ns);
+
+  // Channel of the page the next Append through `head` would program: the open
+  // segment's next free page, else page 0 of the segment that would be acquired.
+  // nullopt when no open segment and no free segments. The cleaner uses this to order
+  // relocations so copybacks land on their source channel (the on-die fast path).
+  std::optional<uint32_t> NextAppendChannel(int head) const;
+
   // True if `head` can accept a record without violating the GC reserve.
   bool CanAppend(int head) const;
 

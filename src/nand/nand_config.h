@@ -30,6 +30,16 @@ struct NandConfig {
   // --- Transfer path ---
   // Shared bus transfer per full page (serializes channels; caps aggregate bandwidth).
   uint64_t bus_ns_per_page = UsToNs(3);
+  // Number of independent transfer buses. Channels stripe across buses
+  // (bus = channel % buses), so buses=1 is the classic single shared bus —
+  // bit-identical to the pre-multi-bus device — while buses=N lifts the aggregate
+  // transfer ceiling N-fold (until the channels themselves saturate).
+  uint32_t buses = 1;
+  // When true, copyback ops re-verify the source page's CRC inside the die before
+  // programming the copy ("scrub on copyback"). Copyback skips the host DMA that
+  // normally verifies CRCs on read, so without the scrub a corrupted page would be
+  // relocated verbatim and only caught on the next host read.
+  bool copyback_scrub = true;
   // Out-of-band header read during bulk scans (activation, recovery). Much cheaper than a
   // data read: the paper scans an 8 GB log in ~600 ms, i.e. ~0.3 us per page.
   uint64_t header_scan_ns_per_page = 300;

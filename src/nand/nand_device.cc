@@ -80,8 +80,12 @@ NandDevice::NandDevice(const NandConfig& config)
       pages_(config.TotalPages()),
       segments_(config.num_segments),
       channel_busy_until_(config.num_channels, 0),
-      channel_bg_until_(config.num_channels, 0) {
+      bus_busy_until_(config.buses, 0),
+      channel_bg_until_(config.num_channels, 0),
+      bus_bg_until_(config.buses, 0),
+      bus_active_ns_(config.buses, 0) {
   IOSNAP_CHECK(config.num_channels > 0);
+  IOSNAP_CHECK(config.buses > 0);
   IOSNAP_CHECK(config.pages_per_segment > 0);
   IOSNAP_CHECK(config.num_segments > 0);
   // NAND ships factory-erased: first programs need no erase. (Erases after that are
@@ -107,13 +111,15 @@ NandOp NandDevice::Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns,
 
   uint64_t start = chan_start;
   if (bus_ns > 0) {
-    const uint64_t bus_start = std::max(start, bus_busy_until_);
+    const uint32_t bus = BusOfChannel(channel);
+    const uint64_t bus_start = std::max(start, bus_busy_until_[bus]);
     op.bus_wait_ns = bus_start - start;
     op.bg_wait_ns +=
-        std::min(bus_start, std::max(start, bus_bg_until_)) - start;
-    bus_busy_until_ = bus_start + bus_ns;
+        std::min(bus_start, std::max(start, bus_bg_until_[bus])) - start;
+    bus_busy_until_[bus] = bus_start + bus_ns;
+    bus_active_ns_[bus] += bus_ns;
     if (background_depth_ > 0) {
-      bus_bg_until_ = bus_busy_until_;
+      bus_bg_until_[bus] = bus_busy_until_[bus];
     }
     start = bus_start + bus_ns;
   }
@@ -363,6 +369,194 @@ Status NandDevice::ReadBatch(std::span<const uint64_t> paddrs, uint64_t issue_ns
   return OkStatus();
 }
 
+StatusOr<NandOp> NandDevice::CopybackPage(uint64_t src_paddr, uint64_t dst_segment,
+                                          uint64_t issue_ns, uint64_t* paddr_out) {
+  if (src_paddr >= config_.TotalPages()) {
+    return OutOfRange("copyback: src paddr out of range");
+  }
+  if (!pages_[src_paddr].programmed) {
+    return FailedPrecondition("copyback: page " + std::to_string(src_paddr) +
+                              " is not programmed");
+  }
+  if (dst_segment >= config_.num_segments) {
+    return OutOfRange("copyback: segment " + std::to_string(dst_segment) +
+                      " out of range");
+  }
+  const SegmentState& seg = segments_[dst_segment];
+  if (seg.bad) {
+    return DataLoss("copyback: segment " + std::to_string(dst_segment) +
+                    " is a grown bad block");
+  }
+  if (!seg.erased) {
+    return FailedPrecondition("copyback: segment " + std::to_string(dst_segment) +
+                              " was never erased");
+  }
+  if (seg.next_page >= config_.pages_per_segment) {
+    return ResourceExhausted("copyback: segment " + std::to_string(dst_segment) +
+                             " is full");
+  }
+  return CopybackCommit(src_paddr, dst_segment, issue_ns, paddr_out);
+}
+
+StatusOr<NandOp> NandDevice::CopybackCommit(uint64_t src_paddr, uint64_t dst_segment,
+                                            uint64_t issue_ns, uint64_t* paddr_out) {
+  RETURN_IF_ERROR(fault_.BeginOp());
+  SegmentState& seg = segments_[dst_segment];
+  const uint64_t dst_paddr = FirstPageOf(dst_segment) + seg.next_page;
+  const uint32_t src_chan = ChannelOfPage(src_paddr);
+  const uint32_t dst_chan = ChannelOfPage(dst_paddr);
+  const bool on_die = src_chan == dst_chan;
+  const uint64_t leg_bus_ns = on_die ? 0 : config_.bus_ns_per_page;
+
+  const PageState& src = pages_[src_paddr];
+  if (fault_.DrawReadFail()) {
+    // The failed internal read still occupied the source channel (and, on the
+    // cross-channel fallback, its bus). Retryable; the destination slot survives.
+    ++stats_.read_failures;
+    Occupy(src_chan, issue_ns, leg_bus_ns, config_.read_ns);
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns, kFaultKindRead,
+                     src_paddr, fault_.ops());
+    }
+    return Unavailable("copyback: transient read failure at paddr " +
+                       std::to_string(src_paddr));
+  }
+  if (config_.copyback_scrub && !PageCrcOk(src)) {
+    // Scrub-on-copyback: the on-die move would otherwise relocate corruption without
+    // any host CRC check. Caught here, the page is dropped by the caller's normal
+    // unreadable-page path and nothing is programmed.
+    ++stats_.crc_errors;
+    Occupy(src_chan, issue_ns, leg_bus_ns, config_.read_ns);
+    return DataLoss("copyback: CRC mismatch at paddr " + std::to_string(src_paddr));
+  }
+
+  ++seg.next_page;
+  if (fault_.DrawProgramFail()) {
+    MarkBad(dst_segment);
+    ++stats_.program_failures;
+    if (on_die) {
+      Occupy(src_chan, issue_ns, 0, config_.read_ns + config_.program_ns);
+    } else {
+      const NandOp read_op = Occupy(src_chan, issue_ns, leg_bus_ns, config_.read_ns);
+      Occupy(dst_chan, read_op.finish_ns, leg_bus_ns, config_.program_ns);
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns,
+                     kFaultKindProgram, dst_segment, fault_.ops());
+    }
+    return DataLoss("copyback: injected program failure in segment " +
+                    std::to_string(dst_segment));
+  }
+
+  PageState& dst = pages_[dst_paddr];
+  IOSNAP_CHECK(!dst.programmed);
+  dst.programmed = true;
+  // The stored bytes move verbatim — header with its original CRC plus payload — so a
+  // corruption that slipped past a disabled scrub still fails verification at the new
+  // address instead of being laundered by a recomputed checksum.
+  dst.header = src.header;
+  dst.data = src.data;
+
+  if (fault_.DrawCorrupt()) {
+    FlipStoredBit(dst_paddr);
+    ++stats_.pages_corrupted;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kFaultInjected, issue_ns, issue_ns,
+                     kFaultKindCorrupt, dst_paddr, fault_.ops());
+    }
+  }
+
+  ++stats_.pages_programmed;
+  stats_.bytes_programmed += config_.page_size_bytes;
+  ++stats_.copyback_pages;
+
+  NandOp op;
+  if (on_die) {
+    // The move never leaves the die: one channel occupancy covering sense + program,
+    // zero bus time.
+    op = Occupy(src_chan, issue_ns, 0, config_.read_ns + config_.program_ns);
+  } else {
+    // Cross-channel fallback: an internal read on the source channel chained into a
+    // program on the destination channel. Reported as one combined op; because the
+    // program is issued exactly at the read's finish, summing the two legs' spans
+    // preserves the chan_wait+bus_wait+bus+cell == finish-issue invariant bit-exactly.
+    ++stats_.copyback_fallbacks;
+    const NandOp read_op = Occupy(src_chan, issue_ns, leg_bus_ns, config_.read_ns);
+    const NandOp prog_op =
+        Occupy(dst_chan, read_op.finish_ns, leg_bus_ns, config_.program_ns);
+    op.issue_ns = issue_ns;
+    op.finish_ns = prog_op.finish_ns;
+    op.chan_wait_ns = read_op.chan_wait_ns + prog_op.chan_wait_ns;
+    op.bus_wait_ns = read_op.bus_wait_ns + prog_op.bus_wait_ns;
+    op.bus_ns = read_op.bus_ns + prog_op.bus_ns;
+    op.cell_ns = read_op.cell_ns + prog_op.cell_ns;
+    op.bg_wait_ns = read_op.bg_wait_ns + prog_op.bg_wait_ns;
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kNandCopyback, op.issue_ns, op.finish_ns, src_paddr,
+                   dst_paddr, on_die ? 1 : 0);
+  }
+  if (paddr_out != nullptr) {
+    *paddr_out = dst_paddr;
+  }
+  return op;
+}
+
+Status NandDevice::CopybackBatch(std::span<const uint64_t> src_paddrs,
+                                 uint64_t dst_segment, uint64_t issue_ns,
+                                 std::vector<uint64_t>* paddrs_out,
+                                 std::vector<NandOp>* ops_out) {
+  if (dst_segment >= config_.num_segments) {
+    return OutOfRange("copyback-batch: segment " + std::to_string(dst_segment) +
+                      " out of range");
+  }
+  const SegmentState& seg = segments_[dst_segment];
+  if (seg.bad) {
+    return DataLoss("copyback-batch: segment " + std::to_string(dst_segment) +
+                    " is a grown bad block");
+  }
+  if (!seg.erased) {
+    return FailedPrecondition("copyback-batch: segment " + std::to_string(dst_segment) +
+                              " was never erased");
+  }
+  if (seg.next_page + src_paddrs.size() > config_.pages_per_segment) {
+    return ResourceExhausted("copyback-batch: batch of " +
+                             std::to_string(src_paddrs.size()) + " overflows segment " +
+                             std::to_string(dst_segment));
+  }
+  for (uint64_t src_paddr : src_paddrs) {
+    if (src_paddr >= config_.TotalPages()) {
+      return OutOfRange("copyback-batch: src paddr out of range");
+    }
+    if (!pages_[src_paddr].programmed) {
+      return FailedPrecondition("copyback-batch: page " + std::to_string(src_paddr) +
+                                " is not programmed");
+    }
+  }
+
+  if (paddrs_out != nullptr) {
+    paddrs_out->reserve(paddrs_out->size() + src_paddrs.size());
+  }
+  if (ops_out != nullptr) {
+    ops_out->reserve(ops_out->size() + src_paddrs.size());
+  }
+  for (uint64_t src_paddr : src_paddrs) {
+    uint64_t dst_paddr = 0;
+    StatusOr<NandOp> op = CopybackCommit(src_paddr, dst_segment, issue_ns, &dst_paddr);
+    if (!op.ok()) {
+      // Torn batch: the committed prefix stays in the out-vectors.
+      return op.status();
+    }
+    if (paddrs_out != nullptr) {
+      paddrs_out->push_back(dst_paddr);
+    }
+    if (ops_out != nullptr) {
+      ops_out->push_back(*op);
+    }
+  }
+  return OkStatus();
+}
+
 StatusOr<NandOp> NandDevice::ReadPageWithRetry(uint64_t paddr, uint64_t issue_ns,
                                                PageHeader* header_out,
                                                std::vector<uint8_t>* data_out,
@@ -545,6 +739,12 @@ bool NandDevice::IsBadSegment(uint64_t segment) const {
   return segments_[segment].bad;
 }
 
+bool NandDevice::PageCrcIntact(uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  IOSNAP_CHECK(pages_[paddr].programmed);
+  return PageCrcOk(pages_[paddr]);
+}
+
 bool NandDevice::IsProgrammed(uint64_t paddr) const {
   IOSNAP_CHECK(paddr < config_.TotalPages());
   return pages_[paddr].programmed;
@@ -584,11 +784,23 @@ uint64_t NandDevice::EraseCount(uint64_t segment) const {
 }
 
 uint64_t NandDevice::DrainTimeNs() const {
-  uint64_t t = bus_busy_until_;
+  uint64_t t = 0;
+  for (uint64_t busy : bus_busy_until_) {
+    t = std::max(t, busy);
+  }
   for (uint64_t busy : channel_busy_until_) {
     t = std::max(t, busy);
   }
   return t;
+}
+
+double NandDevice::BusBusyFrac(uint32_t bus) const {
+  IOSNAP_CHECK(bus < bus_active_ns_.size());
+  const uint64_t span = DrainTimeNs();
+  if (span == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bus_active_ns_[bus]) / static_cast<double>(span);
 }
 
 }  // namespace iosnap

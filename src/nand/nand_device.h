@@ -3,9 +3,14 @@
 // This substitutes for the paper's Fusion-io ioMemory hardware. It models:
 //   * segment (erase-block) geometry with erase-before-program and strictly sequential
 //     page programming within a segment — the constraints that force log structuring;
-//   * per-channel busy horizons plus a shared transfer bus, on a virtual clock, so that
-//     background traffic (GC, snapshot activation) visibly delays foreground I/O exactly
-//     as device-bandwidth contention does in the paper's Figures 9 and 10;
+//   * per-channel busy horizons plus one or more transfer buses (channels stripe
+//     across NandConfig::buses; buses=1 is the classic single shared bus), on a
+//     virtual clock, so that background traffic (GC, snapshot activation) visibly
+//     delays foreground I/O exactly as device-bandwidth contention does in the
+//     paper's Figures 9 and 10;
+//   * an on-die copyback path (CopybackPage/CopybackBatch) that relocates a page
+//     without crossing a bus when source and destination share a channel — the GC
+//     copy-forward primitive that keeps cleaning traffic off the transfer path;
 //   * wear accounting per segment;
 //   * cheap bulk header scans (the OOB area) used by activation and crash recovery.
 //
@@ -66,6 +71,9 @@ struct NandStats {
   uint64_t crc_errors = 0;        // Pages whose stored CRC failed verification.
   uint64_t pages_corrupted = 0;   // Pages silently corrupted at program time.
   uint64_t read_retries = 0;      // Extra attempts made by ReadPageWithRetry.
+  // Copyback path (on-die GC copy-forward). Zero unless CopybackPage/Batch is used.
+  uint64_t copyback_pages = 0;      // Pages relocated via CopybackPage/CopybackBatch.
+  uint64_t copyback_fallbacks = 0;  // Copybacks that crossed channels (read+program).
 };
 
 class NandDevice {
@@ -125,6 +133,28 @@ class NandDevice {
                    std::vector<NandOp>* ops_out,
                    std::span<const uint64_t> issue_at = {});
 
+  // On-die copyback: relocates the stored bytes of `src_paddr` (header + payload,
+  // verbatim — the stored CRC travels with the page, so latent corruption stays
+  // detectable) into the next free page of `dst_segment` without a host DMA. When
+  // source and destination land on the same channel the move happens inside the die
+  // and occupies only that channel (bus_ns == 0); across channels the device falls
+  // back to an internal read + program that pays both bus transfers, reported as one
+  // combined NandOp (the span invariant still holds bit-exactly). With
+  // `config.copyback_scrub` the source CRC is re-verified first and a mismatch
+  // returns kDataLoss without programming anything. Fault gates mirror
+  // ReadCommit/ProgramCommit: transient read failures return kUnavailable (retryable),
+  // program failures retire the destination block and return kDataLoss.
+  StatusOr<NandOp> CopybackPage(uint64_t src_paddr, uint64_t dst_segment,
+                                uint64_t issue_ns, uint64_t* paddr_out);
+
+  // Copies `src_paddrs.size()` pages into consecutive next-free pages of
+  // `dst_segment`, all issued at `issue_ns` in one virtual-clock pass. Validated up
+  // front (a validation error copies nothing); a fault mid-batch leaves the committed
+  // prefix in the out-vectors, like ProgramBatch.
+  Status CopybackBatch(std::span<const uint64_t> src_paddrs, uint64_t dst_segment,
+                       uint64_t issue_ns, std::vector<uint64_t>* paddrs_out,
+                       std::vector<NandOp>* ops_out);
+
   // ReadPage with bounded retry: transient failures (kUnavailable) are retried up to
   // `max_attempts` total attempts; permanent errors (CRC mismatch -> kDataLoss,
   // structural errors) return immediately. Each retry re-charges device time.
@@ -163,6 +193,10 @@ class NandDevice {
   // True once the segment has become a grown bad block (failed program/erase, scheduled
   // bad block, or wear-out). Bad segments refuse further programs and erases.
   bool IsBadSegment(uint64_t segment) const;
+  // Untimed CRC verification of a programmed page. Error-path triage (e.g. deciding
+  // whether a copyback kDataLoss blamed the source or the destination); charges no
+  // device time.
+  bool PageCrcIntact(uint64_t paddr) const;
 
   const NandStats& stats() const { return stats_; }
 
@@ -208,6 +242,15 @@ class NandDevice {
   // drivers use this to convert a stream of async writes into sustained bandwidth.
   uint64_t DrainTimeNs() const;
 
+  // --- Per-bus utilization (metrics) ---
+
+  uint32_t NumBuses() const { return static_cast<uint32_t>(bus_busy_until_.size()); }
+  // Cumulative transfer time carried by one bus over the whole run.
+  uint64_t BusActiveNs(uint32_t bus) const { return bus_active_ns_[bus]; }
+  // Fraction of the run (up to DrainTimeNs) the bus spent transferring; the quantity
+  // whose saturation at ~1.0 marks the transfer-path throughput ceiling.
+  double BusBusyFrac(uint32_t bus) const;
+
  private:
   struct PageState {
     bool programmed = false;
@@ -228,9 +271,13 @@ class NandDevice {
   uint32_t ChannelOfSegment(uint64_t segment) const {
     return static_cast<uint32_t>(segment % config_.num_channels);
   }
+  // Channels stripe across the transfer buses.
+  uint32_t BusOfChannel(uint32_t channel) const {
+    return channel % static_cast<uint32_t>(bus_busy_until_.size());
+  }
 
-  // Serializes an op through a channel and (optionally) the shared bus. Returns the
-  // completed NandOp with its span decomposition filled in (see NandOp).
+  // Serializes an op through a channel and (optionally) that channel's transfer bus.
+  // Returns the completed NandOp with its span decomposition filled in (see NandOp).
   NandOp Occupy(uint32_t channel, uint64_t issue_ns, uint64_t bus_ns, uint64_t cell_ns);
 
   // Post-validation single-page bodies shared by the scalar and batch entry points.
@@ -241,6 +288,8 @@ class NandDevice {
                                  uint64_t* paddr_out);
   StatusOr<NandOp> ReadCommit(uint64_t paddr, uint64_t issue_ns, PageHeader* header_out,
                               std::vector<uint8_t>* data_out);
+  StatusOr<NandOp> CopybackCommit(uint64_t src_paddr, uint64_t dst_segment,
+                                  uint64_t issue_ns, uint64_t* paddr_out);
 
   // Marks a segment as a grown bad block and re-derives MaxEraseCount if the segment
   // was holding the maximum.
@@ -253,11 +302,15 @@ class NandDevice {
   std::vector<PageState> pages_;
   std::vector<SegmentState> segments_;
   std::vector<uint64_t> channel_busy_until_;
-  uint64_t bus_busy_until_ = 0;
+  // One busy horizon per transfer bus (config.buses entries; buses=1 reproduces the
+  // single shared bus bit-identically).
+  std::vector<uint64_t> bus_busy_until_;
   // Shadow horizons advanced only by ops served under a BackgroundScope; read-only
   // inputs to the bg_wait_ns attribution of foreground ops. Never affect timing.
   std::vector<uint64_t> channel_bg_until_;
-  uint64_t bus_bg_until_ = 0;
+  std::vector<uint64_t> bus_bg_until_;
+  // Cumulative transfer time per bus; feeds the nand.bus_busy_frac gauges.
+  std::vector<uint64_t> bus_active_ns_;
   uint64_t background_depth_ = 0;
   uint64_t max_erase_count_ = 0;
   NandStats stats_;

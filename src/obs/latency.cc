@@ -13,7 +13,7 @@ const char* const kSpanNames[kNumLatencySpans] = {
     "queue_wait", "gc_wait", "bus", "cell", "map", "cow", "host_other",
 };
 
-const char* const kKindNames[kNumLatencyOpKinds] = {"write", "read", "trim"};
+const char* const kKindNames[kNumLatencyOpKinds] = {"write", "read", "trim", "gc_copy"};
 
 void AppendU64(std::string* out, uint64_t v) {
   char buf[20];

@@ -61,6 +61,9 @@ enum class LatencyOpKind : uint8_t {
   kWrite = 0,
   kRead,
   kTrim,
+  // GC copy-forward relocations done via on-die copyback (recorded by the cleaner
+  // only when FtlConfig::gc_copyback is on; default runs carry no such records).
+  kGcCopy,
 
   kNumKinds,  // Sentinel; keep last.
 };

@@ -19,7 +19,7 @@ namespace iosnap {
 
 // Number of fields each binding registers; keep in sync with the structs (test-checked).
 inline constexpr size_t kFtlStatsMetricCount = 29;
-inline constexpr size_t kNandStatsMetricCount = 12;
+inline constexpr size_t kNandStatsMetricCount = 14;
 inline constexpr size_t kValidityStatsMetricCount = 7;
 inline constexpr size_t kLogStatsMetricCount = 2;
 inline constexpr size_t kIoQueueStatsMetricCount = 9;
@@ -77,6 +77,20 @@ inline void RegisterNandStats(MetricsRegistry* registry, const NandStats& s,
   add("crc_errors", &s.crc_errors);
   add("pages_corrupted", &s.pages_corrupted);
   add("read_retries", &s.read_retries);
+  add("copyback_pages", &s.copyback_pages);
+  add("copyback_fallbacks", &s.copyback_fallbacks);
+}
+
+// Per-bus utilization gauges: "nand.bus_busy_frac.<i>" for each transfer bus. These
+// need the device itself (busy horizons live outside NandStats), so they are a
+// separate registration from RegisterNandStats; `device` must outlive the registry.
+inline void RegisterNandBusGauges(MetricsRegistry* registry, const NandDevice& device,
+                                  const std::string& prefix = "nand.") {
+  for (uint32_t bus = 0; bus < device.NumBuses(); ++bus) {
+    const NandDevice* d = &device;
+    registry->RegisterGauge(prefix + "bus_busy_frac." + std::to_string(bus),
+                            [d, bus] { return d->BusBusyFrac(bus); });
+  }
 }
 
 inline void RegisterValidityStats(MetricsRegistry* registry, const ValidityStats& s,

@@ -66,6 +66,8 @@ enum class TraceEventType : uint8_t {
   kQueueSubmit,      // args: queue, ops, submission_id
   kQueueFlush,       // args: pending_ops, merged_runs
   kQueueComplete,    // args: queue, op_id, lba
+  // On-die copyback relocation (GC copy-forward off the bus).
+  kNandCopyback,     // args: src_paddr, dst_paddr, on_die (1 = same-channel, 0 = fallback)
 
   kNumTypes,  // Sentinel; keep last.
 };

@@ -84,6 +84,8 @@ constexpr TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
      {"pending_ops", "merged_runs", nullptr}},
     {TraceEventType::kQueueComplete, "queue_complete", "io", kTrackIo,
      {"queue", "op_id", "lba"}},
+    {TraceEventType::kNandCopyback, "copyback", "device", kTrackDevice,
+     {"src_paddr", "dst_paddr", "on_die"}},
 };
 
 // Compile-time proof that every enumerator has a well-formed table entry: self-id

@@ -44,10 +44,13 @@ struct RunSetup {
   uint64_t batch = 1;
   uint64_t queue_depth = 1;
   bool faults = false;
+  uint32_t buses = 1;
+  bool copyback = false;  // Cleaner copy-forward via on-die copyback.
 
   std::string Label() const {
     return "queues=" + std::to_string(queues) + " iodepth=" + std::to_string(iodepth) +
            " batch=" + std::to_string(batch) + " qd=" + std::to_string(queue_depth) +
+           " buses=" + std::to_string(buses) + (copyback ? " copyback" : "") +
            (faults ? " faults" : "");
   }
 };
@@ -55,6 +58,7 @@ struct RunSetup {
 struct RunOutput {
   FtlStats stats;
   uint64_t pages_programmed = 0;
+  uint64_t copyback_pages = 0;
   uint64_t end_ns = 0;
   uint64_t drain_end_ns = 0;
   uint64_t ops = 0;
@@ -66,6 +70,8 @@ struct RunOutput {
 // path) and returns the outcome. `attributor` may be nullptr: attribution off.
 RunOutput RunChurn(const RunSetup& setup, LatencyAttributor* attributor) {
   FtlConfig config = TestConfig();
+  config.nand.buses = setup.buses;
+  config.gc_copyback = setup.copyback;
   if (setup.faults) {
     config.nand.fault.seed = 17;
     config.nand.fault.program_fail_ppm = 400;
@@ -113,6 +119,7 @@ RunOutput RunChurn(const RunSetup& setup, LatencyAttributor* attributor) {
   RunOutput out;
   out.stats = ftl->stats();
   out.pages_programmed = ftl->device().stats().pages_programmed;
+  out.copyback_pages = ftl->device().stats().copyback_pages;
   out.end_ns = result->end_ns;
   out.drain_end_ns = result->drain_end_ns;
   out.ops = result->ops;
@@ -150,6 +157,39 @@ TEST(AttributionExactnessTest, QueuedPathsSumExactly) {
       // Snapshot CoW charged host-side time on post-snapshot overwrites.
       EXPECT_GT(attributor.SpanTotalNs(LatencySpan::kCow), 0u) << setup.Label();
       EXPECT_GT(attributor.SpanTotalNs(LatencySpan::kMap), 0u) << setup.Label();
+    }
+  }
+}
+
+// ISSUE 8 matrix: buses {1,2,4} x copyback on/off, forced GC throughout. Exactness
+// must survive multi-bus striping (bus_wait computed against per-bus horizons) and
+// the gc_copy records the cleaner emits for copyback relocations (whose on-die form
+// carries bus == 0 legitimately).
+TEST(AttributionExactnessTest, MultiBusAndCopybackSumExactly) {
+  for (uint32_t buses : {1u, 2u, 4u}) {
+    for (bool copyback : {false, true}) {
+      RunSetup setup;
+      setup.queues = 2;
+      setup.iodepth = 8;
+      setup.batch = 8;
+      setup.buses = buses;
+      setup.copyback = copyback;
+      LatencyAttributor attributor;
+      const RunOutput out = RunChurn(setup, &attributor);
+      ASSERT_GT(out.stats.gc_segments_cleaned, 0u) << setup.Label();
+      ExpectExactSums(attributor, setup.Label());
+      // One record per host op, plus — with copyback on — exactly one gc_copy record
+      // per relocated page; without it, no gc_copy records at all.
+      const uint64_t gc_copies =
+          attributor.EndToEndHistogram(LatencyOpKind::kGcCopy).count();
+      EXPECT_EQ(attributor.ops(), out.ops + gc_copies) << setup.Label();
+      if (copyback) {
+        EXPECT_GT(out.copyback_pages, 0u) << setup.Label();
+        EXPECT_EQ(gc_copies, out.copyback_pages) << setup.Label();
+      } else {
+        EXPECT_EQ(out.copyback_pages, 0u) << setup.Label();
+        EXPECT_EQ(gc_copies, 0u) << setup.Label();
+      }
     }
   }
 }

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/core/ftl.h"
 #include "tests/test_util.h"
 
@@ -370,6 +371,123 @@ TEST(FaultCampaign, RandomFaultSoak) {
   std::set<uint32_t> live_set(live.begin(), live.end());
   std::set<uint32_t> expected(live_snaps.begin(), live_snaps.end());
   EXPECT_EQ(live_set, expected);
+}
+
+// With GC copy-forward routed through on-die copyback, the host DMA that normally
+// verifies CRCs never happens — scrub-on-copyback is what stands between a silently
+// corrupted page and its unverified relocation. Corrupt one live page in place, force
+// the clean, and check the scrub drops exactly that page while every other live page
+// relocates via copyback.
+TEST(FaultCampaign, CopybackScrubDropsCorruptSourceDuringClean) {
+  FtlConfig config = TinyConfig();
+  config.gc_copyback = true;  // copyback_scrub defaults on.
+  FtlHarness h(config);
+
+  // Version 1 everywhere, then version 2 everywhere except lba 3: the v1 segment(s)
+  // end up nearly empty of live data, so greedy victim selection reaches them first,
+  // and lba 3's v1 page is the lone live (and corrupt) survivor.
+  for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+    if (lba != 3) {
+      ASSERT_OK(h.Write(lba, 2));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(auto entries, h.ftl().ViewMapEntries(kPrimaryView));
+  uint64_t victim_paddr = ~uint64_t{0};
+  for (const auto& [lba, paddr] : entries) {
+    if (lba == 3) {
+      victim_paddr = paddr;
+    }
+  }
+  ASSERT_NE(victim_paddr, ~uint64_t{0});
+  h.ftl().MutableDeviceForTesting().CorruptPageForTesting(victim_paddr);
+
+  for (int round = 0; round < 8 && h.ftl().device().stats().crc_errors == 0; ++round) {
+    auto finish = h.ftl().ForceCleanSegment(h.now());
+    if (!finish.ok()) {
+      break;  // No eligible victim left; the EXPECTs below report what was missed.
+    }
+    h.AdvanceTo(*finish);
+  }
+  const NandStats& n = h.ftl().device().stats();
+  EXPECT_GE(n.crc_errors, 1u);  // The scrub fired.
+  // Keep cleaning until a victim with healthy live pages comes up: those relocate
+  // via copyback (the corrupt page's victim may have held no other live data).
+  for (int round = 0; round < 8 && n.copyback_pages == 0; ++round) {
+    auto finish = h.ftl().ForceCleanSegment(h.now());
+    if (!finish.ok()) {
+      break;
+    }
+    h.AdvanceTo(*finish);
+  }
+  EXPECT_GT(n.copyback_pages, 0u);
+  // The corrupt page was dropped, not relocated: lba 3 no longer serves version 1.
+  EXPECT_FALSE(h.CheckLba(kPrimaryView, 3, 1));
+  // Everything else survived the copyback clean intact.
+  for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+    if (lba != 3) {
+      ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, 2));
+    }
+  }
+  ASSERT_TRUE(h.ftl().validity().VerifyCounters());
+  ASSERT_OK(h.Write(3, 5));
+  ASSERT_TRUE(h.CheckLba(kPrimaryView, 3, 5));
+}
+
+// The RandomFaultSoak invariants must hold unchanged when GC relocates via copyback
+// on a multi-bus device: program failures reroute copyback appends, transient read
+// failures retry the internal read leg, and retired segments stay off the free list.
+TEST(FaultCampaign, CopybackRandomFaultSoak) {
+  FtlConfig config = SmallConfig();
+  config.gc_copyback = true;
+  config.nand.buses = 2;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.program_fail_ppm = 400;
+  plan.erase_fail_ppm = 800;
+  plan.read_fail_ppm = 2500;
+  plan.bad_block_schedule = {{5, 1}};
+  plan.ApplyTo(&config);
+
+  FtlHarness h(config);
+  ReferenceModel model;
+  std::map<uint64_t, uint64_t> version;
+  constexpr uint64_t kSoakLbaSpace = 400;
+  // Random (not striding) overwrites: victims then hold a mix of live and dead
+  // pages, so every clean exercises copyback relocation rather than pure drops.
+  Rng rng(123);
+  for (uint64_t i = 0; i < 6000; ++i) {
+    const uint64_t lba = rng.NextBelow(kSoakLbaSpace);
+    const uint64_t v = ++version[lba];
+    if (h.Write(lba, v).ok()) {
+      model.Write(lba, v);
+    } else {
+      --version[lba];
+    }
+    if (i % 997 == 499) {
+      const uint64_t t = (i * 13) % (kSoakLbaSpace - 5);
+      if (h.Trim(t, 5).ok()) {
+        model.Trim(t, 5);
+      }
+    }
+  }
+
+  const NandStats& n = h.ftl().device().stats();
+  EXPECT_GT(n.copyback_pages, 0u);
+  EXPECT_GT(n.program_failures + n.erase_failures + n.read_failures, 0u);
+  EXPECT_TRUE(h.ftl().device().IsBadSegment(5));
+  EXPECT_TRUE(h.ftl().validity().VerifyCounters());
+  for (const auto& [lba, v] : model.current_state()) {
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, v));
+  }
+
+  ASSERT_OK(h.CrashAndReopen(/*clear_faults=*/true));
+  ASSERT_TRUE(h.ftl().validity().VerifyCounters());
+  for (const auto& [lba, v] : model.current_state()) {
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, v));
+  }
 }
 
 }  // namespace

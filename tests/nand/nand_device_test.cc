@@ -1,9 +1,11 @@
 #include "src/nand/nand_device.h"
 
 #include <cstring>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "tests/test_util.h"
 
 namespace iosnap {
@@ -301,6 +303,214 @@ TEST(NandDeviceTest, ReadBatchMatchesSequentialReads) {
   EXPECT_EQ(batched.DrainTimeNs(), drain_before);
 }
 
+TEST(NandDeviceTest, CopybackSameChannelStaysOffBus) {
+  NandConfig config = TestNand();
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 21;
+  header.epoch = 2;
+  header.seq = 5;
+  const std::vector<uint8_t> data = PageData(512, 21, 4);
+  uint64_t src = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, data, 0, &src).status());
+  ASSERT_EQ(src % config.num_channels, 0u);
+
+  // Segment 2's first free page is paddr 16 — channel 0, same as the source, so the
+  // copy happens inside the die: no bus occupancy at all.
+  const uint64_t idle = dev.DrainTimeNs();
+  uint64_t dst = 0;
+  ASSERT_OK_AND_ASSIGN(NandOp op, dev.CopybackPage(src, 2, idle, &dst));
+  EXPECT_EQ(dst, dev.FirstPageOf(2));
+  EXPECT_EQ(op.bus_ns, 0u);
+  EXPECT_EQ(op.cell_ns, config.read_ns + config.program_ns);
+  EXPECT_EQ(op.finish_ns, idle + config.read_ns + config.program_ns);
+  EXPECT_EQ(dev.stats().copyback_pages, 1u);
+  EXPECT_EQ(dev.stats().copyback_fallbacks, 0u);
+  // Copyback is not a host read: only the program side of the ledger moves.
+  EXPECT_EQ(dev.stats().pages_read, 0u);
+  EXPECT_EQ(dev.stats().pages_programmed, 2u);
+
+  // The stored bytes travelled verbatim.
+  PageHeader out;
+  std::vector<uint8_t> out_data;
+  ASSERT_OK(dev.ReadPage(dst, op.finish_ns, &out, &out_data).status());
+  EXPECT_EQ(out.lba, 21u);
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.seq, 5u);
+  EXPECT_EQ(out_data, data);
+}
+
+TEST(NandDeviceTest, CopybackCrossChannelFallsBackToReadProgram) {
+  NandConfig config = TestNand();
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, {}, 0, &paddr).status());
+  uint64_t src = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, {}, 0, &src).status());
+  ASSERT_EQ(src % config.num_channels, 1u);  // Source on channel 1.
+
+  // Destination (segment 2, page 16) is channel 0: the same-channel constraint fails
+  // and the device pays an internal read + program, bus transfers on both legs,
+  // reported as one combined op whose spans still sum to its latency.
+  const uint64_t idle = dev.DrainTimeNs();
+  uint64_t dst = 0;
+  ASSERT_OK_AND_ASSIGN(NandOp op, dev.CopybackPage(src, 2, idle, &dst));
+  EXPECT_EQ(op.bus_ns, 2 * config.bus_ns_per_page);
+  EXPECT_EQ(op.cell_ns, config.read_ns + config.program_ns);
+  EXPECT_EQ(op.finish_ns - op.issue_ns,
+            op.chan_wait_ns + op.bus_wait_ns + op.bus_ns + op.cell_ns);
+  EXPECT_EQ(op.finish_ns,
+            idle + 2 * config.bus_ns_per_page + config.read_ns + config.program_ns);
+  EXPECT_EQ(dev.stats().copyback_pages, 1u);
+  EXPECT_EQ(dev.stats().copyback_fallbacks, 1u);
+}
+
+TEST(NandDeviceTest, CopybackBatchMatchesSequentialCopybacks) {
+  NandDevice batched(TestNand());
+  NandDevice scalar(TestNand());
+  std::vector<uint64_t> srcs;
+  for (uint64_t i = 0; i < 6; ++i) {
+    PageHeader header;
+    header.type = RecordType::kData;
+    header.lba = i;
+    header.seq = i;
+    const std::vector<uint8_t> data = PageData(512, i, 7);
+    uint64_t paddr = 0;
+    ASSERT_OK(batched.ProgramPage(0, header, data, 0, &paddr).status());
+    ASSERT_OK(scalar.ProgramPage(0, header, data, 0, &paddr).status());
+    srcs.push_back(paddr);
+  }
+
+  constexpr uint64_t kIssue = 1000000;
+  std::vector<uint64_t> dsts;
+  std::vector<NandOp> ops;
+  ASSERT_OK(batched.CopybackBatch(srcs, 2, kIssue, &dsts, &ops));
+  ASSERT_EQ(dsts.size(), 6u);
+  ASSERT_EQ(ops.size(), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    uint64_t dst = 0;
+    ASSERT_OK_AND_ASSIGN(NandOp op, scalar.CopybackPage(srcs[i], 2, kIssue, &dst));
+    EXPECT_EQ(dsts[i], dst) << i;
+    EXPECT_EQ(ops[i].issue_ns, op.issue_ns) << i;
+    EXPECT_EQ(ops[i].finish_ns, op.finish_ns) << i;
+    EXPECT_EQ(ops[i].bus_ns, op.bus_ns) << i;
+  }
+  EXPECT_EQ(batched.DrainTimeNs(), scalar.DrainTimeNs());
+  EXPECT_EQ(0, std::memcmp(&batched.stats(), &scalar.stats(), sizeof(NandStats)));
+
+  // Overflow is rejected up front: nothing is copied.
+  std::vector<uint64_t> too_many(9, srcs[0]);
+  EXPECT_FALSE(batched.CopybackBatch(too_many, 3, kIssue, &dsts, &ops).ok());
+  EXPECT_EQ(batched.NextFreePage(3), 0u);
+}
+
+TEST(NandDeviceTest, MultipleBusesLiftTransferSerialization) {
+  // Two pages on distinct channels issued at the same instant: with one shared bus the
+  // transfers serialize; with buses == channels each channel owns a bus and neither
+  // transfer waits.
+  NandConfig shared = TestNand();
+  NandConfig striped = TestNand();
+  striped.buses = 2;
+  NandDevice one(shared);
+  NandDevice two(striped);
+  PageHeader header;
+  header.type = RecordType::kData;
+  for (NandDevice* dev : {&one, &two}) {
+    uint64_t paddr = 0;
+    ASSERT_OK_AND_ASSIGN(NandOp op1, dev->ProgramPage(0, header, {}, 0, &paddr));
+    ASSERT_OK_AND_ASSIGN(NandOp op2, dev->ProgramPage(0, header, {}, 0, &paddr));
+    EXPECT_EQ(op1.bus_wait_ns, 0u);
+    if (dev == &one) {
+      EXPECT_EQ(op2.bus_wait_ns, shared.bus_ns_per_page);
+    } else {
+      EXPECT_EQ(op2.bus_wait_ns, 0u);
+      EXPECT_EQ(op2.finish_ns, op1.finish_ns);
+    }
+  }
+  EXPECT_EQ(two.NumBuses(), 2u);
+  EXPECT_EQ(two.BusActiveNs(0), shared.bus_ns_per_page);
+  EXPECT_EQ(two.BusActiveNs(1), shared.bus_ns_per_page);
+}
+
+// buses=1 must reproduce the pre-multi-bus scalar-bus arithmetic bit for bit. The
+// reference model below *is* that arithmetic (single bus horizon shared by every
+// channel); a randomized schedule of programs, reads, scans, and erases must match
+// it on every completion time and span.
+TEST(NandDeviceTest, SingleBusMatchesScalarReferenceModel) {
+  NandConfig config = TestNand();
+  config.num_channels = 4;
+  config.num_segments = 8;
+  NandDevice dev(config);
+
+  std::vector<uint64_t> chan_busy(config.num_channels, 0);
+  uint64_t bus_busy = 0;
+  auto reference = [&](uint32_t channel, uint64_t issue, uint64_t bus_ns,
+                       uint64_t cell_ns) {
+    uint64_t start = std::max(issue, chan_busy[channel]);
+    const uint64_t chan_wait = start - issue;
+    uint64_t bus_wait = 0;
+    if (bus_ns > 0) {
+      const uint64_t bus_start = std::max(start, bus_busy);
+      bus_wait = bus_start - start;
+      bus_busy = bus_start + bus_ns;
+      start = bus_start + bus_ns;
+    }
+    const uint64_t finish = start + cell_ns;
+    chan_busy[channel] = finish;
+    return std::tuple<uint64_t, uint64_t, uint64_t>(finish, chan_wait, bus_wait);
+  };
+
+  Rng rng(2026);
+  std::vector<uint64_t> programmed;
+  uint64_t now = 0;
+  PageHeader header;
+  header.type = RecordType::kData;
+  for (int i = 0; i < 400; ++i) {
+    now += rng.NextBelow(40000);  // Issue times drift so horizons stay contended.
+    const uint64_t pick = rng.NextBelow(programmed.empty() ? 2 : 4);
+    if (pick <= 1) {
+      const uint64_t segment = rng.NextBelow(config.num_segments);
+      header.lba = i;
+      uint64_t paddr = 0;
+      auto op = dev.ProgramPage(segment, header, {}, now, &paddr);
+      if (!op.ok()) {
+        continue;  // Full segment: no device time consumed, model unchanged.
+      }
+      auto [finish, chan_wait, bus_wait] = reference(
+          (uint32_t)(paddr % config.num_channels), now, config.bus_ns_per_page,
+          config.program_ns);
+      ASSERT_EQ(op->finish_ns, finish) << "op " << i;
+      ASSERT_EQ(op->chan_wait_ns, chan_wait) << "op " << i;
+      ASSERT_EQ(op->bus_wait_ns, bus_wait) << "op " << i;
+      programmed.push_back(paddr);
+    } else if (pick == 2) {
+      const uint64_t paddr = programmed[rng.NextBelow(programmed.size())];
+      if (!dev.IsProgrammed(paddr)) {
+        continue;
+      }
+      ASSERT_OK_AND_ASSIGN(NandOp op, dev.ReadPage(paddr, now, nullptr, nullptr));
+      auto [finish, chan_wait, bus_wait] = reference(
+          (uint32_t)(paddr % config.num_channels), now, config.bus_ns_per_page,
+          config.read_ns);
+      ASSERT_EQ(op.finish_ns, finish) << "op " << i;
+      ASSERT_EQ(op.chan_wait_ns, chan_wait) << "op " << i;
+      ASSERT_EQ(op.bus_wait_ns, bus_wait) << "op " << i;
+    } else {
+      const uint64_t segment = rng.NextBelow(config.num_segments);
+      ASSERT_OK_AND_ASSIGN(NandOp op, dev.EraseSegment(segment, now));
+      auto [finish, chan_wait, bus_wait] = reference(
+          (uint32_t)(segment % config.num_channels), now, 0, config.erase_ns);
+      ASSERT_EQ(op.finish_ns, finish) << "op " << i;
+      ASSERT_EQ(op.chan_wait_ns, chan_wait) << "op " << i;
+      ASSERT_EQ(op.bus_wait_ns, bus_wait) << "op " << i;
+    }
+  }
+  ASSERT_GT(programmed.size(), 100u);
+}
+
 TEST(NandFaultTest, CrcDetectsSilentCorruption) {
   NandDevice dev(TestNand());
   PageHeader header;
@@ -466,6 +676,45 @@ TEST(NandFaultTest, MaxEraseCountExcludesBadSegments) {
   EXPECT_EQ(dev.stats().erase_failures, 1u);
   // The retired segment no longer dominates the wear statistic.
   EXPECT_EQ(dev.MaxEraseCount(), 1u);
+}
+
+TEST(NandFaultTest, CopybackScrubCatchesCorruptSource) {
+  NandDevice dev(TestNand());  // copyback_scrub defaults on.
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 9;
+  uint64_t src = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 9, 1), 0, &src).status());
+  dev.CorruptPageForTesting(src);
+
+  uint64_t dst = 0;
+  EXPECT_EQ(dev.CopybackPage(src, 2, 0, &dst).status().code(), StatusCode::kDataLoss);
+  EXPECT_GE(dev.stats().crc_errors, 1u);
+  // The scrub fires before the destination slot is consumed: nothing was relocated.
+  EXPECT_EQ(dev.NextFreePage(2), 0u);
+  EXPECT_EQ(dev.stats().copyback_pages, 0u);
+  EXPECT_FALSE(dev.PageCrcIntact(src));
+}
+
+TEST(NandFaultTest, CopybackWithoutScrubRelocatesCorruptionDetectably) {
+  NandConfig config = TestNand();
+  config.copyback_scrub = false;
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 9;
+  uint64_t src = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 9, 1), 0, &src).status());
+  dev.CorruptPageForTesting(src);
+
+  // Without the scrub the corrupt bytes are copied verbatim — but because the stored
+  // CRC travels with them, the next host read of the copy still reports the damage
+  // instead of laundering it behind a freshly computed checksum.
+  uint64_t dst = 0;
+  ASSERT_OK(dev.CopybackPage(src, 2, 0, &dst).status());
+  EXPECT_EQ(dev.stats().copyback_pages, 1u);
+  EXPECT_EQ(dev.ReadPage(dst, 0, nullptr, nullptr).status().code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(NandFaultTest, ZeroRatesLeaveTimingAndStateUntouched) {

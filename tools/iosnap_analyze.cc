@@ -6,12 +6,16 @@
 //
 //   * a hard re-check of the exactness invariant (every row's spans sum to total_ns),
 //   * end-to-end percentiles per op kind,
-//   * aggregate span shares over the whole run,
+//   * aggregate span shares over the foreground ops (gc_copy rows — cleaner copyback
+//     relocations, whose on-die variant legitimately carries bus=0 — are reported in
+//     their own section so they don't skew the foreground shares),
 //   * GC/background interference share (ops affected, tail among affected),
-//   * the top-K slowest ops with their full breakdowns,
+//   * the top-K slowest foreground ops with their full breakdowns,
 //   * with --trace: per-queue aggregation (spans joined to queue_complete events on
 //     (lba, issue_ns, complete_ns)) and overlap buckets against GC / activation
-//     windows from the trace.
+//     windows from the trace,
+//   * with --metrics: per-bus utilization (nand.bus_busy_frac.*) and copyback
+//     counters from a --metrics_out JSON dump.
 //
 // Exit codes: 0 report printed; 1 I/O or invariant failure; 2 bad flags.
 //
@@ -24,6 +28,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <tuple>
@@ -42,11 +47,14 @@ constexpr const char* kUsage = R"(iosnap_analyze: tail-latency attribution repor
 
   --spans=PATH   per-op span CSV from --spans_out            (required)
   --trace=PATH   CSV trace from --trace_out=*.csv            (optional)
+  --metrics=PATH flat metrics JSON from --metrics_out; adds
+                 per-bus utilization + copyback counters     (optional)
   --top=N        slowest ops to list with breakdowns         (default 10)
   --help         this text
 )";
 
-const std::vector<std::string> kKnownFlags = {"spans", "trace", "top", "help"};
+const std::vector<std::string> kKnownFlags = {"spans", "trace", "metrics", "top",
+                                              "help"};
 
 // RFC 4180 field splitter (the trace CSV quotes fields containing , " or newlines;
 // the span CSV never needs quoting but parses identically).
@@ -190,6 +198,39 @@ bool ParseTraceCsv(const std::string& path, std::vector<TraceRow>* rows) {
   return true;
 }
 
+// Flat {"name":number,...} JSON as written by --metrics_out. Not a general JSON
+// parser: names never contain escapes and values are bare numbers, so scanning
+// quoted-string/colon/number triples is exact for this producer.
+bool ParseMetricsJson(const std::string& path, std::map<std::string, double>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open --metrics=%s\n", path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const size_t name_end = text.find('"', pos + 1);
+    if (name_end == std::string::npos) {
+      break;
+    }
+    const std::string name = text.substr(pos + 1, name_end - pos - 1);
+    size_t colon = name_end + 1;
+    while (colon < text.size() && (text[colon] == ' ' || text[colon] == ':')) {
+      ++colon;
+    }
+    (*out)[name] = std::strtod(text.c_str() + colon, nullptr);
+    pos = name_end + 1;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "%s: no metrics parsed (not a --metrics_out file?)\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
 void PrintPercentileLine(const char* label, const LatencyHistogram& h) {
   std::printf("  %-7s %8llu ops  mean %8.1f  p50 %8.1f  p90 %8.1f  p99 %8.1f  "
               "p99.9 %8.1f  max %8.1f us\n",
@@ -264,6 +305,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
   const size_t top_k = (size_t)flags.GetInt("top", 10);
 
   std::vector<SpanRow> rows;
@@ -299,6 +341,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // gc_copy rows are cleaner copyback relocations, not host ops. Their on-die
+  // variant carries bus=0 by design (the transfer never leaves the die), so folding
+  // them into the foreground aggregates would both dilute the bus share and count
+  // device-side background work as host latency. They get their own section below.
+  std::vector<const SpanRow*> fg;
+  std::vector<const SpanRow*> copyback;
+  for (const SpanRow& row : rows) {
+    (row.kind == "gc_copy" ? copyback : fg).push_back(&row);
+  }
+
   uint64_t first_issue = UINT64_MAX;
   uint64_t last_complete = 0;
   uint64_t grand_total = 0;
@@ -307,11 +359,13 @@ int main(int argc, char** argv) {
   for (const SpanRow& row : rows) {
     first_issue = std::min(first_issue, row.issue_ns);
     last_complete = std::max(last_complete, row.complete_ns);
-    grand_total += row.total_ns;
-    for (size_t s = 0; s < kNumLatencySpans; ++s) {
-      span_total[s] += row.span[s];
-    }
     by_kind[row.kind].Add(row.total_ns);
+  }
+  for (const SpanRow* row : fg) {
+    grand_total += row->total_ns;
+    for (size_t s = 0; s < kNumLatencySpans; ++s) {
+      span_total[s] += row->span[s];
+    }
   }
 
   std::printf("\n== end-to-end latency (%zu ops over %.3f virtual s) ==\n", rows.size(),
@@ -320,7 +374,8 @@ int main(int argc, char** argv) {
     PrintPercentileLine(kind.c_str(), hist);
   }
 
-  std::printf("\n== where the latency went (aggregate span shares) ==\n");
+  std::printf("\n== where the latency went (foreground span shares, %zu ops) ==\n",
+              fg.size());
   for (size_t s = 0; s < kNumLatencySpans; ++s) {
     std::printf("  %-11s %12.2f ms  %5.1f%%\n",
                 LatencySpanName(static_cast<LatencySpan>(s)), NsToMs(span_total[s]),
@@ -333,41 +388,98 @@ int main(int argc, char** argv) {
   const size_t gc_idx = static_cast<size_t>(LatencySpan::kGcWait);
   size_t gc_affected = 0;
   LatencyHistogram gc_wait_hist;
-  for (const SpanRow& row : rows) {
-    if (row.span[gc_idx] > 0) {
+  for (const SpanRow* row : fg) {
+    if (row->span[gc_idx] > 0) {
       ++gc_affected;
-      gc_wait_hist.Add(row.span[gc_idx]);
+      gc_wait_hist.Add(row->span[gc_idx]);
     }
   }
   std::printf("\n== background (GC/activation) interference ==\n");
   std::printf("  ops delayed by background work  %zu / %zu (%.2f%%)\n", gc_affected,
-              rows.size(), 100.0 * (double)gc_affected / (double)rows.size());
-  std::printf("  share of all latency            %.2f%%\n",
+              fg.size(), fg.empty() ? 0.0 : 100.0 * (double)gc_affected / (double)fg.size());
+  std::printf("  share of foreground latency     %.2f%%\n",
               grand_total > 0 ? 100.0 * (double)span_total[gc_idx] / (double)grand_total
                               : 0.0);
   if (gc_affected > 0) {
     PrintPercentileLine("gc_wait", gc_wait_hist);
   }
 
-  std::vector<size_t> order(rows.size());
+  // Copyback relocations: bus=0 means the copy stayed on-die; bus>0 means the
+  // same-channel constraint failed and the copy fell back to read+program across
+  // the bus. The split shows how well the cleaner's channel-matched ordering works.
+  if (!copyback.empty()) {
+    size_t on_die = 0;
+    uint64_t cb_bus_ns = 0;
+    uint64_t cb_device_ns = 0;
+    LatencyHistogram cb_hist;
+    for (const SpanRow* row : copyback) {
+      if (row->span[static_cast<size_t>(LatencySpan::kBus)] == 0) {
+        ++on_die;
+      }
+      cb_bus_ns += row->span[static_cast<size_t>(LatencySpan::kBus)];
+      cb_device_ns += row->total_ns;
+      cb_hist.Add(row->total_ns);
+    }
+    std::printf("\n== copyback relocations (gc_copy, reported separately) ==\n");
+    std::printf("  pages relocated                 %zu (on-die %zu, cross-channel "
+                "fallback %zu)\n",
+                copyback.size(), on_die, copyback.size() - on_die);
+    std::printf("  bus time consumed               %.2f ms (fallbacks only)\n",
+                NsToMs(cb_bus_ns));
+    std::printf("  device time consumed            %.2f ms\n", NsToMs(cb_device_ns));
+    PrintPercentileLine("gc_copy", cb_hist);
+  }
+
+  std::vector<size_t> order(fg.size());
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = i;
   }
-  const size_t k = std::min(top_k, rows.size());
+  const size_t k = std::min(top_k, fg.size());
   std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](size_t a, size_t b) { return rows[a].total_ns > rows[b].total_ns; });
-  std::printf("\n== top %zu slowest ops ==\n", k);
+                    [&](size_t a, size_t b) { return fg[a]->total_ns > fg[b]->total_ns; });
+  std::printf("\n== top %zu slowest foreground ops ==\n", k);
   std::printf("  %-5s %-10s %10s %9s | %9s %9s %9s %9s %7s %7s %7s (us)\n", "kind",
               "lba", "issue_us", "total_us", "q_wait", "gc_wait", "bus", "cell", "map",
               "cow", "other");
   for (size_t i = 0; i < k; ++i) {
-    const SpanRow& r = rows[order[i]];
+    const SpanRow& r = *fg[order[i]];
     std::printf("  %-5s %-10llu %10.1f %9.1f | %9.1f %9.1f %9.1f %9.1f %7.1f %7.1f "
                 "%7.1f\n",
                 r.kind.c_str(), (unsigned long long)r.lba, NsToUs(r.issue_ns),
                 NsToUs(r.total_ns), NsToUs(r.span[0]), NsToUs(r.span[1]),
                 NsToUs(r.span[2]), NsToUs(r.span[3]), NsToUs(r.span[4]),
                 NsToUs(r.span[5]), NsToUs(r.span[6]));
+  }
+
+  if (!metrics_path.empty()) {
+    std::map<std::string, double> metrics;
+    if (!ParseMetricsJson(metrics_path, &metrics)) {
+      return 1;
+    }
+    std::map<uint64_t, double> bus_frac;
+    for (const auto& [name, value] : metrics) {
+      constexpr const char* kPrefix = "nand.bus_busy_frac.";
+      if (name.rfind(kPrefix, 0) == 0) {
+        bus_frac[std::strtoull(name.c_str() + std::strlen(kPrefix), nullptr, 10)] =
+            value;
+      }
+    }
+    std::printf("\n== per-bus utilization (%s) ==\n", metrics_path.c_str());
+    if (bus_frac.empty()) {
+      std::printf("  no nand.bus_busy_frac.* gauges in the metrics dump\n");
+    }
+    for (const auto& [bus, frac] : bus_frac) {
+      std::printf("  bus %-3llu busy %5.1f%%  |%-40s|\n", (unsigned long long)bus,
+                  100.0 * frac,
+                  std::string((size_t)std::min(40.0, 40.0 * frac), '#').c_str());
+    }
+    const auto cb_pages = metrics.find("nand.copyback_pages");
+    const auto cb_fallbacks = metrics.find("nand.copyback_fallbacks");
+    if (cb_pages != metrics.end()) {
+      std::printf("  copyback pages %.0f (cross-channel fallbacks %.0f)\n",
+                  cb_pages->second,
+                  cb_fallbacks != metrics.end() ? cb_fallbacks->second : 0.0);
+    }
   }
 
   if (trace_path.empty()) {
@@ -447,13 +559,13 @@ int main(int argc, char** argv) {
     uint64_t total_ns = 0;
   };
   PhaseAgg phases[3] = {{"quiet", {}}, {"gc", {}}, {"activation", {}}};
-  for (const SpanRow& row : rows) {
-    const bool in_gc = gc_windows.Overlaps(row.issue_ns, row.complete_ns);
-    const bool in_act = activation_windows.Overlaps(row.issue_ns, row.complete_ns);
+  for (const SpanRow* row : fg) {
+    const bool in_gc = gc_windows.Overlaps(row->issue_ns, row->complete_ns);
+    const bool in_act = activation_windows.Overlaps(row->issue_ns, row->complete_ns);
     PhaseAgg& agg = phases[in_act ? 2 : (in_gc ? 1 : 0)];
-    agg.latency.Add(row.total_ns);
-    agg.gc_wait_ns += row.span[gc_idx];
-    agg.total_ns += row.total_ns;
+    agg.latency.Add(row->total_ns);
+    agg.gc_wait_ns += row->span[gc_idx];
+    agg.total_ns += row->total_ns;
   }
   std::printf("\n== phase overlap (gc: %zu windows, %.2f ms busy; activation: %zu "
               "windows, %.2f ms busy) ==\n",

@@ -41,6 +41,11 @@ Device:
   --page_kib=N           page size in KiB                     (default 4)
   --segment_pages=N      pages per erase segment              (default 1024)
   --channels=N           flash channels                       (default 16)
+  --buses=N              independent transfer buses; channels
+                         stripe across them (1 = the classic
+                         single shared bus)                   (default 1)
+  --copyback=0|1         GC copy-forward via on-die copyback  (default 0)
+  --copyback_scrub=0|1   verify source CRC inside copyback    (default 1)
   --overprovision=F      reserved physical fraction           (default 0.25)
   --chunk_bits=N         validity chunk granularity           (default 8192)
   --policy=NAME          greedy | costbenefit | colocate      (default greedy)
@@ -95,7 +100,8 @@ Observability:
 )";
 
 const std::vector<std::string> kKnownFlags = {
-    "device_mib", "page_kib", "segment_pages", "channels", "overprovision",
+    "device_mib", "page_kib", "segment_pages", "channels", "buses", "copyback",
+    "copyback_scrub", "overprovision",
     "chunk_bits", "policy", "vanilla", "vanilla_gc_rate", "workload", "ops",
     "lba_frac", "read_frac", "zipf_theta", "qd", "batch", "queues", "iodepth", "seed",
     "snapshot_every",
@@ -167,6 +173,14 @@ void PrintStats(const Ftl& ftl, const RunResult& result) {
   std::printf("pages programmed/read   %llu / %llu\n",
               (unsigned long long)n.pages_programmed, (unsigned long long)n.pages_read);
   std::printf("segments erased         %12llu\n", (unsigned long long)n.segments_erased);
+  if (n.copyback_pages > 0) {
+    std::printf("copyback pages          %12llu (%llu cross-channel fallbacks)\n",
+                (unsigned long long)n.copyback_pages,
+                (unsigned long long)n.copyback_fallbacks);
+  }
+  for (uint32_t bus = 0; bus < ftl.device().NumBuses(); ++bus) {
+    std::printf("bus %u busy fraction     %12.3f\n", bus, ftl.device().BusBusyFrac(bus));
+  }
   PrintFaultStats(ftl);
   uint64_t max_wear = 0;
   uint64_t total_wear = 0;
@@ -245,6 +259,9 @@ int main(int argc, char** argv) {
   config.nand.num_segments = std::max<uint64_t>(
       8, device_bytes / (config.nand.page_size_bytes * config.nand.pages_per_segment));
   config.nand.num_channels = (uint32_t)flags.GetInt("channels", 16);
+  config.nand.buses = (uint32_t)flags.GetInt("buses", 1);
+  config.nand.copyback_scrub = flags.GetBool("copyback_scrub", true);
+  config.gc_copyback = flags.GetBool("copyback", false);
   config.nand.store_data = false;
   config.overprovision = flags.GetDouble("overprovision", 0.25);
   config.validity_chunk_bits = (uint64_t)flags.GetInt("chunk_bits", 8192);
@@ -336,6 +353,7 @@ int main(int argc, char** argv) {
   if (metrics_interval_ns > 0) {
     RegisterFtlStats(&live_registry, ftl->stats());
     RegisterNandStats(&live_registry, ftl->device().stats());
+    RegisterNandBusGauges(&live_registry, ftl->device());
     RegisterValidityStats(&live_registry, ftl->validity().stats());
     RegisterLogStats(&live_registry, ftl->log_manager().stats());
     sampler = std::make_unique<MetricsSampler>(&live_registry, metrics_interval_ns);
@@ -514,6 +532,7 @@ int main(int argc, char** argv) {
     MetricsRegistry registry;
     RegisterFtlStats(&registry, ftl->stats());
     RegisterNandStats(&registry, ftl->device().stats());
+    RegisterNandBusGauges(&registry, ftl->device());
     RegisterValidityStats(&registry, ftl->validity().stats());
     RegisterLogStats(&registry, ftl->log_manager().stats());
     RegisterIoQueueStats(&registry, GlobalIoQueueStats());
