@@ -341,8 +341,8 @@ uint64_t SegmentCleaner::FinishRelocation(uint64_t paddr, const PageHeader& head
   return ar.op.finish_ns;
 }
 
-std::optional<size_t> SegmentCleaner::PickCopybackEntry() {
-  std::vector<std::deque<size_t>>& queues = victim_->channel_queues;
+std::optional<uint32_t> SegmentCleaner::PickCopybackChannel() {
+  const std::vector<std::deque<size_t>>& queues = victim_->channel_queues;
   // First choice: a queue whose source channel equals the channel its relocation
   // would be programmed on — that copyback stays on-die. The destination head
   // depends on the entry's epoch (colocation), so each queue is checked against its
@@ -355,18 +355,12 @@ std::optional<size_t> SegmentCleaner::PickCopybackEntry() {
     const std::optional<uint32_t> want =
         ftl_->log_.NextAppendChannel(HeadForEpoch(header.epoch));
     if (want.has_value() && *want == c) {
-      const size_t index = queues[c].front();
-      queues[c].pop_front();
-      --victim_->data_remaining;
-      return index;
+      return c;
     }
   }
-  for (std::deque<size_t>& queue : queues) {
-    if (!queue.empty()) {
-      const size_t index = queue.front();
-      queue.pop_front();
-      --victim_->data_remaining;
-      return index;
+  for (uint32_t c = 0; c < queues.size(); ++c) {
+    if (!queues[c].empty()) {
+      return c;
     }
   }
   return std::nullopt;
@@ -527,21 +521,36 @@ StatusOr<uint64_t> SegmentCleaner::Step(uint64_t now_ns, uint64_t max_pages) {
   uint64_t copied = 0;
   if (ftl_->config_.gc_copyback) {
     // Copyback order: notes first (scan order), then data entries chasing the
-    // destination head's next-append channel so relocations stay on-die.
-    while (victim_->meta_cursor < victim_->meta_order.size()) {
+    // destination head's next-append channel so relocations stay on-die. Both loops
+    // share one per-Step budget of max_pages entries so note rewrites stay paced
+    // across Steps like classic mode's interleaving instead of bursting up front.
+    uint64_t processed = 0;
+    while (victim_->meta_cursor < victim_->meta_order.size() && processed < max_pages) {
       bool copied_data = false;
       ASSIGN_OR_RETURN(
           t, ProcessEntry(victim_->entries[victim_->meta_order[victim_->meta_cursor]], t,
                           &copied_data));
       ++victim_->meta_cursor;
+      ++processed;
+      if (copied_data) {
+        ++copied;
+      }
     }
-    while (copied < max_pages) {
-      const std::optional<size_t> index = PickCopybackEntry();
-      if (!index.has_value()) {
+    while (copied < max_pages && processed < max_pages) {
+      const std::optional<uint32_t> channel = PickCopybackChannel();
+      if (!channel.has_value()) {
         break;
       }
+      std::deque<size_t>& queue = victim_->channel_queues[*channel];
       bool copied_data = false;
-      ASSIGN_OR_RETURN(t, ProcessEntry(victim_->entries[*index], t, &copied_data));
+      // Pop (and account) only after the relocation succeeds: a propagating error —
+      // exhausted read retries, program-failure reroute limit, no free segment —
+      // leaves the entry at its queue front so the next Step retries it, matching the
+      // classic path's cursor-advance-on-success semantics.
+      ASSIGN_OR_RETURN(t, ProcessEntry(victim_->entries[queue.front()], t, &copied_data));
+      queue.pop_front();
+      --victim_->data_remaining;
+      ++processed;
       if (copied_data) {
         ++copied;
       }

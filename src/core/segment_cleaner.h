@@ -135,10 +135,12 @@ class SegmentCleaner {
                             const AppendResult& ar, const std::vector<uint32_t>& live,
                             uint64_t now_ns, bool via_copyback, bool* copied_data_page);
 
-  // Next data entry to relocate in copyback mode: a channel queue whose relocation
-  // would land on-die if one exists, else the first non-empty queue. nullopt when all
-  // data entries are drained.
-  std::optional<size_t> PickCopybackEntry();
+  // Channel queue holding the next data entry to relocate in copyback mode: one whose
+  // front entry's relocation would land on-die if such a queue exists, else the first
+  // non-empty queue. Peek only — the caller pops the front (and decrements
+  // data_remaining) after the relocation succeeds, so a propagating error leaves the
+  // entry queued for retry on the next Step. nullopt when all data entries are drained.
+  std::optional<uint32_t> PickCopybackChannel();
 
   // True when every entry of the current victim has been processed.
   bool VictimExhausted() const;

@@ -436,6 +436,59 @@ TEST(FaultCampaign, CopybackScrubDropsCorruptSourceDuringClean) {
   ASSERT_TRUE(h.CheckLba(kPrimaryView, 3, 5));
 }
 
+// A propagating error mid-clean (here: the device goes offline, so every copyback
+// fails kUnavailable until retries are exhausted) must not lose the data entry the
+// copyback loop was processing: a channel queue pops an entry only after its
+// relocation succeeds, so the interrupted entry is retried when cleaning resumes.
+// A no-fault baseline run finds an op count inside the forced clean; the replay
+// schedules the crash gate there, disarms it, finishes the clean, and checks that
+// every live page still reads back.
+TEST(FaultCampaign, CopybackCleanRetriesEntriesAfterMidCleanError) {
+  FtlConfig config = TinyConfig();
+  config.gc_copyback = true;
+
+  auto setup = [](FtlHarness& h) {
+    for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+      ASSERT_OK(h.Write(lba, 1));
+    }
+    // Overwrite every other lba so victims hold a mix of live and dead pages.
+    for (uint64_t lba = 0; lba < kLbaSpace; lba += 2) {
+      ASSERT_OK(h.Write(lba, 2));
+    }
+  };
+
+  uint64_t ops_before = 0;
+  uint64_t ops_after = 0;
+  {
+    FtlHarness h(config);
+    setup(h);
+    ops_before = h.ftl().device().fault().ops();
+    ASSERT_OK_AND_ASSIGN(uint64_t finish, h.ftl().ForceCleanSegment(h.now()));
+    h.AdvanceTo(finish);
+    ops_after = h.ftl().device().fault().ops();
+  }
+  ASSERT_GT(ops_after, ops_before + 2);  // The clean performed real device work.
+
+  config.nand.fault.crash_after_op = ops_before + (ops_after - ops_before) / 2;
+  FtlHarness h(config);
+  setup(h);
+  auto interrupted = h.ftl().ForceCleanSegment(h.now());
+  ASSERT_FALSE(interrupted.ok());
+  EXPECT_EQ(interrupted.status().code(), StatusCode::kUnavailable);
+
+  // Power restored: the same victim resumes and every entry — including the one the
+  // error interrupted — must relocate.
+  h.ftl().MutableDeviceForTesting().ClearFaults();
+  ASSERT_OK_AND_ASSIGN(uint64_t finish, h.ftl().ForceCleanSegment(h.now()));
+  h.AdvanceTo(finish);
+  EXPECT_GT(h.ftl().stats().gc_segments_cleaned, 0u);
+  EXPECT_EQ(h.ftl().stats().gc_pages_lost, 0u);
+  for (uint64_t lba = 0; lba < kLbaSpace; ++lba) {
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, lba % 2 == 0 ? 2 : 1));
+  }
+  ASSERT_TRUE(h.ftl().validity().VerifyCounters());
+}
+
 // The RandomFaultSoak invariants must hold unchanged when GC relocates via copyback
 // on a multi-bus device: program failures reroute copyback appends, transient read
 // failures retry the internal read leg, and retired segments stay off the free list.
