@@ -5,6 +5,7 @@
 #include "src/common/logging.h"
 #include "src/common/serde.h"
 #include "src/core/checkpoint.h"
+#include "src/core/patrol_scrubber.h"
 #include "src/core/recovery.h"
 
 namespace iosnap {
@@ -47,7 +48,8 @@ Ftl::Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device)
       validity_(config.nand.TotalPages(), config.validity_chunk_bits,
                 config.naive_validity_copy, config.nand.pages_per_segment),
       lba_count_(config.LbaCount()),
-      gc_idle_limiter_(RateLimit::Of(100, 5)) {}
+      gc_idle_limiter_(RateLimit::Of(100, 5)),
+      patrol_limiter_(RateLimit::Of(100, config.patrol_sleep_ms)) {}
 
 Ftl::~Ftl() = default;
 
@@ -72,6 +74,7 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Create(const FtlConfig& config) {
   primary.map.Configure(config.map_shards, ftl->lba_count_, ftl->map_pool_.get());
   ftl->views_.emplace(kPrimaryView, std::move(primary));
   ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
+  ftl->patrol_ = std::make_unique<PatrolScrubber>(ftl.get());
   return ftl;
 }
 
@@ -121,6 +124,7 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
   }
 
   ftl->cleaner_ = std::make_unique<SegmentCleaner>(ftl.get());
+  ftl->patrol_ = std::make_unique<PatrolScrubber>(ftl.get());
   ftl->SetTraceRecorder(trace);
 #ifndef NDEBUG
   // The per-segment utilization counters were rebuilt implicitly by the SetValid replay
@@ -231,11 +235,56 @@ void Ftl::PaceCleanerOnWrite(uint64_t now_ns) {
   }
 }
 
+void Ftl::UpdateDegradedState(uint64_t now_ns) {
+  if (config_.degraded_free_floor == 0 && config_.degraded_retired_floor == 0) {
+    return;
+  }
+  const uint64_t free = log_.FreeSegmentCount();
+  const uint64_t retired = log_.stats().segments_retired;
+  const bool free_low =
+      config_.degraded_free_floor > 0 && free < config_.degraded_free_floor;
+  const bool retired_high = config_.degraded_retired_floor > 0 &&
+                            retired >= config_.degraded_retired_floor;
+  if (!degraded_) {
+    if (free_low || retired_high) {
+      degraded_ = true;
+      ++stats_.degraded_entries;
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kDegradedEnter, now_ns, now_ns, free, retired);
+      }
+    }
+    return;
+  }
+  // Exit with hysteresis: the free pool must recover to degraded_exit_free (at least
+  // the entry floor) so the FTL does not flap at the boundary. A tripped retired-floor
+  // condition never clears — retirement is permanent.
+  const uint64_t exit_free = std::max(config_.degraded_exit_free,
+                                      config_.degraded_free_floor);
+  const bool free_ok = config_.degraded_free_floor == 0 || free >= exit_free;
+  if (free_ok && !retired_high) {
+    degraded_ = false;
+    ++stats_.degraded_exits;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kDegradedExit, now_ns, now_ns, free, retired);
+    }
+  }
+}
+
+Status Ftl::CheckWritable(uint64_t issue_ns) {
+  UpdateDegradedState(issue_ns);
+  if (degraded_) {
+    ++stats_.degraded_writes_rejected;
+    return ResourceExhausted("ftl: degraded read-only mode (reclaim space to resume)");
+  }
+  return OkStatus();
+}
+
 StatusOr<IoResult> Ftl::WriteInternal(View* view, uint64_t lba, std::span<const uint8_t> data,
                                       uint64_t issue_ns) {
   if (closed_) {
     return FailedPrecondition("ftl: closed");
   }
+  RETURN_IF_ERROR(CheckWritable(issue_ns));
   if (lba >= lba_count_) {
     return OutOfRange("write: lba " + std::to_string(lba) + " out of range");
   }
@@ -347,6 +396,7 @@ StatusOr<std::vector<IoResult>> Ftl::WriteVInternal(View* view,
   if (closed_) {
     return FailedPrecondition("ftl: closed");
   }
+  RETURN_IF_ERROR(CheckWritable(issue_ns));
   if (!view->ready) {
     return FailedPrecondition("write: view still activating");
   }
@@ -630,6 +680,7 @@ StatusOr<IoResult> Ftl::Trim(uint64_t lba, uint64_t count, uint64_t issue_ns) {
   if (count == 0 || lba + count > lba_count_ || count > 0xffffffffULL) {
     return OutOfRange("trim: bad range");
   }
+  RETURN_IF_ERROR(CheckWritable(issue_ns));
   View* view = FindView(kPrimaryView);
   RETURN_IF_ERROR(EnsureAppendSpace(issue_ns));
   validity_.NoteTimeNs(issue_ns);
@@ -692,6 +743,7 @@ StatusOr<std::vector<IoResult>> Ftl::TrimVAt(std::span<const TrimRequest> reques
       return OutOfRange("trim: bad range");
     }
   }
+  RETURN_IF_ERROR(CheckWritable(issue_ns));
   View* view = FindView(kPrimaryView);
   std::vector<IoResult> results;
   results.reserve(requests.size());
@@ -1090,8 +1142,16 @@ void Ftl::PumpBackground(uint64_t now_ns) {
     return;
   }
   // Idle catch-up cleaning (free pool low) and static wear leveling, lightly paced.
-  if ((log_.FreeSegmentCount() < config_.gc_low_free_segments ||
-       cleaner_->WearImbalanced()) &&
+  // While degraded with a free-pool floor configured, the idle cleaner chases the
+  // degraded *exit* threshold instead of gc_low: writes are rejected in that state,
+  // so write-path GC pacing cannot run — background reclaim is the only way back
+  // to writable.
+  uint64_t idle_low = config_.gc_low_free_segments;
+  if (degraded_ && config_.degraded_free_floor > 0) {
+    idle_low = std::max(idle_low, std::max(config_.degraded_exit_free,
+                                           config_.degraded_free_floor));
+  }
+  if ((log_.FreeSegmentCount() < idle_low || cleaner_->WearImbalanced()) &&
       gc_idle_limiter_.CanRun(now_ns)) {
     if (cleaner_->HasVictim() || cleaner_->StartVictim(now_ns)) {
       auto result = cleaner_->Step(now_ns, config_.gc_pages_per_step);
@@ -1100,6 +1160,17 @@ void Ftl::PumpBackground(uint64_t now_ns) {
       }
     }
   }
+  // Patrol scrubbing, paced on its own limiter (patrol_sleep_ms between bursts).
+  if (config_.patrol_enabled && patrol_limiter_.CanRun(now_ns)) {
+    auto result = patrol_->Step(now_ns, config_.patrol_pages_per_step);
+    if (result.ok()) {
+      patrol_limiter_.OnBurstComplete(*result);
+    } else {
+      IOSNAP_LOG(kWarning) << "[patrol] scrub step failed: " << result.status();
+    }
+  }
+  // Idle cleaning / patrol evacuation may have recovered (or drained) the free pool.
+  UpdateDegradedState(now_ns);
 }
 
 StatusOr<uint64_t> Ftl::ForceCleanSegment(uint64_t issue_ns) {
@@ -1107,6 +1178,15 @@ StatusOr<uint64_t> Ftl::ForceCleanSegment(uint64_t issue_ns) {
     return FailedPrecondition("ftl: closed");
   }
   return cleaner_->CleanOneBlocking(issue_ns);
+}
+
+StatusOr<uint64_t> Ftl::ScrubAllBlocking(uint64_t issue_ns) {
+  if (closed_) {
+    return FailedPrecondition("ftl: closed");
+  }
+  ASSIGN_OR_RETURN(uint64_t finish, patrol_->ScrubAllBlocking(issue_ns));
+  UpdateDegradedState(finish);
+  return finish;
 }
 
 Status Ftl::CheckpointAndClose(uint64_t issue_ns) {
@@ -1202,6 +1282,22 @@ StatusOr<std::vector<std::pair<uint64_t, uint64_t>>> Ftl::ViewMapEntries(
     return FailedPrecondition("view still activating");
   }
   return view->map.ToSortedVector();
+}
+
+void Ftl::DetachPaddrFromMaps(uint64_t paddr) {
+  // Full map sweep — O(mapped blocks) per view, but only ever run on a data-loss
+  // event (a page dropped as unreadable), so correctness beats speed here.
+  for (auto& [id, view] : views_) {
+    std::vector<uint64_t> stale;
+    view.map.ForEach([&](uint64_t lba, uint64_t mapped) {
+      if (mapped == paddr) {
+        stale.push_back(lba);
+      }
+    });
+    for (uint64_t lba : stale) {
+      view.map.Erase(lba);
+    }
+  }
 }
 
 StatusOr<AppendResult> Ftl::AppendNote(RecordType type, uint32_t snap_id, uint32_t epoch,

@@ -48,6 +48,8 @@
 
 namespace iosnap {
 
+class PatrolScrubber;
+
 // Completion record for one FTL operation: device-time window plus host CPU time.
 // `host_map_ns`/`host_cow_ns` break host_ns down for latency attribution: they are
 // accumulated from the same terms that are summed into host_ns at each charge site,
@@ -231,6 +233,18 @@ class Ftl {
   // the device finish time, or issue_ns when no victim exists.
   StatusOr<uint64_t> ForceCleanSegment(uint64_t issue_ns);
 
+  // Runs one complete patrol-scrubber sweep over the device with no pacing: every
+  // closed segment is CRC-verified page by page, decayed live pages are rewritten, and
+  // segments holding corrupt pages are evacuated and erased. Works whether or not
+  // config.patrol_enabled — this is the offline-repair entry point (iosnap_fsck
+  // --repair) and the test hook. Returns the device finish time.
+  StatusOr<uint64_t> ScrubAllBlocking(uint64_t issue_ns);
+
+  // True while the FTL is in degraded read-only mode (see FtlConfig degraded_* knobs):
+  // writes and trims fail fast with kResourceExhausted; reads, snapshot activation,
+  // and snapshot deletion (the space-reclaim path) keep working.
+  bool degraded() const { return degraded_; }
+
   // --- Shutdown / restart ---
 
   // Writes a checkpoint so the next Open is instant. Views are discarded (activations do
@@ -265,6 +279,14 @@ class Ftl {
  private:
   friend class SegmentCleaner;
   friend class ActivationTask;
+  friend class PatrolScrubber;
+
+  // Erase every forward-map entry (in any view) still pointing at paddr. Used when a
+  // page is dropped as unreadable: a corrupt stored header cannot be trusted to name
+  // the right lba, so the maps are swept by physical address instead — otherwise a
+  // dangling entry survives the segment erase and a later read of the real lba hits
+  // an unprogrammed page.
+  void DetachPaddrFromMaps(uint64_t paddr);
 
   struct View {
     uint32_t view_id = 0;
@@ -302,6 +324,15 @@ class Ftl {
 
   // Write-path GC pacing (§5.7): lets the cleaner copy a budgeted number of pages.
   void PaceCleanerOnWrite(uint64_t now_ns);
+
+  // Re-evaluates the degraded-mode state machine against the free pool and the
+  // retired-segment count. Called at write/trim admission and from PumpBackground;
+  // transitions emit kDegradedEnter/kDegradedExit trace events and bump the
+  // ftl.degraded_* counters. No-op when both floors are 0.
+  void UpdateDegradedState(uint64_t now_ns);
+
+  // Shared write/trim admission gate: kResourceExhausted while degraded.
+  Status CheckWritable(uint64_t issue_ns);
 
   // Appends a snapshot note record. `aux_epoch` rides in the header's lba field: the
   // successor/view epoch id for create/activate notes (explicit, so recovery does not
@@ -343,6 +374,13 @@ class Ftl {
   bool gc_cycle_active_ = false;
   double gc_budget_accum_ = 0.0;
   RateLimiter gc_idle_limiter_;
+
+  std::unique_ptr<PatrolScrubber> patrol_;
+  RateLimiter patrol_limiter_;
+  // Degraded read-only mode (media reliability). Entered/left by UpdateDegradedState;
+  // always false when both degraded_* floors are 0 (the default), so the gate in the
+  // write path is a single always-false branch on default configs.
+  bool degraded_ = false;
 
   std::vector<std::unique_ptr<ActivationTask>> activations_;
   // Relocation journal: (lba, new_paddr) for every data page the cleaner copy-forwards

@@ -72,6 +72,36 @@ struct FtlConfig {
   // to the caller. Permanent errors (CRC mismatch) are never retried.
   uint32_t read_retry_limit = 3;
 
+  // --- Patrol scrubbing (media reliability; src/core/patrol_scrubber.h) ---
+  // Background sweep over closed segments that CRC-verifies live pages, preemptively
+  // rewrites pages whose wear exposure crossed the refresh thresholds (or that needed
+  // a read retry), drops unreadable live pages, and evacuates segments holding
+  // corrupt pages so the damage is physically erased. Default off: bit-identical.
+  bool patrol_enabled = false;
+  // Pages inspected per paced patrol burst.
+  uint64_t patrol_pages_per_step = 8;
+  // Mandatory sleep between patrol bursts (the patrol analogue of the cleaner's idle
+  // limiter; keeps patrol interference off the foreground latency tail).
+  uint64_t patrol_sleep_ms = 10;
+  // Refresh a live page once its segment has absorbed this many reads since erase.
+  // 0 disables the read-count trigger.
+  uint64_t patrol_refresh_reads = 0;
+  // Refresh a live page once it is older than this (virtual-clock ms since program).
+  // 0 disables the age trigger.
+  uint64_t patrol_refresh_age_ms = 0;
+
+  // --- Degraded read-only mode ---
+  // When free-pool headroom sinks below degraded_free_floor segments, or
+  // log.segments_retired reaches degraded_retired_floor, the FTL enters a degraded
+  // read-only mode: writes and trims fail fast with kResourceExhausted while reads,
+  // snapshot activation, and snapshot deletion (the space-reclaim path) keep working.
+  // It exits once free headroom recovers to degraded_exit_free (>= the floor;
+  // 0 = no hysteresis, exit at the floor itself) and the retired-count condition is
+  // clear. Both floors default to 0 = disabled, preserving bit-identity.
+  uint64_t degraded_free_floor = 0;
+  uint64_t degraded_retired_floor = 0;
+  uint64_t degraded_exit_free = 0;
+
   // --- Activation ---
   // Skip segments whose epoch summary proves they hold no lineage data (§7 future work:
   // precomputed metadata; ablation A3).

@@ -55,6 +55,18 @@ struct FtlStats {
   // Degraded-mode outcomes (zero on a healthy device).
   uint64_t user_read_errors = 0;  // User reads that failed after bounded retry / CRC check.
   uint64_t gc_pages_lost = 0;     // Valid pages the cleaner dropped as unreadable (kDataLoss).
+
+  // Patrol scrubbing (zero unless FtlConfig::patrol_enabled).
+  uint64_t patrol_sweeps = 0;              // Full passes over the closed segments.
+  uint64_t patrol_pages_scanned = 0;       // Programmed pages inspected.
+  uint64_t patrol_pages_rewritten = 0;     // Live pages refreshed to a new location.
+  uint64_t patrol_pages_dropped = 0;       // Unreadable live pages expunged (data lost).
+  uint64_t patrol_segments_evacuated = 0;  // Segments force-cleaned to erase corruption.
+
+  // Degraded read-only mode (zero unless a degraded_* floor is configured).
+  uint64_t degraded_entries = 0;           // Transitions into read-only mode.
+  uint64_t degraded_exits = 0;             // Transitions back to writable.
+  uint64_t degraded_writes_rejected = 0;   // Writes/trims refused with kResourceExhausted.
 };
 
 }  // namespace iosnap

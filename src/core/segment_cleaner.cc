@@ -131,11 +131,27 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   if (!seg.has_value()) {
     return false;
   }
+  return BeginVictim(*seg, now_ns);
+}
 
+bool SegmentCleaner::StartVictimAt(uint64_t segment, uint64_t now_ns) {
+  if (victim_.has_value()) {
+    return victim_->segment == segment;
+  }
+  // Only closed segments are cleanable: open heads, free, and retired segments are
+  // off-limits exactly as in SelectVictim's candidate set.
+  if (ftl_->log_.segment_info(segment).state != SegmentState::kClosed) {
+    return false;
+  }
+  NandDevice::BackgroundScope bg(ftl_->device_.get());
+  return BeginVictim(segment, now_ns);
+}
+
+bool SegmentCleaner::BeginVictim(uint64_t seg_index, uint64_t now_ns) {
   Victim victim;
-  victim.segment = *seg;
+  victim.segment = seg_index;
   victim.trim_retention_seq = ftl_->log_.GlobalMinDataSeq();
-  auto scan = ftl_->device_->ScanSegmentHeaders(*seg, now_ns, &victim.entries);
+  auto scan = ftl_->device_->ScanSegmentHeaders(seg_index, now_ns, &victim.entries);
   if (!scan.ok()) {
     IOSNAP_LOG(kWarning) << "[cleaner] victim scan failed: " << scan.status();
     return false;
@@ -164,10 +180,10 @@ bool SegmentCleaner::StartVictim(uint64_t now_ns) {
   // over the victim's segment-sized range.
   const uint64_t merge_visits_before = ftl_->validity_.stats().merge_chunk_visits;
   if (ftl_->config_.snapshot_aware_gc_rate) {
-    victim.pacing_estimate = ftl_->validity_.MergedValidCount(*seg);
+    victim.pacing_estimate = ftl_->validity_.MergedValidCount(seg_index);
   } else {
     victim.pacing_estimate =
-        ftl_->validity_.EpochValidCount(ftl_->FindView(kPrimaryView)->epoch, *seg);
+        ftl_->validity_.EpochValidCount(ftl_->FindView(kPrimaryView)->epoch, seg_index);
   }
   const uint64_t merge_visits =
       ftl_->validity_.stats().merge_chunk_visits - merge_visits_before;
@@ -270,7 +286,7 @@ StatusOr<uint64_t> SegmentCleaner::FlushTrimSummaries(uint64_t now_ns) {
   return t;
 }
 
-void SegmentCleaner::DropUnreadablePage(uint64_t paddr, const PageHeader& header,
+void SegmentCleaner::DropUnreadablePage(uint64_t paddr,
                                         const std::vector<uint32_t>& live,
                                         uint64_t now_ns) {
   ftl_->validity_.NoteTimeNs(now_ns);
@@ -279,13 +295,11 @@ void SegmentCleaner::DropUnreadablePage(uint64_t paddr, const PageHeader& header
       ftl_->validity_.ClearValid(epoch, paddr);
     }
   }
-  for (uint32_t view_id : ViewsForEpoch(header.epoch)) {
-    auto* view = ftl_->FindView(view_id);
-    const std::optional<uint64_t> mapped = view->map.Lookup(header.lba);
-    if (mapped.has_value() && *mapped == paddr) {
-      view->map.Erase(header.lba);
-    }
-  }
+  // The stored header is the thing that just failed its CRC — header.lba may be
+  // garbage, so the forward maps are swept by physical address instead of by name.
+  // A dangling entry here would outlive the victim's erase and turn a later read of
+  // the real lba into an unprogrammed-page fault.
+  ftl_->DetachPaddrFromMaps(paddr);
   ++ftl_->stats_.gc_pages_lost;
 }
 
@@ -421,7 +435,7 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
             IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr
                                  << " (lba " << header.lba
                                  << "): " << ar.status();
-            DropUnreadablePage(paddr, header, live, now_ns);
+            DropUnreadablePage(paddr, live, now_ns);
             return now_ns;
           }
           return ar.status();
@@ -442,7 +456,7 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
         // with a typed error rather than returning corrupt data.)
         IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr << " (lba "
                              << header.lba << "): " << read.status();
-        DropUnreadablePage(paddr, header, live, now_ns);
+        DropUnreadablePage(paddr, live, now_ns);
         return now_ns;
       }
       ASSIGN_OR_RETURN(NandOp read_op, std::move(read));
@@ -587,6 +601,23 @@ StatusOr<uint64_t> SegmentCleaner::CleanOneBlocking(uint64_t now_ns) {
     return now_ns;
   }
   uint64_t t = now_ns;
+  while (victim_.has_value()) {
+    ASSIGN_OR_RETURN(t, Step(t, ftl_->config_.nand.pages_per_segment));
+  }
+  return t;
+}
+
+StatusOr<uint64_t> SegmentCleaner::CleanSegmentBlocking(uint64_t segment,
+                                                        uint64_t now_ns) {
+  uint64_t t = now_ns;
+  // A victim mid-flight cannot be preempted (its scan snapshot and pacing state are
+  // segment-bound); finish it first, then clean the requested segment.
+  while (victim_.has_value()) {
+    ASSIGN_OR_RETURN(t, Step(t, ftl_->config_.nand.pages_per_segment));
+  }
+  if (!StartVictimAt(segment, t)) {
+    return t;
+  }
   while (victim_.has_value()) {
     ASSIGN_OR_RETURN(t, Step(t, ftl_->config_.nand.pages_per_segment));
   }

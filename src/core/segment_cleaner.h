@@ -66,6 +66,12 @@ class SegmentCleaner {
   // Returns the finish time; no-op returning now_ns when nothing is cleanable.
   StatusOr<uint64_t> CleanOneBlocking(uint64_t now_ns);
 
+  // Cleans one *specific* closed segment to completion (the patrol scrubber's
+  // evacuation path: relocate every live page, then erase, so corrupt pages are
+  // physically removed from the media). Any in-flight victim is finished first.
+  // No-op returning the current time when the segment is not cleanable.
+  StatusOr<uint64_t> CleanSegmentBlocking(uint64_t segment, uint64_t now_ns);
+
  private:
   struct Victim {
     uint64_t segment = 0;
@@ -115,6 +121,14 @@ class SegmentCleaner {
 
   std::optional<uint64_t> SelectVictim(uint64_t now_ns);
 
+  // Scans `segment` and installs it as the current victim (shared tail of
+  // StartVictim / StartVictimAt). Returns false if the scan or the tree-summary
+  // consolidation failed.
+  bool BeginVictim(uint64_t segment, uint64_t now_ns);
+  // StartVictim for a caller-chosen closed segment (evacuation). Returns false when
+  // the segment is not closed or another victim is mid-flight on a different segment.
+  bool StartVictimAt(uint64_t segment, uint64_t now_ns);
+
   // The coldest cleanable segment if its wear lags the most-worn by >= threshold.
   std::optional<uint64_t> WearLevelingCandidate() const;
 
@@ -124,7 +138,7 @@ class SegmentCleaner {
 
   // Scrubs every reference to a permanently unreadable page so nothing points at it
   // once the victim is erased (validity bits in every live epoch + view forward maps).
-  void DropUnreadablePage(uint64_t paddr, const PageHeader& header,
+  void DropUnreadablePage(uint64_t paddr,
                           const std::vector<uint32_t>& live, uint64_t now_ns);
 
   // Post-relocation bookkeeping shared by the classic read+append path and the

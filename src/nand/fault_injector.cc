@@ -28,6 +28,8 @@ void FaultInjector::Disarm() {
   config_.erase_fail_ppm = 0;
   config_.read_fail_ppm = 0;
   config_.corrupt_ppm = 0;
+  config_.read_disturb_ppm_per_k_reads = 0;
+  config_.retention_ppm_per_sec = 0;
   config_.crash_after_op = 0;
   config_.bad_block_schedule.clear();
   erase_fail_at_.clear();

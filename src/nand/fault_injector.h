@@ -13,6 +13,7 @@
 #ifndef SRC_NAND_FAULT_INJECTOR_H_
 #define SRC_NAND_FAULT_INJECTOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <utility>
@@ -31,6 +32,17 @@ struct FaultConfig {
   uint32_t erase_fail_ppm = 0;     // Segment erase fails; block becomes a grown bad block.
   uint32_t read_fail_ppm = 0;      // Transient read failure (kUnavailable; retryable).
   uint32_t corrupt_ppm = 0;        // Silent bit flip in the stored page (caught by CRC).
+  // --- Wear model (state-dependent corruption; PR 9) ---
+  // Read disturb: every data read of a page rolls a corruption die whose rate is
+  //   read_disturb_ppm_per_k_reads * (segment_read_count / 1000)
+  // capped at 1,000,000 ppm, where segment_read_count is the number of data reads
+  // the page's segment has absorbed since its last erase.
+  uint32_t read_disturb_ppm_per_k_reads = 0;
+  // Retention loss: every data read additionally rolls a die at
+  //   retention_ppm_per_sec * page_age_seconds
+  // (capped at 1,000,000 ppm) where age is virtual-clock time since the page was
+  // programmed. Erase resets both terms (fresh oxide, zero read count).
+  uint32_t retention_ppm_per_sec = 0;
   // 0 = never crash. Otherwise the first N device operations succeed and every
   // operation after that returns kUnavailable with no state change, modeling
   // power loss mid-workload (including mid-batch torn writes).
@@ -41,7 +53,9 @@ struct FaultConfig {
 
   bool AnyFaultConfigured() const {
     return program_fail_ppm != 0 || erase_fail_ppm != 0 || read_fail_ppm != 0 ||
-           corrupt_ppm != 0 || crash_after_op != 0 || !bad_block_schedule.empty();
+           corrupt_ppm != 0 || read_disturb_ppm_per_k_reads != 0 ||
+           retention_ppm_per_sec != 0 || crash_after_op != 0 ||
+           !bad_block_schedule.empty();
   }
 };
 
@@ -61,16 +75,33 @@ class FaultInjector {
   bool DrawReadFail() { return Draw(config_.read_fail_ppm); }
   bool DrawCorrupt() { return Draw(config_.corrupt_ppm); }
 
+  // Wear-model draw at a pre-scaled effective rate (read-disturb or retention).
+  // A zero rate consumes no randomness, preserving the bit-identity guarantee
+  // for runs with the wear knobs off.
+  bool DrawWear(uint64_t effective_ppm) {
+    return effective_ppm != 0 &&
+           rng_.NextBelow(1000000) < std::min<uint64_t>(effective_ppm, 1000000);
+  }
+
   // True if the segment's erase at `ordinal` (1-based) is scheduled to fail.
   bool EraseScheduledToFail(uint64_t segment, uint64_t ordinal) const;
 
   // Deterministic choice of which bit to flip when corrupting a page.
   uint64_t PickBit(uint64_t bound) { return rng_.NextBelow(bound); }
 
-  // Disables all future fault behavior (rates, schedules, crash gate) while
-  // keeping the op counter running. Media damage already done — bad blocks,
-  // corrupted pages — persists in the device; this models replacing the fault
-  // scenario with a healthy power supply, e.g. before crash recovery.
+  // Disables all future fault behavior (rates — including the wear-model
+  // rates — schedules, crash gate) while keeping the op counter running.
+  //
+  // Contract: Disarm() only stops *injecting new* faults. Media damage already
+  // done persists in the device:
+  //   - grown bad blocks stay bad,
+  //   - pages whose stored bits were flipped keep failing CRC on every
+  //     subsequent read until their segment is erased.
+  // This models replacing the fault scenario with a healthy power supply, e.g.
+  // before crash recovery. The patrol scrubber's repair loop depends on this:
+  // after Disarm() it can still *find* corrupted pages (reads keep returning
+  // kDataLoss) and drop/evacuate them; disarming must never silently "heal"
+  // the media. Pinned by NandFaultTest.DisarmKeepsCorruptedMedia.
   void Disarm();
 
   uint64_t ops() const { return ops_; }

@@ -29,6 +29,8 @@ constexpr uint64_t kFaultKindProgram = 0;
 constexpr uint64_t kFaultKindErase = 1;
 constexpr uint64_t kFaultKindRead = 2;
 constexpr uint64_t kFaultKindCorrupt = 3;
+constexpr uint64_t kFaultKindReadDisturb = 4;
+constexpr uint64_t kFaultKindRetention = 5;
 
 }  // namespace
 
@@ -180,6 +182,7 @@ StatusOr<NandOp> NandDevice::ProgramCommit(uint64_t segment, const PageHeader& h
   PageState& page = pages_[paddr];
   IOSNAP_CHECK(!page.programmed);
   page.programmed = true;
+  page.programmed_at_ns = issue_ns;
   page.header = header;
   // Metadata payloads (checkpoints, summaries, snapshot names) are always retained:
   // header-only benchmarking mode must still support restarts and note consolidation.
@@ -287,6 +290,9 @@ StatusOr<NandOp> NandDevice::ReadCommit(uint64_t paddr, uint64_t issue_ns,
                                         PageHeader* header_out,
                                         std::vector<uint8_t>* data_out) {
   RETURN_IF_ERROR(fault_.BeginOp());
+  // The sense itself wears the media: count it against the segment and roll the
+  // state-dependent corruption dice before any verification below.
+  ApplyReadWear(paddr, issue_ns);
   const PageState& page = pages_[paddr];
 
   if (fault_.DrawReadFail()) {
@@ -408,6 +414,8 @@ StatusOr<NandOp> NandDevice::CopybackCommit(uint64_t src_paddr, uint64_t dst_seg
   const bool on_die = src_chan == dst_chan;
   const uint64_t leg_bus_ns = on_die ? 0 : config_.bus_ns_per_page;
 
+  // The internal source sense is still a data read: it disturbs the source segment.
+  ApplyReadWear(src_paddr, issue_ns);
   const PageState& src = pages_[src_paddr];
   if (fault_.DrawReadFail()) {
     // The failed internal read still occupied the source channel (and, on the
@@ -451,6 +459,7 @@ StatusOr<NandOp> NandDevice::CopybackCommit(uint64_t src_paddr, uint64_t dst_seg
   PageState& dst = pages_[dst_paddr];
   IOSNAP_CHECK(!dst.programmed);
   dst.programmed = true;
+  dst.programmed_at_ns = issue_ns;
   // The stored bytes move verbatim — header with its original CRC plus payload — so a
   // corruption that slipped past a disabled scrub still fails verification at the new
   // address instead of being laundered by a recomputed checksum.
@@ -679,9 +688,13 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
     page.programmed = false;
     page.data.clear();
     page.header = PageHeader{};
+    page.programmed_at_ns = 0;
   }
   seg.erased = true;
   seg.next_page = 0;
+  // Erase resets both wear-model terms: a fresh block carries no read disturb and
+  // its pages restart their retention clocks at the next program.
+  seg.read_count = 0;
   ++seg.erase_count;
   max_erase_count_ = std::max(max_erase_count_, seg.erase_count);
   ++stats_.segments_erased;
@@ -692,6 +705,47 @@ StatusOr<NandOp> NandDevice::EraseSegment(uint64_t segment, uint64_t issue_ns) {
                    seg.erase_count);
   }
   return op;
+}
+
+void NandDevice::ApplyReadWear(uint64_t paddr, uint64_t now_ns) {
+  SegmentState& seg = segments_[SegmentOf(paddr)];
+  // The counter advances unconditionally (pure state, no RNG), so enabling the
+  // knobs mid-run sees the true accumulated read traffic.
+  ++seg.read_count;
+  const FaultConfig& fc = fault_.config();
+  if (fc.read_disturb_ppm_per_k_reads == 0 && fc.retention_ppm_per_sec == 0) {
+    return;
+  }
+  PageState& page = pages_[paddr];
+  if (!page.programmed) {
+    return;
+  }
+  if (fc.read_disturb_ppm_per_k_reads != 0) {
+    const uint64_t effective_ppm =
+        fc.read_disturb_ppm_per_k_reads * (seg.read_count / 1000);
+    if (fault_.DrawWear(effective_ppm)) {
+      FlipStoredBit(paddr);
+      ++stats_.read_disturb_corruptions;
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kFaultInjected, now_ns, now_ns,
+                       kFaultKindReadDisturb, paddr, seg.read_count);
+      }
+    }
+  }
+  if (fc.retention_ppm_per_sec != 0) {
+    const uint64_t age_sec =
+        (now_ns > page.programmed_at_ns ? now_ns - page.programmed_at_ns : 0) /
+        1000000000ull;
+    const uint64_t effective_ppm = fc.retention_ppm_per_sec * age_sec;
+    if (fault_.DrawWear(effective_ppm)) {
+      FlipStoredBit(paddr);
+      ++stats_.retention_corruptions;
+      if (trace_ != nullptr) {
+        trace_->Record(TraceEventType::kFaultInjected, now_ns, now_ns,
+                       kFaultKindRetention, paddr, age_sec);
+      }
+    }
+  }
 }
 
 void NandDevice::MarkBad(uint64_t segment) {
@@ -781,6 +835,28 @@ bool NandDevice::SegmentErased(uint64_t segment) const {
 uint64_t NandDevice::EraseCount(uint64_t segment) const {
   IOSNAP_CHECK(segment < config_.num_segments);
   return segments_[segment].erase_count;
+}
+
+uint64_t NandDevice::SegmentReadCount(uint64_t segment) const {
+  IOSNAP_CHECK(segment < config_.num_segments);
+  return segments_[segment].read_count;
+}
+
+uint64_t NandDevice::PageProgrammedAtNs(uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  return pages_[paddr].programmed_at_ns;
+}
+
+NandDevice::PageInspection NandDevice::InspectPage(uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  const PageState& page = pages_[paddr];
+  PageInspection out;
+  out.programmed = page.programmed;
+  if (page.programmed) {
+    out.crc_ok = PageCrcOk(page);
+    out.header = page.header;
+  }
+  return out;
 }
 
 uint64_t NandDevice::DrainTimeNs() const {

@@ -22,6 +22,7 @@
 #define SRC_NAND_NAND_DEVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -74,6 +75,10 @@ struct NandStats {
   // Copyback path (on-die GC copy-forward). Zero unless CopybackPage/Batch is used.
   uint64_t copyback_pages = 0;      // Pages relocated via CopybackPage/CopybackBatch.
   uint64_t copyback_fallbacks = 0;  // Copybacks that crossed channels (read+program).
+  // Wear model (read-disturb / retention-age corruption). Zero unless the
+  // read_disturb_ppm_per_k_reads / retention_ppm_per_sec knobs are live.
+  uint64_t read_disturb_corruptions = 0;  // Bit flips injected by read disturb.
+  uint64_t retention_corruptions = 0;     // Bit flips injected by retention loss.
 };
 
 class NandDevice {
@@ -197,6 +202,23 @@ class NandDevice {
   // whether a copyback kDataLoss blamed the source or the destination); charges no
   // device time.
   bool PageCrcIntact(uint64_t paddr) const;
+  // Data reads a segment has absorbed since its last erase (read-disturb input; also
+  // the patrol scrubber's refresh trigger).
+  uint64_t SegmentReadCount(uint64_t segment) const;
+  // Virtual-clock instant the page was programmed (retention-age input). 0 for free
+  // pages.
+  uint64_t PageProgrammedAtNs(uint64_t paddr) const;
+
+  // Raw page inspection for offline checking (iosnap_fsck). Unlike the timed read
+  // path and ScanSegmentHeaders — which silently drop CRC-failing pages — this
+  // surfaces the stored header of *every* programmed page together with its CRC
+  // verdict, charges no device time, and draws no faults.
+  struct PageInspection {
+    bool programmed = false;
+    bool crc_ok = false;
+    PageHeader header;  // Raw stored header (may itself be the corrupted part).
+  };
+  PageInspection InspectPage(uint64_t paddr) const;
 
   const NandStats& stats() const { return stats_; }
 
@@ -213,6 +235,19 @@ class NandDevice {
 
   // Optional flight-recorder hook (erase events); nullptr (the default) disables it.
   void SetTraceRecorder(TraceRecorder* trace) { trace_ = trace; }
+
+  // --- Image serialization (offline inspection; see src/nand/nand_image.h) ---
+
+  // Serializes the at-rest media state: geometry/timing config, per-segment wear
+  // counters, and every programmed page with its stored header (including the stored
+  // CRC, so latent corruption survives a save/load round trip) and payload. Busy
+  // horizons are not captured — an image is powered-off media.
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  // Rebuilds a device from SerializeTo() bytes. The loaded device has all fault
+  // injection disarmed: images are inspected and repaired on a healthy host, and
+  // latent damage is already baked into the stored bits.
+  static StatusOr<std::unique_ptr<NandDevice>> Deserialize(
+      const std::vector<uint8_t>& bytes);
 
   // --- Background-op classification (latency attribution) ---
   //
@@ -256,6 +291,7 @@ class NandDevice {
     bool programmed = false;
     PageHeader header;
     std::vector<uint8_t> data;
+    uint64_t programmed_at_ns = 0;  // Virtual clock at program time (retention age).
   };
 
   struct SegmentState {
@@ -263,6 +299,7 @@ class NandDevice {
     bool bad = false;             // Grown bad block: no further programs or erases.
     uint64_t next_page = 0;       // Next in-order page to program.
     uint64_t erase_count = 0;
+    uint64_t read_count = 0;      // Data reads since last erase (read-disturb input).
   };
 
   uint32_t ChannelOfPage(uint64_t paddr) const {
@@ -290,6 +327,13 @@ class NandDevice {
                               std::vector<uint8_t>* data_out);
   StatusOr<NandOp> CopybackCommit(uint64_t src_paddr, uint64_t dst_segment,
                                   uint64_t issue_ns, uint64_t* paddr_out);
+
+  // Wear model: counts a data read against `paddr`'s segment and, when the
+  // read-disturb / retention knobs are live, rolls their corruption dice (rates
+  // scale with the segment's read count and the page's age at `now_ns`). Called
+  // from the data-read paths only — header scans never disturb the media. With
+  // both knobs zero this touches no RNG state, preserving bit-identity.
+  void ApplyReadWear(uint64_t paddr, uint64_t now_ns);
 
   // Marks a segment as a grown bad block and re-derives MaxEraseCount if the segment
   // was holding the maximum.

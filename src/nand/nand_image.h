@@ -1,0 +1,32 @@
+// At-rest NAND image files ("a flash drive in a file").
+//
+// An image captures everything the media remembers when powered off: geometry and
+// timing config, per-segment wear state (erase/read counters, grown-bad flags), and
+// every programmed page verbatim — stored header *including the stored CRC* plus the
+// stored payload bytes, so latent corruption survives the round trip and remains
+// detectable by the offline checker. Busy horizons and fault-injection state are
+// deliberately not captured: an image is inspected on a healthy host, starting idle.
+//
+// Producers: iosnap_sim --image_out=PATH. Consumers: tools/iosnap_fsck.
+
+#ifndef SRC_NAND_NAND_IMAGE_H_
+#define SRC_NAND_NAND_IMAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/nand/nand_device.h"
+
+namespace iosnap {
+
+// Serializes `device`'s media state into `path`. Overwrites an existing file.
+Status SaveNandImage(const NandDevice& device, const std::string& path);
+
+// Loads an image written by SaveNandImage. The returned device starts with all
+// fault injection disarmed and idle channel/bus horizons.
+StatusOr<std::unique_ptr<NandDevice>> LoadNandImage(const std::string& path);
+
+}  // namespace iosnap
+
+#endif  // SRC_NAND_NAND_IMAGE_H_

@@ -18,8 +18,8 @@
 namespace iosnap {
 
 // Number of fields each binding registers; keep in sync with the structs (test-checked).
-inline constexpr size_t kFtlStatsMetricCount = 29;
-inline constexpr size_t kNandStatsMetricCount = 14;
+inline constexpr size_t kFtlStatsMetricCount = 37;
+inline constexpr size_t kNandStatsMetricCount = 16;
 inline constexpr size_t kValidityStatsMetricCount = 7;
 inline constexpr size_t kLogStatsMetricCount = 2;
 inline constexpr size_t kIoQueueStatsMetricCount = 9;
@@ -58,6 +58,14 @@ inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
   add("total_pages_programmed", &s.total_pages_programmed);
   add("user_read_errors", &s.user_read_errors);
   add("gc_pages_lost", &s.gc_pages_lost);
+  add("patrol_sweeps", &s.patrol_sweeps);
+  add("patrol_pages_scanned", &s.patrol_pages_scanned);
+  add("patrol_pages_rewritten", &s.patrol_pages_rewritten);
+  add("patrol_pages_dropped", &s.patrol_pages_dropped);
+  add("patrol_segments_evacuated", &s.patrol_segments_evacuated);
+  add("degraded_entries", &s.degraded_entries);
+  add("degraded_exits", &s.degraded_exits);
+  add("degraded_writes_rejected", &s.degraded_writes_rejected);
 }
 
 inline void RegisterNandStats(MetricsRegistry* registry, const NandStats& s,
@@ -79,6 +87,8 @@ inline void RegisterNandStats(MetricsRegistry* registry, const NandStats& s,
   add("read_retries", &s.read_retries);
   add("copyback_pages", &s.copyback_pages);
   add("copyback_fallbacks", &s.copyback_fallbacks);
+  add("read_disturb_corruptions", &s.read_disturb_corruptions);
+  add("retention_corruptions", &s.retention_corruptions);
 }
 
 // Per-bus utilization gauges: "nand.bus_busy_frac.<i>" for each transfer bus. These

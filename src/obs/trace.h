@@ -59,7 +59,8 @@ enum class TraceEventType : uint8_t {
   kCheckpointWrite,
   kRecoveryRun,
   // Fault injection & degraded-mode handling.
-  kFaultInjected,    // args: kind (0=program 1=erase 2=read 3=corrupt), where, op_index
+  kFaultInjected,    // args: kind (0=program 1=erase 2=read 3=corrupt 4=read-disturb
+                     //            5=retention), where, op_index / wear input
   kSegmentRetired,   // args: segment, erase_count
   kReadRetry,        // args: paddr, attempt
   // Multi-queue submission layer (src/core/io_queue).
@@ -68,6 +69,12 @@ enum class TraceEventType : uint8_t {
   kQueueComplete,    // args: queue, op_id, lba
   // On-die copyback relocation (GC copy-forward off the bus).
   kNandCopyback,     // args: src_paddr, dst_paddr, on_die (1 = same-channel, 0 = fallback)
+  // Patrol scrubber (media reliability).
+  kPatrolRewrite,    // args: lba, old_paddr, new_paddr
+  kPatrolDrop,       // args: lba, paddr (unreadable live page expunged)
+  // Degraded read-only mode transitions.
+  kDegradedEnter,    // args: free_segments, segments_retired
+  kDegradedExit,     // args: free_segments, segments_retired
 
   kNumTypes,  // Sentinel; keep last.
 };

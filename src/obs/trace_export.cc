@@ -86,6 +86,14 @@ constexpr TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
      {"queue", "op_id", "lba"}},
     {TraceEventType::kNandCopyback, "copyback", "device", kTrackDevice,
      {"src_paddr", "dst_paddr", "on_die"}},
+    {TraceEventType::kPatrolRewrite, "patrol_rewrite", "gc", kTrackGc,
+     {"lba", "old_paddr", "new_paddr"}},
+    {TraceEventType::kPatrolDrop, "patrol_drop", "gc", kTrackGc,
+     {"lba", "paddr", nullptr}},
+    {TraceEventType::kDegradedEnter, "degraded_enter", "lifecycle", kTrackLifecycle,
+     {"free_segments", "segments_retired", nullptr}},
+    {TraceEventType::kDegradedExit, "degraded_exit", "lifecycle", kTrackLifecycle,
+     {"free_segments", "segments_retired", nullptr}},
 };
 
 // Compile-time proof that every enumerator has a well-formed table entry: self-id

@@ -9,14 +9,18 @@
 // trims, and snapshot notes are atomic (one program op), so their effects are
 // all-or-nothing; only vectored writes may land a torn prefix.
 
+#include <algorithm>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/core/fsck.h"
 #include "src/core/ftl.h"
 #include "tests/test_util.h"
 
@@ -191,6 +195,8 @@ TEST(FaultCampaign, NoFaultEquivalenceWhenDisabled) {
   FtlConfig armed = TinyConfig();
   FaultPlan zero;
   zero.seed = 0xDEADBEEFCAFEF00DULL;
+  zero.read_disturb_ppm_per_k_reads = 0;  // Wear knobs at zero are also covered
+  zero.retention_ppm_per_sec = 0;         // by the bit-identity guarantee.
   zero.ApplyTo(&armed);
 
   FtlHarness a(plain);
@@ -541,6 +547,125 @@ TEST(FaultCampaign, CopybackRandomFaultSoak) {
   for (const auto& [lba, v] : model.current_state()) {
     ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, v));
   }
+}
+
+// Crash-mid-patrol regression: the device goes offline while the patrol scrubber
+// is rewriting pages (an aggressive refresh threshold turns every scanned live
+// page into a rewrite). A patrol rewrite is a GC-style copy-forward — the old copy
+// stays valid until the new program lands — so a crash at *any* point inside the
+// sweep must recover to exactly the pre-patrol logical state, and the recovered
+// media must pass the offline checker.
+TEST(FaultCampaign, CrashMidPatrolRecoversConsistently) {
+  constexpr uint64_t kPatrolLbas = 180;
+  FtlConfig base = SmallConfig();
+  base.patrol_enabled = true;
+  base.patrol_pages_per_step = 64;
+  base.patrol_sleep_ms = 0;
+  base.patrol_refresh_reads = 1;  // Everything scanned is "due": maximal rewrites.
+
+  // Learn the op horizon: how many device ops the write phase takes, and how many
+  // more a patrol-heavy pump phase adds.
+  uint64_t ops_before_patrol = 0;
+  uint64_t ops_after_patrol = 0;
+  {
+    FtlHarness h(base);
+    for (uint64_t lba = 0; lba < kPatrolLbas; ++lba) {
+      ASSERT_OK(h.Write(lba, 1));
+    }
+    // One read per LBA arms the read-count trigger.
+    for (uint64_t lba = 0; lba < kPatrolLbas; ++lba) {
+      ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, 1));
+    }
+    ops_before_patrol = h.ftl().device().fault().ops();
+    for (int i = 0; i < 12; ++i) {
+      h.AdvanceTo(h.now() + 1000000);
+      h.ftl().PumpBackground(h.now());
+    }
+    ops_after_patrol = h.ftl().device().fault().ops();
+    ASSERT_GT(h.ftl().stats().patrol_pages_rewritten, 0u);
+    ASSERT_GT(ops_after_patrol, ops_before_patrol);
+  }
+
+  // Sweep crash points across the patrol phase (strided to keep runtime sane).
+  const uint64_t span = ops_after_patrol - ops_before_patrol;
+  const uint64_t stride = std::max<uint64_t>(1, span / 24);
+  for (uint64_t k = ops_before_patrol + 1; k <= ops_after_patrol; k += stride) {
+    FtlConfig config = base;
+    FaultPlan plan;
+    plan.crash_after_op = k;
+    plan.ApplyTo(&config);
+    FtlHarness h(config);
+    for (uint64_t lba = 0; lba < kPatrolLbas; ++lba) {
+      ASSERT_OK(h.Write(lba, 1));
+    }
+    for (uint64_t lba = 0; lba < kPatrolLbas; ++lba) {
+      ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, 1));
+    }
+    // Patrol runs until the injected crash takes the device offline; Step errors
+    // are swallowed by PumpBackground (logged, not fatal).
+    for (int i = 0; i < 12; ++i) {
+      h.AdvanceTo(h.now() + 1000000);
+      h.ftl().PumpBackground(h.now());
+    }
+    ASSERT_OK(h.CrashAndReopen(/*clear_faults=*/true)) << "crash at op " << k;
+    ASSERT_TRUE(h.ftl().validity().VerifyCounters()) << "crash at op " << k;
+    for (uint64_t lba = 0; lba < kPatrolLbas; ++lba) {
+      ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, 1)) << "crash at op " << k;
+    }
+    ASSERT_OK_AND_ASSIGN(FsckReport report,
+                         FsckDevice(&h.ftl().MutableDeviceForTesting()));
+    EXPECT_TRUE(report.Clean())
+        << "crash at op " << k << "\n" << FormatFsckReport(report);
+  }
+}
+
+// Wear-model determinism at FTL level: two identical runs with the same seed and
+// live disturb/retention rates end in bit-identical device and FTL state — the
+// property the media-reliability campaign (and any bug repro) depends on.
+TEST(FaultCampaign, WearCampaignIsReproducible) {
+  auto run = []() {
+    FtlConfig config = SmallConfig();
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.read_disturb_ppm_per_k_reads = 1000000;
+    plan.retention_ppm_per_sec = 2000;
+    plan.ApplyTo(&config);
+    auto h = std::make_unique<FtlHarness>(config);
+    constexpr uint64_t kWearLbas = 160;
+    for (uint64_t lba = 0; lba < kWearLbas; ++lba) {
+      IOSNAP_CHECK(h->Write(lba, 1).ok());
+    }
+    uint64_t failed_reads = 0;
+    for (int round = 0; round < 20; ++round) {
+      for (uint64_t lba = 0; lba < kWearLbas; ++lba) {
+        std::vector<uint8_t> data;
+        auto result = h->ftl().ReadView(kPrimaryView, lba, h->now(), &data);
+        if (result.ok()) {
+          h->AdvanceTo(result->CompletionNs());
+        } else {
+          IOSNAP_CHECK(result.status().code() == StatusCode::kDataLoss);
+          ++failed_reads;
+        }
+      }
+    }
+    return std::make_tuple(std::move(h), failed_reads);
+  };
+  auto [a, fails_a] = run();
+  auto [b, fails_b] = run();
+  EXPECT_EQ(fails_a, fails_b);
+  EXPECT_GT(fails_a, 0u);  // The campaign actually bit something.
+  EXPECT_EQ(a->now(), b->now());
+  const NandStats& na = a->ftl().device().stats();
+  const NandStats& nb = b->ftl().device().stats();
+  EXPECT_EQ(0, std::memcmp(&na, &nb, sizeof(NandStats)));
+  const FtlStats& fa = a->ftl().stats();
+  const FtlStats& fb = b->ftl().stats();
+  EXPECT_EQ(0, std::memcmp(&fa, &fb, sizeof(FtlStats)));
+  auto entries_a = a->ftl().ViewMapEntries(kPrimaryView);
+  auto entries_b = b->ftl().ViewMapEntries(kPrimaryView);
+  ASSERT_OK(entries_a.status());
+  ASSERT_OK(entries_b.status());
+  EXPECT_EQ(*entries_a, *entries_b);
 }
 
 }  // namespace

@@ -1,0 +1,394 @@
+// Media-reliability integration campaign: the patrol scrubber (preemptive refresh,
+// corrupt-page expungement), the offline checker (detect -> repair -> clean), the
+// at-rest image round trip, degraded read-only mode, and the patrol-vs-control
+// comparison under a live read-disturb wear model.
+//
+// Determinism note: the read-disturb effective rate is
+//   rate * (segment_reads_since_erase / 1000)
+// with *integer* division, so segments under 1000 reads draw at exactly zero ppm and
+// a max-rate segment corrupts with certainty on its 1000th read. The campaign leans
+// on that cliff: a patrol refresh threshold far below 1000 keeps every segment's read
+// count cold (zero corruption, deterministically), while the patrol-less control is
+// guaranteed to decay once its hot segments cross the line.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fsck.h"
+#include "src/core/ftl.h"
+#include "src/nand/nand_image.h"
+#include "tests/test_util.h"
+
+namespace iosnap {
+namespace {
+
+// Pumps background work (idle GC + patrol) `times` times, advancing the harness
+// clock by `step_ns` before each pump so rate limiters make progress.
+void Pump(FtlHarness* h, int times, uint64_t step_ns = 1000000) {
+  for (int i = 0; i < times; ++i) {
+    h->AdvanceTo(h->now() + step_ns);
+    h->ftl().PumpBackground(h->now());
+  }
+}
+
+// Physical address currently backing `lba` in the primary view.
+uint64_t PaddrOf(Ftl* ftl, uint64_t lba) {
+  auto entries = ftl->ViewMapEntries(kPrimaryView);
+  IOSNAP_CHECK(entries.ok());
+  for (const auto& [entry_lba, paddr] : *entries) {
+    if (entry_lba == lba) {
+      return paddr;
+    }
+  }
+  IOSNAP_CHECK(false);
+  return 0;
+}
+
+// Some LBA whose backing page sits in a *closed* segment (the patrol's beat).
+uint64_t LbaInClosedSegment(Ftl* ftl) {
+  auto entries = ftl->ViewMapEntries(kPrimaryView);
+  IOSNAP_CHECK(entries.ok());
+  for (const auto& [lba, paddr] : *entries) {
+    const uint64_t segment = ftl->device().SegmentOf(paddr);
+    if (ftl->log_manager().segment_info(segment).state == SegmentState::kClosed) {
+      return lba;
+    }
+  }
+  IOSNAP_CHECK(false);
+  return 0;
+}
+
+TEST(PatrolScrubberTest, RefreshRewritesHotPagesWithoutDataChange) {
+  FtlConfig config = SmallConfig();
+  config.patrol_enabled = true;
+  config.patrol_pages_per_step = 4096;  // A pump sweeps everything.
+  config.patrol_sleep_ms = 0;
+  config.patrol_refresh_reads = 50;
+  FtlHarness h(config);
+
+  const uint64_t kLbas = 128;
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  // Heat the segments past the refresh threshold with plain reads.
+  for (int round = 0; round < 60; ++round) {
+    for (uint64_t lba = 0; lba < kLbas; ++lba) {
+      ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, 1));
+    }
+  }
+  Pump(&h, 4);
+  EXPECT_GT(h.ftl().stats().patrol_pages_rewritten, 0u);
+  EXPECT_EQ(h.ftl().stats().patrol_pages_dropped, 0u);
+  // Refresh is invisible to the host: every LBA still reads its version.
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, 1));
+  }
+}
+
+TEST(PatrolScrubberTest, BackgroundSweepExpungesCorruptPage) {
+  FtlConfig config = SmallConfig();
+  config.patrol_enabled = true;
+  config.patrol_pages_per_step = 4096;
+  config.patrol_sleep_ms = 0;
+  FtlHarness h(config);
+
+  const uint64_t kLbas = 256;  // Spans several segments; most end up closed.
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  const uint64_t victim_lba = LbaInClosedSegment(&h.ftl());
+  const uint64_t victim_paddr = PaddrOf(&h.ftl(), victim_lba);
+  h.ftl().MutableDeviceForTesting().CorruptPageForTesting(victim_paddr);
+
+  Pump(&h, 8);
+  const FtlStats& s = h.ftl().stats();
+  EXPECT_EQ(s.patrol_pages_dropped, 1u);
+  EXPECT_GE(s.patrol_segments_evacuated, 1u);
+  // The damage is gone from the media, not just unmapped: fsck agrees.
+  ASSERT_OK_AND_ASSIGN(FsckReport report,
+                       FsckDevice(&h.ftl().MutableDeviceForTesting()));
+  EXPECT_TRUE(report.Clean()) << FormatFsckReport(report);
+  EXPECT_EQ(report.crc_failures, 0u);
+  // The lost LBA now reads as unmapped; its neighbors are untouched.
+  EXPECT_TRUE(h.CheckLba(kPrimaryView, victim_lba, 0));
+  EXPECT_TRUE(h.CheckLba(kPrimaryView, (victim_lba + 1) % kLbas, 1));
+}
+
+// Regression: with store_data off, corruption flips a bit of the stored header's
+// *lba* field — so the drop path cannot trust the header to name the right map
+// entry. Before the paddr-keyed map sweep, the real lba's entry survived the
+// evacuation erase and a later read hit an unprogrammed page
+// (FAILED_PRECONDITION) instead of reading back as unmapped.
+TEST(PatrolScrubberTest, DropWithCorruptHeaderDetachesForwardMap) {
+  FtlConfig config = SmallConfig();
+  config.nand.store_data = false;  // Header-only media: the flip lands in header.lba.
+  config.patrol_enabled = true;
+  config.patrol_pages_per_step = 4096;
+  config.patrol_sleep_ms = 0;
+  FtlHarness h(config);
+
+  const uint64_t kLbas = 256;
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  const uint64_t victim_lba = LbaInClosedSegment(&h.ftl());
+  const uint64_t victim_paddr = PaddrOf(&h.ftl(), victim_lba);
+  h.ftl().MutableDeviceForTesting().CorruptPageForTesting(victim_paddr);
+
+  Pump(&h, 8);
+  const FtlStats& s = h.ftl().stats();
+  EXPECT_EQ(s.patrol_pages_dropped, 1u);
+  EXPECT_GE(s.patrol_segments_evacuated, 1u);
+  // The victim lba must read as unmapped zeroes — a dangling map entry into the
+  // erased segment would surface here as a typed read failure.
+  std::vector<uint8_t> data;
+  ASSERT_OK(h.ftl().ReadView(kPrimaryView, victim_lba, h.now(), &data).status());
+  EXPECT_TRUE(std::all_of(data.begin(), data.end(),
+                          [](uint8_t b) { return b == 0; }));
+}
+
+TEST(FsckTest, DetectsLostDataThenScrubRepairs) {
+  FtlConfig config = SmallConfig();  // Patrol *disabled*: nothing heals on its own.
+  FtlHarness h(config);
+  const uint64_t kLbas = 200;
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  const uint64_t victim_lba = LbaInClosedSegment(&h.ftl());
+  h.ftl().MutableDeviceForTesting().CorruptPageForTesting(PaddrOf(&h.ftl(), victim_lba));
+
+  ASSERT_OK_AND_ASSIGN(FsckReport dirty,
+                       FsckDevice(&h.ftl().MutableDeviceForTesting()));
+  EXPECT_FALSE(dirty.Clean());
+  EXPECT_EQ(dirty.crc_failures, 1u);
+  EXPECT_EQ(dirty.lost_data_pages, 1u);
+  EXPECT_TRUE(dirty.recovery_ok);
+  EXPECT_FALSE(dirty.errors.empty());
+
+  // ScrubAllBlocking works with patrol_enabled off — it is the fsck --repair hook.
+  ASSERT_OK(h.ftl().ScrubAllBlocking(h.now()).status());
+  ASSERT_OK_AND_ASSIGN(FsckReport clean,
+                       FsckDevice(&h.ftl().MutableDeviceForTesting()));
+  EXPECT_TRUE(clean.Clean()) << FormatFsckReport(clean);
+  EXPECT_EQ(clean.crc_failures, 0u);
+  EXPECT_EQ(h.ftl().stats().patrol_pages_dropped, 1u);
+}
+
+TEST(FsckTest, SupersededCorruptionIsNotAnError) {
+  FtlConfig config = SmallConfig();
+  FtlHarness h(config);
+  for (uint64_t lba = 0; lba < 200; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  const uint64_t victim_lba = LbaInClosedSegment(&h.ftl());
+  const uint64_t old_paddr = PaddrOf(&h.ftl(), victim_lba);
+  // Overwrite first, then corrupt the now-stale copy: a higher intact seq for the
+  // same (epoch, lba) exists on media, so nothing was lost.
+  ASSERT_OK(h.Write(victim_lba, 2));
+  h.ftl().MutableDeviceForTesting().CorruptPageForTesting(old_paddr);
+
+  ASSERT_OK_AND_ASSIGN(FsckReport report,
+                       FsckDevice(&h.ftl().MutableDeviceForTesting()));
+  EXPECT_TRUE(report.Clean()) << FormatFsckReport(report);
+  EXPECT_EQ(report.crc_failures, 1u);
+  EXPECT_EQ(report.superseded_corrupt_pages, 1u);
+  EXPECT_EQ(report.lost_data_pages, 0u);
+}
+
+TEST(FsckTest, ImageRoundTripPreservesLatentCorruption) {
+  FtlConfig config = SmallConfig();
+  FtlHarness h(config);
+  for (uint64_t lba = 0; lba < 150; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("pinned"));
+  (void)snap;
+  for (uint64_t lba = 0; lba < 50; ++lba) {
+    ASSERT_OK(h.Write(lba, 2));
+  }
+  const uint64_t victim_lba = LbaInClosedSegment(&h.ftl());
+  h.ftl().MutableDeviceForTesting().CorruptPageForTesting(PaddrOf(&h.ftl(), victim_lba));
+
+  ASSERT_OK_AND_ASSIGN(FsckReport before,
+                       FsckDevice(&h.ftl().MutableDeviceForTesting()));
+  std::unique_ptr<NandDevice> device = h.ftl().ReleaseDevice();
+  const std::string path = ::testing::TempDir() + "/media_reliability_roundtrip.img";
+  ASSERT_OK(SaveNandImage(*device, path));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<NandDevice> loaded, LoadNandImage(path));
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded->config().page_size_bytes, config.nand.page_size_bytes);
+  EXPECT_EQ(loaded->config().num_segments, config.nand.num_segments);
+  ASSERT_OK_AND_ASSIGN(FsckReport after, FsckDevice(loaded.get()));
+  // The image is byte-faithful: the checker sees the identical picture, latent
+  // CRC failure included.
+  EXPECT_EQ(after.pages_scanned, before.pages_scanned);
+  EXPECT_EQ(after.crc_failures, before.crc_failures);
+  EXPECT_EQ(after.lost_data_pages, before.lost_data_pages);
+  EXPECT_EQ(after.superseded_corrupt_pages, before.superseded_corrupt_pages);
+  EXPECT_EQ(after.dangling_validity_refs, before.dangling_validity_refs);
+  EXPECT_EQ(after.map_mismatches, before.map_mismatches);
+  EXPECT_EQ(after.doubly_claimed_pages, before.doubly_claimed_pages);
+  EXPECT_EQ(after.orphaned_pages, before.orphaned_pages);
+  EXPECT_EQ(after.epochs_checked, before.epochs_checked);
+  EXPECT_EQ(after.crc_failures, 1u);
+}
+
+TEST(DegradedModeTest, ExhaustionEntersReadOnlyAndReclaimExits) {
+  FtlConfig config = SmallConfig();
+  config.degraded_free_floor = 3;  // Below gc_low: only unreclaimable pressure trips it.
+  config.degraded_exit_free = 6;   // == gc_high, so idle GC can actually get us out.
+  FtlHarness h(config);
+  const uint64_t lba_count = config.LbaCount();
+
+  // Fill the primary, pin it all under a snapshot, then keep writing fresh
+  // versions: every page is live somewhere, so the cleaner has nothing to reclaim
+  // and the free pool drains to the floor.
+  for (uint64_t lba = 0; lba < lba_count; ++lba) {
+    ASSERT_OK(h.Write(lba, 1));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t snap, h.Snapshot("pin"));
+  uint64_t next_lba = 0;
+  Status write_status = OkStatus();
+  for (uint64_t i = 0; i < 2 * lba_count; ++i) {
+    write_status = h.Write(next_lba, 2);
+    if (!write_status.ok()) {
+      break;
+    }
+    next_lba = (next_lba + 1) % lba_count;
+  }
+  ASSERT_EQ(write_status.code(), StatusCode::kResourceExhausted)
+      << "device never exhausted: " << write_status.ToString();
+  EXPECT_TRUE(h.ftl().degraded());
+  const FtlStats& s = h.ftl().stats();
+  EXPECT_GE(s.degraded_entries, 1u);
+  EXPECT_GE(s.degraded_writes_rejected, 1u);
+
+  // Read-only means exactly that: writes and trims bounce, but every live epoch
+  // stays fully readable — the primary at its newest versions and the snapshot
+  // at the pinned ones.
+  EXPECT_EQ(h.Write(0, 3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(h.Trim(0, 4).code(), StatusCode::kResourceExhausted);
+  for (uint64_t lba = 0; lba < 16; ++lba) {
+    const uint64_t version = lba < next_lba ? 2 : 1;
+    ASSERT_TRUE(h.CheckLba(kPrimaryView, lba, version));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t view, h.Activate(snap));
+  for (uint64_t lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(h.CheckLba(view, lba, 1));
+  }
+  ASSERT_OK(h.ftl().Deactivate(view, h.now()));
+
+  // Snapshot deletion is the escape hatch and must work while degraded. Dropping
+  // the pin turns the stale copies into garbage; idle GC reclaims past the exit
+  // threshold and the FTL lifts read-only mode on its own.
+  ASSERT_OK(h.Delete(snap));
+  for (int i = 0; i < 2000 && h.ftl().degraded(); ++i) {
+    Pump(&h, 1);
+  }
+  EXPECT_FALSE(h.ftl().degraded());
+  EXPECT_GE(h.ftl().stats().degraded_exits, 1u);
+  ASSERT_OK(h.Write(0, 4));
+  ASSERT_TRUE(h.CheckLba(kPrimaryView, 0, 4));
+}
+
+TEST(DegradedModeTest, RetiredFloorTripsPermanently) {
+  FtlConfig config = SmallConfig();
+  config.degraded_retired_floor = 1;
+  FaultPlan faults;
+  faults.erase_fail_ppm = 1000000;  // First erase retires its segment.
+  faults.ApplyTo(&config);
+  FtlHarness h(config);
+
+  // Write until the cleaner has to erase something; the failed erase retires the
+  // segment and trips the floor.
+  Status status = OkStatus();
+  for (uint64_t i = 0; i < 8 * config.LbaCount() && status.ok(); ++i) {
+    status = h.Write(i % config.LbaCount(), 1 + i / config.LbaCount());
+  }
+  ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+  ASSERT_GE(h.ftl().log_manager().stats().segments_retired, 1u);
+  EXPECT_TRUE(h.ftl().degraded());
+  // Retirement never reverses, so neither does the degraded state.
+  Pump(&h, 50);
+  EXPECT_TRUE(h.ftl().degraded());
+  EXPECT_EQ(h.ftl().stats().degraded_exits, 0u);
+}
+
+TEST(MediaReliabilityCampaign, PatrolKeepsWearInCheckWhereControlDecays) {
+  // Same seeded wear model, same workload. The control (no patrol) lets segment
+  // read counts cross the disturb cliff and accumulates unrepaired CRC failures;
+  // the patrol run refreshes hot pages early enough that the media ends clean.
+  const uint64_t kLbas = 256;
+  const int kRounds = 24;
+  auto run = [](bool patrol) {
+    FtlConfig config = SmallConfig();
+    config.patrol_enabled = patrol;
+    config.patrol_pages_per_step = 8192;
+    config.patrol_sleep_ms = 0;
+    config.patrol_refresh_reads = 200;  // Far below the 1000-read disturb cliff.
+    FaultPlan faults;
+    faults.read_disturb_ppm_per_k_reads = 1000000;
+    faults.ApplyTo(&config);
+    auto h = std::make_unique<FtlHarness>(config);
+    for (uint64_t lba = 0; lba < kLbas; ++lba) {
+      IOSNAP_CHECK(h->Write(lba, 1).ok());
+    }
+    uint64_t read_errors = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (uint64_t lba = 0; lba < kLbas; ++lba) {
+        std::vector<uint8_t> data;
+        auto result = h->ftl().ReadView(kPrimaryView, lba, h->now(), &data);
+        if (result.ok()) {
+          h->AdvanceTo(result->CompletionNs());
+        } else {
+          IOSNAP_CHECK(result.status().code() == StatusCode::kDataLoss);
+          ++read_errors;
+        }
+      }
+      Pump(h.get(), 2);
+    }
+    // Let the patrol settle: sweep until a full pass finds nothing to do.
+    if (patrol) {
+      for (int i = 0; i < 64; ++i) {
+        const FtlStats before = h->ftl().stats();
+        Pump(h.get(), 2);
+        const FtlStats& after = h->ftl().stats();
+        if (after.patrol_pages_rewritten == before.patrol_pages_rewritten &&
+            after.patrol_pages_dropped == before.patrol_pages_dropped &&
+            after.patrol_sweeps > before.patrol_sweeps) {
+          break;
+        }
+      }
+    }
+    return std::make_pair(std::move(h), read_errors);
+  };
+
+  auto [control, control_errors] = run(false);
+  ASSERT_OK_AND_ASSIGN(FsckReport control_report,
+                       FsckDevice(&control->ftl().MutableDeviceForTesting()));
+  EXPECT_GT(control_report.crc_failures, 0u);
+  EXPECT_FALSE(control_report.Clean());
+  EXPECT_GT(control_errors, 0u);
+
+  auto [patrolled, patrol_errors] = run(true);
+  ASSERT_OK_AND_ASSIGN(FsckReport patrol_report,
+                       FsckDevice(&patrolled->ftl().MutableDeviceForTesting()));
+  EXPECT_TRUE(patrol_report.Clean()) << FormatFsckReport(patrol_report);
+  EXPECT_EQ(patrol_report.crc_failures, 0u);
+  EXPECT_EQ(patrol_errors, 0u) << "patrol failed to stay ahead of the wear cliff";
+  EXPECT_GT(patrolled->ftl().stats().patrol_pages_rewritten, 0u);
+  // And the patrol run lost nothing: every LBA still reads version 1.
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_TRUE(patrolled->CheckLba(kPrimaryView, lba, 1));
+  }
+}
+
+}  // namespace
+}  // namespace iosnap

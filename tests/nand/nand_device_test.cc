@@ -717,11 +717,141 @@ TEST(NandFaultTest, CopybackWithoutScrubRelocatesCorruptionDetectably) {
             StatusCode::kDataLoss);
 }
 
+TEST(NandFaultTest, ReadDisturbCorruptsAfterRepeatedReads) {
+  NandConfig config = TestNand();
+  config.fault.read_disturb_ppm_per_k_reads = 1000000;
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 5;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 5, 1), 0, &paddr).status());
+
+  // The effective rate is rate * (segment_reads / 1000): reads 1..999 draw at zero
+  // ppm; the 1000th read of the segment reaches certainty and fails its own CRC
+  // check (wear is applied before verification).
+  for (uint64_t i = 0; i < 999; ++i) {
+    ASSERT_OK(dev.ReadPage(paddr, 0, nullptr, nullptr).status()) << "read " << i;
+  }
+  EXPECT_EQ(dev.ReadPage(paddr, 0, nullptr, nullptr).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(dev.stats().read_disturb_corruptions, 1u);
+  EXPECT_EQ(dev.stats().retention_corruptions, 0u);
+  EXPECT_EQ(dev.SegmentReadCount(0), 1000u);
+  EXPECT_FALSE(dev.PageCrcIntact(paddr));
+}
+
+TEST(NandFaultTest, RetentionCorruptsOldPages) {
+  NandConfig config = TestNand();
+  config.fault.retention_ppm_per_sec = 1000000;
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 3;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 3, 1), 0, &paddr).status());
+
+  // Young page: age < 1 virtual second draws at zero ppm.
+  ASSERT_OK(dev.ReadPage(paddr, 500000000, nullptr, nullptr).status());
+  // Old page: at 1e6 ppm/sec one second of age reaches certainty.
+  EXPECT_EQ(dev.ReadPage(paddr, 2000000000, nullptr, nullptr).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(dev.stats().retention_corruptions, 1u);
+  EXPECT_EQ(dev.stats().read_disturb_corruptions, 0u);
+}
+
+TEST(NandFaultTest, EraseResetsWearState) {
+  NandConfig config = TestNand();
+  config.fault.read_disturb_ppm_per_k_reads = 1000000;
+  config.fault.retention_ppm_per_sec = 1000000;
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 0, 1), 0, &paddr).status());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_OK(dev.ReadPage(paddr, 0, nullptr, nullptr).status());
+  }
+  EXPECT_EQ(dev.SegmentReadCount(0), 500u);
+
+  // Erase: fresh oxide. The read counter restarts and a page programmed after the
+  // erase is young again — a read a long virtual time after the *first* program
+  // draws on the new page's age, not the segment's history.
+  ASSERT_OK(dev.EraseSegment(0, 0).status());
+  EXPECT_EQ(dev.SegmentReadCount(0), 0u);
+  const uint64_t reprogram_ns = 3000000000;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 0, 2), reprogram_ns, &paddr)
+                .status());
+  EXPECT_EQ(dev.PageProgrammedAtNs(paddr), reprogram_ns);
+  ASSERT_OK(dev.ReadPage(paddr, reprogram_ns + 500000000, nullptr, nullptr).status());
+  EXPECT_EQ(dev.stats().read_disturb_corruptions, 0u);
+  EXPECT_EQ(dev.stats().retention_corruptions, 0u);
+}
+
+TEST(NandFaultTest, DisarmKeepsCorruptedMedia) {
+  // ClearFaults() stops future *draws*; it must not heal damage already done.
+  // Wear decay is physical: a page corrupted by retention loss still fails its
+  // CRC after the injection schedule is disarmed (e.g. across a power cycle).
+  NandConfig config = TestNand();
+  config.fault.retention_ppm_per_sec = 1000000;
+  NandDevice dev(config);
+  PageHeader header;
+  header.type = RecordType::kData;
+  header.lba = 8;
+  uint64_t paddr = 0;
+  ASSERT_OK(dev.ProgramPage(0, header, PageData(512, 8, 1), 0, &paddr).status());
+  EXPECT_EQ(dev.ReadPage(paddr, 5000000000, nullptr, nullptr).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(dev.stats().retention_corruptions, 1u);
+
+  dev.ClearFaults();
+  EXPECT_EQ(dev.ReadPage(paddr, 9000000000, nullptr, nullptr).status().code(),
+            StatusCode::kDataLoss);
+  // No new wear draw happened; only the original flip is on record.
+  EXPECT_EQ(dev.stats().retention_corruptions, 1u);
+  EXPECT_FALSE(dev.PageCrcIntact(paddr));
+}
+
+TEST(NandFaultTest, WearCorruptionIsDeterministicPerSeed) {
+  // Same seed + same op sequence => identical corruption sites and counters; the
+  // basis for replayable media-reliability campaigns.
+  NandConfig config = TestNand();
+  config.fault.seed = 777;
+  config.fault.read_disturb_ppm_per_k_reads = 400000;  // p = 0.4 past 1000 reads.
+  auto run = [&config]() {
+    NandDevice dev(config);
+    PageHeader header;
+    header.type = RecordType::kData;
+    std::vector<uint64_t> paddrs;
+    for (uint64_t i = 0; i < 4; ++i) {
+      header.lba = i;
+      uint64_t paddr = 0;
+      IOSNAP_CHECK(dev.ProgramPage(0, header, PageData(512, i, 1), 0, &paddr).ok());
+      paddrs.push_back(paddr);
+    }
+    std::vector<uint64_t> failing_reads;
+    for (uint64_t i = 0; i < 1200; ++i) {
+      auto read = dev.ReadPage(paddrs[i % paddrs.size()], 0, nullptr, nullptr);
+      if (read.status().code() == StatusCode::kDataLoss) {
+        failing_reads.push_back(i);
+      }
+    }
+    return std::make_pair(failing_reads, dev.stats());
+  };
+  const auto [fails_a, stats_a] = run();
+  const auto [fails_b, stats_b] = run();
+  EXPECT_EQ(fails_a, fails_b);
+  EXPECT_EQ(0, std::memcmp(&stats_a, &stats_b, sizeof(NandStats)));
+  EXPECT_GT(stats_a.read_disturb_corruptions, 0u);
+}
+
 TEST(NandFaultTest, ZeroRatesLeaveTimingAndStateUntouched) {
   // Same ops on a default device and on one with an armed-but-zero fault config
   // must produce identical timing and stats.
   NandConfig armed = TestNand();
   armed.fault.seed = 12345;
+  armed.fault.read_disturb_ppm_per_k_reads = 0;  // Wear knobs at zero must draw
+  armed.fault.retention_ppm_per_sec = 0;         // no randomness on reads either.
   NandDevice a(TestNand());
   NandDevice b(armed);
   PageHeader header;
@@ -734,6 +864,9 @@ TEST(NandFaultTest, ZeroRatesLeaveTimingAndStateUntouched) {
     ASSERT_OK_AND_ASSIGN(NandOp ob, b.ProgramPage(0, header, PageData(512, i, 1), 0, &pb));
     EXPECT_EQ(pa, pb);
     EXPECT_EQ(oa.finish_ns, ob.finish_ns);
+    ASSERT_OK_AND_ASSIGN(NandOp ra, a.ReadPage(pa, oa.finish_ns, nullptr, nullptr));
+    ASSERT_OK_AND_ASSIGN(NandOp rb, b.ReadPage(pb, ob.finish_ns, nullptr, nullptr));
+    EXPECT_EQ(ra.finish_ns, rb.finish_ns);
   }
   ASSERT_OK_AND_ASSIGN(NandOp ea, a.EraseSegment(1, 0));
   ASSERT_OK_AND_ASSIGN(NandOp eb, b.EraseSegment(1, 0));

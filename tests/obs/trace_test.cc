@@ -258,6 +258,18 @@ TEST(TraceExportTest, EventInfoTableMatchesEnum) {
   }
 }
 
+// Downstream tooling (trace greps, dashboards) keys on these exact strings; the
+// generic table-sync checks above cannot catch a silent rename.
+TEST(TraceExportTest, MediaReliabilityEventNamesArePinned) {
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kPatrolRewrite).name,
+               "patrol_rewrite");
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kPatrolDrop).name, "patrol_drop");
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kDegradedEnter).name,
+               "degraded_enter");
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kDegradedExit).name,
+               "degraded_exit");
+}
+
 TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(CsvEscape("plain"), "plain");
   EXPECT_EQ(CsvEscape("has space"), "has space");

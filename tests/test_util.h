@@ -66,6 +66,8 @@ struct FaultPlan {
   uint32_t erase_fail_ppm = 0;
   uint32_t read_fail_ppm = 0;
   uint32_t corrupt_ppm = 0;
+  uint32_t read_disturb_ppm_per_k_reads = 0;  // Wear model: read-disturb rate.
+  uint32_t retention_ppm_per_sec = 0;         // Wear model: retention-loss rate.
   uint64_t crash_after_op = 0;  // Device goes offline after this many ops (0 = never).
   std::vector<std::pair<uint64_t, uint64_t>> bad_block_schedule;  // (segment, erase ordinal)
 
@@ -75,6 +77,8 @@ struct FaultPlan {
     config->nand.fault.erase_fail_ppm = erase_fail_ppm;
     config->nand.fault.read_fail_ppm = read_fail_ppm;
     config->nand.fault.corrupt_ppm = corrupt_ppm;
+    config->nand.fault.read_disturb_ppm_per_k_reads = read_disturb_ppm_per_k_reads;
+    config->nand.fault.retention_ppm_per_sec = retention_ppm_per_sec;
     config->nand.fault.crash_after_op = crash_after_op;
     config->nand.fault.bad_block_schedule = bad_block_schedule;
   }

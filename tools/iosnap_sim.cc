@@ -25,6 +25,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_bindings.h"
 #include "src/obs/metrics_sampler.h"
+#include "src/nand/nand_image.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_export.h"
 #include "src/workload/runner.h"
@@ -83,6 +84,26 @@ Fault injection (all rates in failures per million ops; 0 = disabled):
   --fault_corrupt_ppm=N  silent bit-corruption rate            (default 0)
   --crash_after_op=N     device goes offline after the Nth op  (default 0 = never)
 
+Media reliability (wear model rates 0 = disabled):
+  --read_disturb_ppm_per_k_reads=N  per-read corruption rate scaled by the segment's
+                         reads-since-erase / 1000               (default 0)
+  --retention_ppm_per_sec=N  per-read corruption rate scaled by page age in
+                         virtual seconds since program          (default 0)
+  --patrol               enable the background patrol scrubber
+  --patrol_pages_per_step=N  pages verified per patrol burst    (default 8)
+  --patrol_sleep_ms=N    sleep between patrol bursts            (default 10)
+  --patrol_refresh_reads=N   preemptively rewrite live pages once their segment
+                         absorbed N reads since erase           (default 0 = off)
+  --patrol_refresh_age_ms=N  ... or once the page is older than N virtual ms
+                                                                (default 0 = off)
+  --degraded_free_floor=N    enter read-only mode below N free segments (0 = off)
+  --degraded_retired_floor=N ... or at N retired segments       (default 0 = off)
+  --degraded_exit_free=N     free segments needed to exit       (default 0 = floor)
+  --image_out=PATH       save the at-rest media image for iosnap_fsck; implies
+                         --store_data=1
+  --store_data=0|1       simulate page payloads (slower; lets wear corruption land
+                         in payloads so fsck triage is exact)   (default 0)
+
 Observability:
   --trace_out=PATH       write a flight-recorder trace; .csv for CSV, anything
                          else for Chrome trace-event JSON (load in Perfetto)
@@ -109,6 +130,11 @@ const std::vector<std::string> kKnownFlags = {
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
     "fault_seed", "fault_program_ppm", "fault_erase_ppm", "fault_read_ppm",
     "fault_corrupt_ppm", "crash_after_op",
+    "read_disturb_ppm_per_k_reads", "retention_ppm_per_sec",
+    "patrol", "patrol_pages_per_step", "patrol_sleep_ms", "patrol_refresh_reads",
+    "patrol_refresh_age_ms",
+    "degraded_free_floor", "degraded_retired_floor", "degraded_exit_free",
+    "image_out", "store_data",
     "trace_out", "trace_capacity", "metrics_out", "spans_out", "metrics_interval_ns",
     "metrics_series_out", "log_level", "help"};
 
@@ -116,7 +142,8 @@ void PrintFaultStats(const Ftl& ftl) {
   const NandStats& n = ftl.device().stats();
   const LogStats& l = ftl.log_manager().stats();
   if (n.program_failures + n.erase_failures + n.read_failures + n.crc_errors +
-          n.pages_corrupted + l.segments_retired ==
+          n.pages_corrupted + n.read_disturb_corruptions + n.retention_corruptions +
+          l.segments_retired ==
       0) {
     return;
   }
@@ -128,6 +155,11 @@ void PrintFaultStats(const Ftl& ftl) {
   std::printf("crc errors / corrupted  %llu / %llu (retries %llu)\n",
               (unsigned long long)n.crc_errors, (unsigned long long)n.pages_corrupted,
               (unsigned long long)n.read_retries);
+  if (n.read_disturb_corruptions + n.retention_corruptions > 0) {
+    std::printf("wear: disturb/retention %llu / %llu pages corrupted\n",
+                (unsigned long long)n.read_disturb_corruptions,
+                (unsigned long long)n.retention_corruptions);
+  }
   std::printf("segments retired        %12llu (append reroutes %llu)\n",
               (unsigned long long)l.segments_retired,
               (unsigned long long)l.append_reroutes);
@@ -169,6 +201,25 @@ void PrintStats(const Ftl& ftl, const RunResult& result) {
               (unsigned long long)s.gc_summaries_written);
   std::printf("inline write stalls     %12llu\n", (unsigned long long)s.gc_inline_stalls);
   std::printf("validity merge host     %12.2f ms\n", NsToMs(s.gc_merge_host_ns));
+  if (s.patrol_pages_scanned > 0) {
+    std::printf("--- patrol -----------------------------------------------\n");
+    std::printf("pages scanned           %12llu (%llu full sweeps)\n",
+                (unsigned long long)s.patrol_pages_scanned,
+                (unsigned long long)s.patrol_sweeps);
+    std::printf("rewritten / dropped     %llu / %llu (segments evacuated %llu)\n",
+                (unsigned long long)s.patrol_pages_rewritten,
+                (unsigned long long)s.patrol_pages_dropped,
+                (unsigned long long)s.patrol_segments_evacuated);
+  }
+  if (s.degraded_entries + s.degraded_writes_rejected > 0 || ftl.degraded()) {
+    std::printf("--- degraded mode ----------------------------------------\n");
+    std::printf("state                   %12s\n",
+                ftl.degraded() ? "READ-ONLY" : "writable");
+    std::printf("entries / exits         %llu / %llu (writes rejected %llu)\n",
+                (unsigned long long)s.degraded_entries,
+                (unsigned long long)s.degraded_exits,
+                (unsigned long long)s.degraded_writes_rejected);
+  }
   std::printf("--- device -----------------------------------------------\n");
   std::printf("pages programmed/read   %llu / %llu\n",
               (unsigned long long)n.pages_programmed, (unsigned long long)n.pages_read);
@@ -262,7 +313,11 @@ int main(int argc, char** argv) {
   config.nand.buses = (uint32_t)flags.GetInt("buses", 1);
   config.nand.copyback_scrub = flags.GetBool("copyback_scrub", true);
   config.gc_copyback = flags.GetBool("copyback", false);
-  config.nand.store_data = false;
+  // Payloads are not simulated by default (headers alone carry the FTL state).
+  // Saving an image turns them on so wear corruption lands in payloads, keeping
+  // headers parseable for iosnap_fsck's exact lost-data triage.
+  const std::string image_out = flags.GetString("image_out", "");
+  config.nand.store_data = flags.GetBool("store_data", !image_out.empty());
   config.overprovision = flags.GetDouble("overprovision", 0.25);
   config.validity_chunk_bits = (uint64_t)flags.GetInt("chunk_bits", 8192);
   config.snapshots_enabled = !flags.GetBool("vanilla", false);
@@ -273,6 +328,18 @@ int main(int argc, char** argv) {
   config.nand.fault.read_fail_ppm = (uint32_t)flags.GetInt("fault_read_ppm", 0);
   config.nand.fault.corrupt_ppm = (uint32_t)flags.GetInt("fault_corrupt_ppm", 0);
   config.nand.fault.crash_after_op = (uint64_t)flags.GetInt("crash_after_op", 0);
+  config.nand.fault.read_disturb_ppm_per_k_reads =
+      (uint32_t)flags.GetInt("read_disturb_ppm_per_k_reads", 0);
+  config.nand.fault.retention_ppm_per_sec =
+      (uint32_t)flags.GetInt("retention_ppm_per_sec", 0);
+  config.patrol_enabled = flags.GetBool("patrol", false);
+  config.patrol_pages_per_step = (uint64_t)flags.GetInt("patrol_pages_per_step", 8);
+  config.patrol_sleep_ms = (uint64_t)flags.GetInt("patrol_sleep_ms", 10);
+  config.patrol_refresh_reads = (uint64_t)flags.GetInt("patrol_refresh_reads", 0);
+  config.patrol_refresh_age_ms = (uint64_t)flags.GetInt("patrol_refresh_age_ms", 0);
+  config.degraded_free_floor = (uint64_t)flags.GetInt("degraded_free_floor", 0);
+  config.degraded_retired_floor = (uint64_t)flags.GetInt("degraded_retired_floor", 0);
+  config.degraded_exit_free = (uint64_t)flags.GetInt("degraded_exit_free", 0);
   const bool faults_armed = config.nand.fault.AnyFaultConfigured();
 
   const std::string policy = flags.GetString("policy", "greedy");
@@ -551,6 +618,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write --metrics_out=%s\n", metrics_out.c_str());
       return 1;
     }
+  }
+  if (!image_out.empty()) {
+    // At-rest media snapshot for iosnap_fsck: taken after any crash/checkpoint
+    // reopen above, so the image reflects exactly what a restarted host would see.
+    Status saved = SaveNandImage(ftl->device(), image_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "failed to write --image_out=%s: %s\n", image_out.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("image: media saved to %s\n", image_out.c_str());
   }
   return 0;
 }
