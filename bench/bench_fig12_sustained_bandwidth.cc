@@ -71,12 +71,17 @@ Series Drive(SimClock* clock, uint64_t lba_space, uint64_t page_bytes, WriteFn&&
   return out;
 }
 
-Series RunIoSnap() {
+// parity_stripe > 0 additionally measures the cost of XOR parity protection: the
+// same churn with one parity page programmed per `parity_stripe` data pages. When
+// `parity_space_frac` is non-null it receives the measured fraction of programmed
+// pages that were parity — the space overhead that rides every bandwidth number.
+Series RunIoSnap(uint64_t parity_stripe = 0, double* parity_space_frac = nullptr) {
   FtlConfig config = BenchConfig();
+  config.parity_stripe = parity_stripe;
   std::unique_ptr<Ftl> ftl = MustCreate(config);
   SimClock clock;
   Prefill(ftl.get(), &clock, kPrefillPages);
-  return Drive(
+  Series out = Drive(
       &clock, kChurnLbas, config.nand.page_size_bytes,
       [&](uint64_t lba) {
         ftl->PumpBackground(clock.NowNs());
@@ -92,6 +97,14 @@ Series RunIoSnap() {
         IOSNAP_CHECK(s.ok());
         clock.AdvanceTo(s->io.CompletionNs());
       });
+  if (parity_space_frac != nullptr) {
+    const uint64_t programmed = ftl->device().stats().pages_programmed;
+    const uint64_t parity = ftl->log_manager().stats().parity_pages_written;
+    *parity_space_frac =
+        programmed > 0 ? static_cast<double>(parity) / static_cast<double>(programmed)
+                       : 0.0;
+  }
+  return out;
 }
 
 // ioSnap again, but the churn writes go down the vectored path in groups of `batch`.
@@ -173,18 +186,23 @@ int main(int argc, char** argv) {
   PrintHeader("Figure 12: sustained write bandwidth with a snapshot every 15 s",
               "Btrfs-like bandwidth sags as snapshots accumulate; ioSnap stays flat");
 
+  constexpr uint64_t kParityStripe = 7;  // One parity page per 7 data pages (12.5%).
   Series btrfs = RunBtrfsLike();
   Series iosnap_series = RunIoSnap();
   Series iosnap_b32 = RunIoSnapBatched(32);
+  double parity_space_frac = 0;
+  Series iosnap_parity = RunIoSnap(kParityStripe, &parity_space_frac);
 
-  std::printf("t_sec,btrfs_like_mb_s,iosnap_mb_s,iosnap_batch32_mb_s\n");
+  std::printf("t_sec,btrfs_like_mb_s,iosnap_mb_s,iosnap_batch32_mb_s,iosnap_parity%llu_mb_s\n",
+              (unsigned long long)kParityStripe);
   const size_t n = std::max({btrfs.mb_per_sec.size(), iosnap_series.mb_per_sec.size(),
-                             iosnap_b32.mb_per_sec.size()});
+                             iosnap_b32.mb_per_sec.size(), iosnap_parity.mb_per_sec.size()});
   for (size_t i = 0; i < n; ++i) {
     const double b = i < btrfs.mb_per_sec.size() ? btrfs.mb_per_sec[i] : 0;
     const double s = i < iosnap_series.mb_per_sec.size() ? iosnap_series.mb_per_sec[i] : 0;
     const double v = i < iosnap_b32.mb_per_sec.size() ? iosnap_b32.mb_per_sec[i] : 0;
-    std::printf("%zu,%.1f,%.1f,%.1f\n", i * (kBucketNs / kNsPerSec), b, s, v);
+    const double p = i < iosnap_parity.mb_per_sec.size() ? iosnap_parity.mb_per_sec[i] : 0;
+    std::printf("%zu,%.1f,%.1f,%.1f,%.1f\n", i * (kBucketNs / kNsPerSec), b, s, v, p);
   }
   PrintRule();
   std::printf("Btrfs-like: first-quarter %.1f MB/s -> last-quarter %.1f MB/s (%.0f%%)\n",
@@ -197,6 +215,13 @@ int main(int argc, char** argv) {
   std::printf("ioSnap b=32: first-quarter %.1f MB/s -> last-quarter %.1f MB/s (%.0f%%)\n",
               iosnap_b32.first, iosnap_b32.last,
               iosnap_b32.first > 0 ? 100.0 * iosnap_b32.last / iosnap_b32.first : 0);
+  std::printf(
+      "ioSnap p=%llu: first-quarter %.1f MB/s -> last-quarter %.1f MB/s (%.0f%%), "
+      "parity space %.1f%% of programs, bandwidth %.1f%% of parity-off\n",
+      (unsigned long long)kParityStripe, iosnap_parity.first, iosnap_parity.last,
+      iosnap_parity.first > 0 ? 100.0 * iosnap_parity.last / iosnap_parity.first : 0,
+      100.0 * parity_space_frac,
+      iosnap_series.last > 0 ? 100.0 * iosnap_parity.last / iosnap_series.last : 0);
   std::printf("(paper: Btrfs declines steadily; ioSnap delivers consistent bandwidth)\n");
   BenchFinish();
   return 0;

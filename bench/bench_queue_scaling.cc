@@ -23,8 +23,10 @@ constexpr uint64_t kRepeats = 3;
 
 double RunCase(const std::string& pattern, IoKind kind, uint32_t queues,
                uint32_t iodepth, uint64_t batch, uint64_t pages, uint64_t seed,
-               uint32_t buses = 1, bool copyback = false) {
+               uint32_t buses = 1, bool copyback = false, uint64_t parity_stripe = 0,
+               double* parity_space_frac = nullptr) {
   FtlConfig config = BenchConfig();
+  config.parity_stripe = parity_stripe;
   // 32 channels instead of BenchConfig's 16: at 16, the per-channel cycle
   // (50us program + 3us transfer) exceeds the 16-slot bus rotation (48us), so the
   // channel array — not the shared bus — caps pipelined throughput and flattens the
@@ -58,6 +60,13 @@ double RunCase(const std::string& pattern, IoKind kind, uint32_t queues,
   auto result = runner.Run(workload.get(), pages, options);
   IOSNAP_CHECK(result.ok());
   const uint64_t end = std::max(result->drain_end_ns, clock.NowNs());
+  if (parity_space_frac != nullptr) {
+    const uint64_t programmed = ftl->device().stats().pages_programmed;
+    const uint64_t parity = ftl->log_manager().stats().parity_pages_written;
+    *parity_space_frac =
+        programmed > 0 ? static_cast<double>(parity) / static_cast<double>(programmed)
+                       : 0.0;
+  }
   BenchDumpMetrics(*ftl);
   return MbPerSec(result->bytes, end - start);
 }
@@ -111,14 +120,43 @@ void BusRow(const char* label, const std::string& pattern, IoKind kind,
   std::printf("  MB/s\n");
 }
 
+// Parity overhead sweep: same workload at a fixed queue count, parity_stripe ∈
+// `stripes` (0 = protection off, the baseline column). Each cell reports bandwidth,
+// the ratio to the parity-off column, and the measured space overhead — the fraction
+// of all page programs that were parity pages (≈ 1/(stripe+1) of data traffic, minus
+// segment-boundary clamping).
+void ParityRow(const char* label, const std::string& pattern, IoKind kind,
+               const std::vector<uint64_t>& stripes, uint32_t queues, uint32_t iodepth,
+               uint64_t batch, uint64_t pages) {
+  std::printf("%-18s", label);
+  double base = 0;
+  for (uint64_t stripe : stripes) {
+    Measurement m;
+    double space_frac = 0;
+    for (uint64_t rep = 0; rep < kRepeats; ++rep) {
+      m.Add(RunCase(pattern, kind, queues, iodepth, batch, pages, 6000 + rep,
+                    /*buses=*/1, /*copyback=*/false, stripe, &space_frac));
+    }
+    if (base == 0) {
+      base = m.stats.mean();
+    }
+    std::printf("  %8.1f (%4.2fx, %4.1f%%)", m.stats.mean(),
+                base > 0 ? m.stats.mean() / base : 0, 100.0 * space_frac);
+    BenchRecord("queue_scaling." + BenchSlug(label) + ".parity" +
+                    std::to_string(stripe) + "_mbps",
+                m.stats.mean());
+  }
+  std::printf("  MB/s\n");
+}
+
 }  // namespace
 }  // namespace iosnap
 
 int main(int argc, char** argv) {
   using namespace iosnap;
   Flags flags = BenchInit(argc, argv,
-                          {"queue_counts", "bus_counts", "iodepth", "batch", "pages",
-                           "copyback"});
+                          {"queue_counts", "bus_counts", "parity_stripes", "iodepth",
+                           "batch", "pages", "copyback"});
   std::vector<uint32_t> queue_counts;
   const std::string counts_str = flags.GetString("queue_counts", "1,2,4,8");
   for (size_t pos = 0; pos < counts_str.size();) {
@@ -185,6 +223,35 @@ int main(int argc, char** argv) {
          batch, pages, copyback);
   PrintRule();
   std::printf("(speedup in parentheses is relative to the first bus count listed)\n");
+
+  std::vector<uint64_t> parity_stripes;
+  const std::string stripes_str = flags.GetString("parity_stripes", "0,7,3");
+  for (size_t pos = 0; pos < stripes_str.size();) {
+    const size_t comma = stripes_str.find(',', pos);
+    const std::string tok = stripes_str.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    parity_stripes.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    pos = comma == std::string::npos ? stripes_str.size() : comma + 1;
+  }
+
+  PrintHeader("Segment parity: virtual-time throughput vs parity stripe width",
+              "one parity program per `stripe` data pages costs ~1/(stripe+1) of "
+              "bandwidth and space; stripe=0 is the unprotected baseline");
+  std::printf("(queues=%u, iodepth=%u, batch=%llu; cell = MB/s (vs stripe=%llu, "
+              "parity space share))\n",
+              bus_sweep_queues, iodepth, (unsigned long long)batch,
+              (unsigned long long)parity_stripes.front());
+  std::printf("%-18s", "");
+  for (uint64_t s : parity_stripes) {
+    std::printf("  stripe=%-17llu", (unsigned long long)s);
+  }
+  std::printf("\n");
+  PrintRule();
+  ParityRow("Sequential Write", "seq", IoKind::kWrite, parity_stripes, bus_sweep_queues,
+            iodepth, batch, pages);
+  ParityRow("Random Write", "rand", IoKind::kWrite, parity_stripes, bus_sweep_queues,
+            iodepth, batch, pages);
+  PrintRule();
   BenchFinish();
   return 0;
 }

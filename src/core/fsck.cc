@@ -9,6 +9,7 @@
 #include "src/core/recovery.h"
 #include "src/core/snapshot_tree.h"
 #include "src/nand/page_header.h"
+#include "src/nand/parity.h"
 
 namespace iosnap {
 
@@ -24,9 +25,48 @@ void AddError(FsckReport* report, std::string msg) {
   }
 }
 
+// True when the corrupt page at `paddr` can be reconstructed offline from its XOR
+// parity stripe: the covering parity page and every other member slot must be
+// programmed and intact, the parity page must actually cover this stripe (record type
+// and member count both match; a poisoned accumulator writes member count 0 and so
+// always fails here), and the fully-XORed image must decode to a CRC-clean member.
+bool OfflineRebuildable(const NandDevice& device, uint64_t paddr, uint64_t stripe) {
+  const uint64_t pages_per_segment = device.config().pages_per_segment;
+  const uint64_t page_size = device.config().page_size_bytes;
+  const uint64_t seg_first = paddr - paddr % pages_per_segment;
+  const uint64_t index = paddr - seg_first;
+  if (stripe == 0 || IsParitySlot(index, stripe, pages_per_segment)) {
+    return false;
+  }
+  const uint64_t pslot = ParitySlotFor(index, stripe, pages_per_segment);
+  const NandDevice::PageInspection pinsp = device.InspectPage(seg_first + pslot);
+  if (!pinsp.programmed || !pinsp.crc_ok ||
+      pinsp.header.type != RecordType::kParity ||
+      pinsp.header.trim_count != pslot - StripeStartIndex(pslot, stripe)) {
+    return false;
+  }
+  const std::span<const uint8_t> pdata = device.PeekPageData(seg_first + pslot);
+  if (pdata.size() != ParityImageSize(page_size)) {
+    return false;
+  }
+  std::vector<uint8_t> image(pdata.begin(), pdata.end());
+  for (uint64_t i = StripeStartIndex(pslot, stripe); i < pslot; ++i) {
+    const uint64_t member = seg_first + i;
+    if (member == paddr) {
+      continue;
+    }
+    const NandDevice::PageInspection minsp = device.InspectPage(member);
+    if (!minsp.programmed || !minsp.crc_ok) {
+      return false;  // Second fault in the stripe: XOR cannot separate them.
+    }
+    XorMemberImage(image, minsp.header, device.PeekPageData(member), page_size);
+  }
+  return DecodeMemberImage(image, page_size).ok();
+}
+
 }  // namespace
 
-StatusOr<FsckReport> FsckDevice(NandDevice* device) {
+StatusOr<FsckReport> FsckDevice(NandDevice* device, uint64_t parity_stripe) {
   if (device == nullptr) {
     return InvalidArgument("fsck: no device");
   }
@@ -39,6 +79,10 @@ StatusOr<FsckReport> FsckDevice(NandDevice* device) {
   std::map<std::pair<uint32_t, uint64_t>, uint64_t> max_intact_seq;
   std::map<uint64_t, PageHeader> intact_data;  // paddr -> header of intact kData pages.
   std::vector<std::pair<uint64_t, PageHeader>> corrupt;
+  // Stripe-width inference when the caller passed 0: the first regular parity slot
+  // sits at in-segment index == stripe width, so the smallest intact parity index
+  // recovers it with no metadata (see src/nand/parity.h).
+  uint64_t inferred_stripe = 0;
   for (uint64_t paddr = 0; paddr < total_pages; ++paddr) {
     const NandDevice::PageInspection insp = device->InspectPage(paddr);
     if (!insp.programmed) {
@@ -50,6 +94,12 @@ StatusOr<FsckReport> FsckDevice(NandDevice* device) {
       corrupt.emplace_back(paddr, insp.header);
       continue;
     }
+    if (insp.header.type == RecordType::kParity) {
+      const uint64_t index = paddr % device->config().pages_per_segment;
+      if (inferred_stripe == 0 || index < inferred_stripe) {
+        inferred_stripe = index;
+      }
+    }
     if (insp.header.type == RecordType::kData) {
       intact_data.emplace(paddr, insp.header);
       const std::pair<uint32_t, uint64_t> key(insp.header.epoch, insp.header.lba);
@@ -59,6 +109,9 @@ StatusOr<FsckReport> FsckDevice(NandDevice* device) {
       }
     }
   }
+
+  const uint64_t stripe = parity_stripe > 0 ? parity_stripe : inferred_stripe;
+  report.parity_stripe = stripe;
 
   // Pass 2 — full crash recovery, the same reconstruction a restart would run.
   StatusOr<RecoveredState> recovered = RecoverFromDevice(device, 0);
@@ -107,6 +160,13 @@ StatusOr<FsckReport> FsckDevice(NandDevice* device) {
     const auto it = max_intact_seq.find({header.epoch, header.lba});
     const bool superseded = it != max_intact_seq.end() && it->second >= header.seq;
     if (on_live_lineage && !superseded) {
+      // Would be lost — unless the stripe can reconstruct it, in which case the page
+      // is merely dirty: --repair (the online scrub, which runs the same rebuild)
+      // brings the media back to clean.
+      if (OfflineRebuildable(*device, paddr, stripe)) {
+        ++report.rebuilt_data_pages;
+        continue;
+      }
       ++report.lost_data_pages;
       AddError(&report, "lost data: paddr " + std::to_string(paddr) + " (lba " +
                             std::to_string(header.lba) + ", epoch " +
@@ -176,6 +236,7 @@ std::string FormatFsckReport(const FsckReport& report) {
       << "  pages_scanned            " << report.pages_scanned << "\n"
       << "  crc_failures             " << report.crc_failures << "\n"
       << "  lost_data_pages          " << report.lost_data_pages << "\n"
+      << "  rebuilt_data_pages       " << report.rebuilt_data_pages << "\n"
       << "  superseded_corrupt_pages " << report.superseded_corrupt_pages << "\n"
       << "  corrupt_metadata_pages   " << report.corrupt_metadata_pages << "\n"
       << "  dangling_validity_refs   " << report.dangling_validity_refs << "\n"

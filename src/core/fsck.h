@@ -47,6 +47,9 @@ struct FsckReport {
   uint64_t crc_failures = 0;    // Programmed pages whose stored CRC does not verify.
   // CRC-failure triage.
   uint64_t lost_data_pages = 0;          // Corrupt, live lineage, not superseded. ERROR.
+  uint64_t rebuilt_data_pages = 0;       // Would be lost, but offline XOR-parity
+                                         // reconstruction succeeds: recoverable by
+                                         // --repair, so dirty rather than lost.
   uint64_t superseded_corrupt_pages = 0; // Corrupt but out-written / dead epoch.
   uint64_t corrupt_metadata_pages = 0;   // Corrupt non-data records (notes, summaries).
   // Metadata cross-check failures (all errors).
@@ -57,13 +60,17 @@ struct FsckReport {
   uint64_t orphaned_pages = 0;  // Intact data pages no live epoch references (garbage
                                 // awaiting GC; normal for a log-structured device).
   uint64_t epochs_checked = 0;  // Live epochs whose validity sets were verified.
+  // Stripe width the check ran with: the caller's flag, or (when that was 0) the
+  // width inferred from the media. 0 = no parity found, reconstruction disabled.
+  uint64_t parity_stripe = 0;
   bool recovery_ok = false;     // RecoverFromDevice succeeded.
   // Human-readable descriptions of the first errors found (bounded).
   std::vector<std::string> errors;
 
   bool Clean() const {
-    return recovery_ok && lost_data_pages == 0 && dangling_validity_refs == 0 &&
-           map_mismatches == 0 && doubly_claimed_pages == 0;
+    return recovery_ok && lost_data_pages == 0 && rebuilt_data_pages == 0 &&
+           dangling_validity_refs == 0 && map_mismatches == 0 &&
+           doubly_claimed_pages == 0;
   }
 };
 
@@ -72,7 +79,13 @@ struct FsckReport {
 // quiesced device. Returns a report even when the media is dirty — a non-OK status
 // means the check itself could not run (e.g. recovery crashed so badly no cross-check
 // was possible is still reported via recovery_ok=false, not an error status).
-StatusOr<FsckReport> FsckDevice(NandDevice* device);
+//
+// `parity_stripe` enables re-triaging corrupt data pages that an offline XOR-stripe
+// reconstruction (src/nand/parity.h) can recover: they count as rebuilt_data_pages
+// (dirty, repairable) instead of lost_data_pages. 0 infers the stripe width from the
+// media — the smallest in-segment index of any intact parity page — and disables the
+// re-triage when the media carries no parity pages at all.
+StatusOr<FsckReport> FsckDevice(NandDevice* device, uint64_t parity_stripe = 0);
 
 // Renders the report as a short human-readable block (one line per counter plus the
 // collected error descriptions).

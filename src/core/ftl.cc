@@ -7,6 +7,7 @@
 #include "src/core/checkpoint.h"
 #include "src/core/patrol_scrubber.h"
 #include "src/core/recovery.h"
+#include "src/nand/parity.h"
 
 namespace iosnap {
 
@@ -44,7 +45,7 @@ Ftl::Ftl(const FtlConfig& config, std::unique_ptr<NandDevice> device)
       map_pool_(config.map_update_threads > 0
                     ? std::make_unique<WorkerPool>(config.map_update_threads)
                     : nullptr),
-      log_(device_.get(), config.gc_reserve_segments),
+      log_(device_.get(), config.gc_reserve_segments, config.parity_stripe),
       validity_(config.nand.TotalPages(), config.validity_chunk_bits,
                 config.naive_validity_copy, config.nand.pages_per_segment),
       lba_count_(config.LbaCount()),
@@ -62,6 +63,10 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Create(const FtlConfig& config) {
   }
   if (config.map_shards == 0) {
     return InvalidArgument("ftl: map_shards must be >= 1");
+  }
+  if (config.parity_stripe > 0 &&
+      config.parity_stripe + 1 > config.nand.pages_per_segment) {
+    return InvalidArgument("ftl: parity_stripe leaves no member slots in a segment");
   }
   auto device = std::make_unique<NandDevice>(config.nand);
   std::unique_ptr<Ftl> ftl(new Ftl(config, std::move(device)));
@@ -87,6 +92,10 @@ StatusOr<std::unique_ptr<Ftl>> Ftl::Open(const FtlConfig& config,
   }
   if (config.map_shards == 0) {
     return InvalidArgument("ftl: map_shards must be >= 1");
+  }
+  if (config.parity_stripe > 0 &&
+      config.parity_stripe + 1 > config.nand.pages_per_segment) {
+    return InvalidArgument("ftl: parity_stripe leaves no member slots in a segment");
   }
   ASSIGN_OR_RETURN(RecoveredState state, RecoverFromDevice(device.get(), issue_ns));
   if (trace != nullptr) {
@@ -370,13 +379,26 @@ StatusOr<IoResult> Ftl::ReadInternal(const View& view, uint64_t lba, uint64_t is
   } else {
     StatusOr<NandOp> op = device_->ReadPageWithRetry(*paddr, issue_ns, nullptr, data_out,
                                                      config_.read_retry_limit);
-    if (!op.ok()) {
+    if (op.ok()) {
+      result.op = *op;
+    } else if (op.status().code() == StatusCode::kDataLoss && config_.parity_stripe > 0) {
+      // Permanent CRC failure with parity on: rebuild the page from its stripe before
+      // admitting data loss. The synthetic op window covers the whole rebuild (member
+      // reads + corrective append) and is attributed to the kRebuild span.
+      StatusOr<AppendResult> rebuilt = RebuildPage(*paddr, issue_ns, data_out);
+      if (!rebuilt.ok()) {
+        ++stats_.user_read_errors;
+        return op.status();
+      }
+      result.op.issue_ns = issue_ns;
+      result.op.finish_ns = rebuilt->op.finish_ns;
+      result.rebuild_ns = rebuilt->op.finish_ns - issue_ns;
+    } else {
       // Retries exhausted (transient) or the page failed its CRC (permanent): surface
       // the typed status instead of aborting; the rest of the device stays readable.
       ++stats_.user_read_errors;
       return op.status();
     }
-    result.op = *op;
   }
   RecordLatency(LatencyOpKind::kRead, lba, result);
   if (trace_ != nullptr) {
@@ -608,11 +630,25 @@ StatusOr<std::vector<IoResult>> Ftl::ReadVInternal(
         StatusOr<NandOp> op = device_->ReadPageWithRetry(
             paddrs[k], IssueAt(mapped[k]), nullptr,
             data_out != nullptr ? &page : nullptr, config_.read_retry_limit);
-        if (!op.ok()) {
+        if (op.ok()) {
+          results[mapped[k]].op = *op;
+        } else if (op.status().code() == StatusCode::kDataLoss &&
+                   config_.parity_stripe > 0) {
+          // Same escalation as the scalar read path: try a stripe rebuild before
+          // failing the whole vectored read with data loss.
+          StatusOr<AppendResult> rebuilt = RebuildPage(
+              paddrs[k], IssueAt(mapped[k]), data_out != nullptr ? &page : nullptr);
+          if (!rebuilt.ok()) {
+            ++stats_.user_read_errors;
+            return op.status();
+          }
+          results[mapped[k]].op.issue_ns = IssueAt(mapped[k]);
+          results[mapped[k]].op.finish_ns = rebuilt->op.finish_ns;
+          results[mapped[k]].rebuild_ns = rebuilt->op.finish_ns - IssueAt(mapped[k]);
+        } else {
           ++stats_.user_read_errors;
           return op.status();
         }
-        results[mapped[k]].op = *op;
         if (data_out != nullptr) {
           (*data_out)[mapped[k]] = std::move(page);
         }
@@ -1298,6 +1334,109 @@ void Ftl::DetachPaddrFromMaps(uint64_t paddr) {
       view.map.Erase(lba);
     }
   }
+}
+
+StatusOr<AppendResult> Ftl::RebuildPage(uint64_t old_paddr, uint64_t issue_ns,
+                                        std::vector<uint8_t>* data_out) {
+  const uint64_t stripe = config_.parity_stripe;
+  const uint64_t pages_per_segment = config_.nand.pages_per_segment;
+  // Failure bookkeeping shared by every bail-out below.
+  const auto Fail = [&](uint64_t lba, const std::string& why) -> Status {
+    ++stats_.pages_rebuild_failed;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kRebuildFailed, issue_ns, issue_ns, lba, old_paddr);
+    }
+    return DataLoss("rebuild: " + why);
+  };
+  if (stripe == 0) {
+    return Fail(0, "parity disabled");
+  }
+  const uint64_t segment = device_->SegmentOf(old_paddr);
+  const uint64_t index = old_paddr - device_->FirstPageOf(segment);
+  if (IsParitySlot(index, stripe, pages_per_segment)) {
+    return Fail(0, "page is a parity slot");
+  }
+  const uint64_t pslot = ParitySlotFor(index, stripe, pages_per_segment);
+  const uint64_t parity_paddr = device_->FirstPageOf(segment) + pslot;
+  if (!device_->IsProgrammed(parity_paddr)) {
+    // The stripe never closed (crash or abandoned segment): its members were written
+    // but the covering parity page was not.
+    return Fail(0, "stripe has no parity page");
+  }
+
+  // Read the parity page, then every surviving member, chaining device time.
+  uint64_t t = issue_ns;
+  PageHeader pheader;
+  std::vector<uint8_t> image;
+  StatusOr<NandOp> pread = device_->ReadPageWithRetry(parity_paddr, t, &pheader, &image,
+                                                      config_.read_retry_limit);
+  if (!pread.ok()) {
+    return Fail(0, "parity page unreadable");
+  }
+  t = pread->finish_ns;
+  const uint64_t members = pslot - StripeStartIndex(pslot, stripe);
+  if (pheader.type != RecordType::kParity || pheader.trim_count != members ||
+      image.size() != ParityImageSize(config_.nand.page_size_bytes)) {
+    // trim_count == 0 is the poisoned-accumulator marker (a reopened partial stripe
+    // held an unreadable member); any other mismatch means the slot holds something
+    // that is not this stripe's parity.
+    return Fail(0, "parity page unusable (poisoned or mismatched)");
+  }
+  for (uint64_t i = StripeStartIndex(pslot, stripe); i < pslot; ++i) {
+    const uint64_t member_paddr = device_->FirstPageOf(segment) + i;
+    if (member_paddr == old_paddr) {
+      continue;
+    }
+    PageHeader mheader;
+    std::vector<uint8_t> mdata;
+    StatusOr<NandOp> mread = device_->ReadPageWithRetry(member_paddr, t, &mheader, &mdata,
+                                                        config_.read_retry_limit);
+    if (!mread.ok()) {
+      // Two faults in one stripe: XOR parity cannot recover either. Honest loss.
+      return Fail(0, "second unreadable member in stripe");
+    }
+    t = mread->finish_ns;
+    XorMemberImage(image, mheader, mdata, config_.nand.page_size_bytes);
+  }
+
+  StatusOr<DecodedMember> decoded =
+      DecodeMemberImage(image, config_.nand.page_size_bytes);
+  if (!decoded.ok()) {
+    return Fail(0, "reconstruction failed CRC");
+  }
+
+  // Re-append through the GC head preserving the record's (lba, epoch, seq) identity —
+  // the copy-forward contract, so recovery and activations still attribute it.
+  ASSIGN_OR_RETURN(AppendResult ar, log_.Append(LogManager::kGcHead, decoded->header,
+                                                decoded->payload, t));
+  ++stats_.total_pages_programmed;
+
+  if (decoded->header.type == RecordType::kData) {
+    validity_.NoteTimeNs(ar.op.finish_ns);
+    validity_.MoveBit(LiveEpochs(), old_paddr, ar.paddr);
+    if (!activations_.empty()) {
+      gc_relocations_.emplace_back(decoded->header.lba, ar.paddr);
+    }
+    for (auto& [id, view] : views_) {
+      if (!tree_.InLineage(view.epoch, decoded->header.epoch)) {
+        continue;
+      }
+      const std::optional<uint64_t> mapped = view.map.Lookup(decoded->header.lba);
+      if (mapped.has_value() && *mapped == old_paddr) {
+        view.map.Insert(decoded->header.lba, ar.paddr);
+      }
+    }
+  }
+
+  ++stats_.pages_rebuilt;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEventType::kPageRebuilt, issue_ns, ar.op.finish_ns,
+                   decoded->header.lba, old_paddr, ar.paddr);
+  }
+  if (data_out != nullptr) {
+    *data_out = std::move(decoded->payload);
+  }
+  return ar;
 }
 
 StatusOr<AppendResult> Ftl::AppendNote(RecordType type, uint32_t snap_id, uint32_t epoch,

@@ -61,11 +61,16 @@ struct IoResult {
   uint64_t host_ns = 0; // Host CPU time charged to this op.
   uint64_t host_map_ns = 0;  // Forward-map share of host_ns (lookup + update).
   uint64_t host_cow_ns = 0;  // Validity-CoW share of host_ns.
+  // Device time spent XOR-rebuilding an unreadable page from its parity stripe. When
+  // set, `op` is a synthetic window (issue -> rebuild finish) with zero per-span
+  // components — the rebuild's member reads and corrective append occupied the device
+  // instead — so the span-sum invariant below still holds bit-exactly.
+  uint64_t rebuild_ns = 0;
 
   uint64_t LatencyNs() const { return (op.finish_ns - op.issue_ns) + host_ns; }
   uint64_t CompletionNs() const { return op.finish_ns + host_ns; }
 
-  // The seven-span attribution of LatencyNs(); components sum to it bit-exactly.
+  // The span attribution of LatencyNs(); components sum to it bit-exactly.
   LatencySpans Spans() const {
     LatencySpans s;
     s[LatencySpan::kQueueWait] = op.FgWaitNs();
@@ -75,6 +80,7 @@ struct IoResult {
     s[LatencySpan::kMap] = host_map_ns;
     s[LatencySpan::kCow] = host_cow_ns;
     s[LatencySpan::kHostOther] = host_ns - host_map_ns - host_cow_ns;
+    s[LatencySpan::kRebuild] = rebuild_ns;
     return s;
   }
 };
@@ -333,6 +339,20 @@ class Ftl {
 
   // Shared write/trim admission gate: kResourceExhausted while degraded.
   Status CheckWritable(uint64_t issue_ns);
+
+  // Rebuilds the unreadable page at `old_paddr` from its XOR parity stripe
+  // (src/nand/parity.h): reads the stripe's parity page and every surviving member,
+  // XORs out the missing member's image, verifies the reconstruction against the CRC
+  // the device originally stamped, re-appends it through the GC head preserving its
+  // (lba, epoch, seq) identity, and repairs validity + every view map that still
+  // pointed at the dead page. Returns the rebuilt page's append result (its payload in
+  // `data_out` if non-null); fails with kDataLoss when the stripe cannot help —
+  // parity off, a second fault among the members, a poisoned (0-member) parity page,
+  // or a CRC mismatch on the reconstruction. Bumps pages_rebuilt /
+  // pages_rebuild_failed and emits kPageRebuilt / kRebuildFailed accordingly; on
+  // failure the caller still owns the expunge-and-account path.
+  StatusOr<AppendResult> RebuildPage(uint64_t old_paddr, uint64_t issue_ns,
+                                     std::vector<uint8_t>* data_out);
 
   // Appends a snapshot note record. `aux_epoch` rides in the header's lba field: the
   // successor/view epoch id for create/activate notes (explicit, so recovery does not

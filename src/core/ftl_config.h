@@ -72,6 +72,17 @@ struct FtlConfig {
   // to the caller. Permanent errors (CRC mismatch) are never retried.
   uint32_t read_retry_limit = 3;
 
+  // --- Parity & rebuild (src/nand/parity.h) ---
+  // Intra-segment XOR stripe width: the log writes one parity page after every
+  // `parity_stripe` appended pages (and at the segment's final page), and every path
+  // that hits an uncorrectable page — foreground reads, cleaner copy-forward, patrol,
+  // fsck --repair — XOR-rebuilds it from the surviving stripe members instead of
+  // dropping it. Costs 1/(parity_stripe+1) of log bandwidth and capacity. Choose a
+  // value such that (parity_stripe + 1) divides nand.pages_per_segment. 0 disables:
+  // no parity pages are written and every code path is bit-identical to prior
+  // behavior.
+  uint64_t parity_stripe = 0;
+
   // --- Patrol scrubbing (media reliability; src/core/patrol_scrubber.h) ---
   // Background sweep over closed segments that CRC-verifies live pages, preemptively
   // rewrites pages whose wear exposure crossed the refresh thresholds (or that needed

@@ -56,6 +56,21 @@ struct FtlStats {
   uint64_t user_read_errors = 0;  // User reads that failed after bounded retry / CRC check.
   uint64_t gc_pages_lost = 0;     // Valid pages the cleaner dropped as unreadable (kDataLoss).
 
+  // Unified data-loss taxonomy. Every uncorrectable page any subsystem encounters
+  // (foreground read, cleaner copy-forward, patrol sweep) lands in exactly one bucket:
+  //   rebuilt       — XOR-reconstructed from its parity stripe and re-appended; no loss.
+  //   lost_forever  — still referenced by some live epoch and unrecoverable (parity
+  //                   off, double fault in the stripe, or a poisoned accumulator).
+  //   superseded    — unreadable but no live epoch referenced it; expunging it loses
+  //                   nothing.
+  // The per-subsystem counters above/below (gc_pages_lost, patrol_pages_dropped) keep
+  // their historical meaning — they attribute *where* the drop happened — while this
+  // family answers *what the damage was*.
+  uint64_t pages_rebuilt = 0;         // Stripe rebuilds that re-verified and re-appended.
+  uint64_t pages_rebuild_failed = 0;  // Rebuild attempts that failed (double fault etc.).
+  uint64_t pages_lost_forever = 0;    // Live data expunged with no surviving copy.
+  uint64_t pages_superseded = 0;      // Dead/garbage pages expunged; nothing was lost.
+
   // Patrol scrubbing (zero unless FtlConfig::patrol_enabled).
   uint64_t patrol_sweeps = 0;              // Full passes over the closed segments.
   uint64_t patrol_pages_scanned = 0;       // Programmed pages inspected.

@@ -43,9 +43,12 @@ void PatrolScrubber::DropCorruptPage(uint64_t paddr, const PageHeader& stored,
   ftl_->DetachPaddrFromMaps(paddr);
   if (was_live) {
     ++ftl_->stats_.patrol_pages_dropped;
+    ++ftl_->stats_.pages_lost_forever;
     if (ftl_->trace_ != nullptr) {
       ftl_->trace_->Record(TraceEventType::kPatrolDrop, now_ns, now_ns, stored.lba, paddr);
     }
+  } else {
+    ++ftl_->stats_.pages_superseded;
   }
 }
 
@@ -58,8 +61,16 @@ StatusOr<uint64_t> PatrolScrubber::RewritePage(uint64_t paddr, uint64_t now_ns,
   if (!read.ok()) {
     if (read.status().code() == StatusCode::kDataLoss) {
       // The full read found what the header scan could not fix: the page is corrupt
-      // (possibly disturbed by this very sense). Expunge it instead of refreshing it.
+      // (possibly disturbed by this very sense). Parity rebuild before expunge: a
+      // success re-appends the page elsewhere and repairs the maps, and the corrupt
+      // original is erased with the segment it dirties.
       *segment_dirty = true;
+      if (ftl_->config_.parity_stripe > 0) {
+        StatusOr<AppendResult> rebuilt = ftl_->RebuildPage(paddr, now_ns, nullptr);
+        if (rebuilt.ok()) {
+          return rebuilt->op.finish_ns;
+        }
+      }
       DropCorruptPage(paddr, ftl_->device_->InspectPage(paddr).header, now_ns);
       return now_ns;
     }
@@ -122,7 +133,15 @@ StatusOr<uint64_t> PatrolScrubber::ScanPage(uint64_t paddr, uint64_t now_ns,
     return now_ns;
   }
   if (code == StatusCode::kDataLoss) {
+    // Same escalation as RewritePage's corrupt branch: rebuild from parity when
+    // possible, expunge only when the stripe cannot help.
     *segment_dirty = true;
+    if (ftl_->config_.parity_stripe > 0) {
+      StatusOr<AppendResult> rebuilt = ftl_->RebuildPage(paddr, now_ns, nullptr);
+      if (rebuilt.ok()) {
+        return rebuilt->op.finish_ns;
+      }
+    }
     DropCorruptPage(paddr, ftl_->device_->InspectPage(paddr).header, now_ns);
     return now_ns;
   }

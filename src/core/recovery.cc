@@ -151,7 +151,10 @@ StatusOr<RecoveredState> RecoverFromDevice(NandDevice* device, uint64_t issue_ns
   std::vector<ScanRecord> records;
   records.reserve(raw.size());
   for (const auto& [paddr, header] : raw) {
-    if (header.type == RecordType::kPad || header.type == RecordType::kInvalid) {
+    if (header.type == RecordType::kPad || header.type == RecordType::kInvalid ||
+        header.type == RecordType::kParity) {
+      // Parity pages carry placement, not identity (seq = 0); replaying them would
+      // corrupt the seq-ordered dedup. The rebuild path finds them positionally.
       continue;
     }
     if (header.type == RecordType::kTrimSummary) {

@@ -157,6 +157,21 @@ bool SegmentCleaner::BeginVictim(uint64_t seg_index, uint64_t now_ns) {
     return false;
   }
 
+  // The header scan silently drops CRC-failing pages, so a page corrupted at rest
+  // never reaches ProcessEntry. With parity on, collect them for a rebuild-or-drop
+  // pass at victim completion (see Step); the scan above already charged the read
+  // time for every page, so the raw re-inspection here is untimed.
+  if (ftl_->config_.parity_stripe > 0 &&
+      victim.entries.size() < ftl_->device_->NextFreePage(seg_index)) {
+    const uint64_t first = ftl_->device_->FirstPageOf(seg_index);
+    for (uint64_t i = 0; i < ftl_->device_->NextFreePage(seg_index); ++i) {
+      const NandDevice::PageInspection insp = ftl_->device_->InspectPage(first + i);
+      if (insp.programmed && !insp.crc_ok) {
+        victim.corrupt_paddrs.push_back(first + i);
+      }
+    }
+  }
+
   // If the victim holds snapshot notes or an old tree summary, consolidate: write one
   // fresh tree summary (whose sequence number supersedes them all), then the victim's
   // copies can simply be dropped instead of accumulating forever on the log.
@@ -290,9 +305,11 @@ void SegmentCleaner::DropUnreadablePage(uint64_t paddr,
                                         const std::vector<uint32_t>& live,
                                         uint64_t now_ns) {
   ftl_->validity_.NoteTimeNs(now_ns);
+  bool was_live = false;
   for (uint32_t epoch : live) {
     if (ftl_->validity_.Test(epoch, paddr)) {
       ftl_->validity_.ClearValid(epoch, paddr);
+      was_live = true;
     }
   }
   // The stored header is the thing that just failed its CRC — header.lba may be
@@ -301,6 +318,13 @@ void SegmentCleaner::DropUnreadablePage(uint64_t paddr,
   // the real lba into an unprogrammed-page fault.
   ftl_->DetachPaddrFromMaps(paddr);
   ++ftl_->stats_.gc_pages_lost;
+  // Unified taxonomy: a page nothing referenced anymore was merely superseded; one
+  // still live in some epoch is user-visible loss.
+  if (was_live) {
+    ++ftl_->stats_.pages_lost_forever;
+  } else {
+    ++ftl_->stats_.pages_superseded;
+  }
 }
 
 uint64_t SegmentCleaner::FinishRelocation(uint64_t paddr, const PageHeader& header,
@@ -431,7 +455,17 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
           if (ar.status().code() == StatusCode::kDataLoss &&
               !ftl_->device_->PageCrcIntact(paddr)) {
             // Scrub-on-copyback caught a corrupted source: the page cannot be copied
-            // forward anywhere. Same drop path as a classic unreadable page.
+            // forward as-is. With parity on, try an XOR rebuild from the stripe first;
+            // a successful rebuild re-appends the page and repairs every map itself,
+            // so it fully replaces this relocation.
+            if (ftl_->config_.parity_stripe > 0) {
+              StatusOr<AppendResult> rebuilt = ftl_->RebuildPage(paddr, now_ns, nullptr);
+              if (rebuilt.ok()) {
+                ++victim_->pacing_done;
+                *copied_data_page = true;
+                return rebuilt->op.finish_ns;
+              }
+            }
             IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr
                                  << " (lba " << header.lba
                                  << "): " << ar.status();
@@ -450,10 +484,20 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
           paddr, now_ns, nullptr, &data, ftl_->config_.read_retry_limit);
       if (!read.ok() && read.status().code() == StatusCode::kDataLoss) {
         // The page is permanently unreadable (CRC failure): its contents cannot be
-        // copied forward. Drop it, scrubbing every reference so no map or bitmap points
-        // at the page once the victim segment is erased. (An activation scan already in
-        // flight over this segment can still surface the dead paddr; its reads then fail
-        // with a typed error rather than returning corrupt data.)
+        // copied forward as-is. Parity rebuild first (it re-appends and repairs every
+        // map, standing in for this relocation); only a failed rebuild drops the page,
+        // scrubbing every reference so no map or bitmap points at it once the victim
+        // segment is erased. (An activation scan already in flight over this segment
+        // can still surface the dead paddr; its reads then fail with a typed error
+        // rather than returning corrupt data.)
+        if (ftl_->config_.parity_stripe > 0) {
+          StatusOr<AppendResult> rebuilt = ftl_->RebuildPage(paddr, now_ns, nullptr);
+          if (rebuilt.ok()) {
+            ++victim_->pacing_done;
+            *copied_data_page = true;
+            return rebuilt->op.finish_ns;
+          }
+        }
         IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable page " << paddr << " (lba "
                              << header.lba << "): " << read.status();
         DropUnreadablePage(paddr, live, now_ns);
@@ -487,6 +531,7 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
         IOSNAP_LOG(kWarning) << "[cleaner] dropping unreadable trim summary " << paddr
                              << ": " << read.status();
         ++ftl_->stats_.gc_pages_lost;
+        ++ftl_->stats_.pages_lost_forever;
         return now_ns;
       }
       ASSIGN_OR_RETURN(NandOp read_op, std::move(read));
@@ -495,6 +540,7 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
         IOSNAP_LOG(kWarning) << "[cleaner] undecodable trim summary " << paddr << ": "
                              << decoded.status();
         ++ftl_->stats_.gc_pages_lost;
+        ++ftl_->stats_.pages_lost_forever;
         return read_op.finish_ns;
       }
       const std::vector<TrimEntry>& entries = *decoded;
@@ -519,6 +565,10 @@ StatusOr<uint64_t> SegmentCleaner::ProcessEntry(
     case RecordType::kCheckpoint:  // Stale the moment the device reopened.
     case RecordType::kPad:
     case RecordType::kInvalid:
+      return now_ns;
+    case RecordType::kParity:
+      // Positional: a parity page protects its own segment's stripes and means nothing
+      // anywhere else. Relocated members get fresh parity at the destination head.
       return now_ns;
   }
   return now_ns;
@@ -581,6 +631,32 @@ StatusOr<uint64_t> SegmentCleaner::Step(uint64_t now_ns, uint64_t max_pages) {
     }
   }
   if (VictimExhausted()) {
+    // Rebuild-or-drop the scan-excluded corrupt pages (parity on; empty otherwise)
+    // before the segment is erased out from under them. A successful rebuild repairs
+    // every map itself; a double-fault stripe is honest loss and gets every reference
+    // scrubbed so nothing dangles past the erase. Popping per page keeps a mid-sweep
+    // error (e.g. device offline) resumable without reprocessing.
+    while (!victim_->corrupt_paddrs.empty()) {
+      const uint64_t corrupt_paddr = victim_->corrupt_paddrs.back();
+      if (!ftl_->validity_.MergedTest(corrupt_paddr)) {
+        // No live epoch references these bytes — either a rebuild already moved them
+        // (read path or patrol) or they were garbage all along. The erase disposes of
+        // them; corrupt notes (which carry no validity) land here too, exactly as the
+        // scan has always dropped them.
+        victim_->corrupt_paddrs.pop_back();
+        continue;
+      }
+      StatusOr<AppendResult> rebuilt = ftl_->RebuildPage(corrupt_paddr, t, nullptr);
+      if (rebuilt.ok()) {
+        t = rebuilt->op.finish_ns;
+        ++victim_->pacing_done;
+      } else if (rebuilt.status().code() == StatusCode::kDataLoss) {
+        DropUnreadablePage(corrupt_paddr, LiveEpochsCached(), t);
+      } else {
+        return rebuilt.status();
+      }
+      victim_->corrupt_paddrs.pop_back();
+    }
     ASSIGN_OR_RETURN(t, FlushTrimSummaries(t));
     const uint64_t release_start_ns = t;
     ASSIGN_OR_RETURN(NandOp erase_op, ftl_->log_.ReleaseSegment(victim_->segment, t));

@@ -104,6 +104,11 @@ class SegmentCleaner {
     size_t meta_cursor = 0;
     std::vector<std::deque<size_t>> channel_queues;
     size_t data_remaining = 0;
+    // Programmed pages the victim scan excluded because their stored CRC failed
+    // (populated only when parity is on). A page corrupted at rest would otherwise
+    // ride the victim's erase while forward maps still point at it; these get a
+    // rebuild-or-drop pass at victim completion, before the segment is released.
+    std::vector<uint64_t> corrupt_paddrs;
   };
 
   // Drops stale per-victim epoch caches when the FTL's epoch set changed.

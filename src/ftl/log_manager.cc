@@ -3,18 +3,118 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/nand/parity.h"
 
 namespace iosnap {
 
-LogManager::LogManager(NandDevice* device, uint64_t gc_reserve_segments)
+LogManager::LogManager(NandDevice* device, uint64_t gc_reserve_segments,
+                       uint64_t parity_stripe)
     : device_(device),
       gc_reserve_segments_(gc_reserve_segments),
+      parity_stripe_(parity_stripe),
       segments_(device->config().num_segments) {
   IOSNAP_CHECK(device != nullptr);
   IOSNAP_CHECK(gc_reserve_segments_ < device->config().num_segments);
+  IOSNAP_CHECK(parity_stripe_ == 0 ||
+               parity_stripe_ + 1 <= device->config().pages_per_segment);
   for (uint64_t s = 0; s < device->config().num_segments; ++s) {
     free_segments_.push_back(s);
   }
+}
+
+void LogManager::ResetParity(Head& h) {
+  if (parity_stripe_ == 0) {
+    return;
+  }
+  h.parity_xor.assign(ParityImageSize(device_->config().page_size_bytes), 0);
+  h.parity_poisoned = false;
+}
+
+void LogManager::AccumulateParity(Head& h, const PageHeader& header,
+                                  std::span<const uint8_t> data) {
+  if (parity_stripe_ == 0 || h.parity_poisoned) {
+    return;
+  }
+  if (h.parity_xor.empty()) {
+    ResetParity(h);
+  }
+  const bool stored =
+      (device_->config().store_data || PayloadAlwaysStored(header.type)) && !data.empty();
+  const std::span<const uint8_t> payload =
+      stored ? data : std::span<const uint8_t>{};
+  PageHeader stamped = header;
+  stamped.crc = ComputePageCrc(stamped, payload);
+  XorMemberImage(h.parity_xor, stamped, payload, device_->config().page_size_bytes);
+}
+
+void LogManager::AccumulateParityStored(Head& h, uint64_t src_paddr) {
+  if (parity_stripe_ == 0 || h.parity_poisoned) {
+    return;
+  }
+  if (h.parity_xor.empty()) {
+    ResetParity(h);
+  }
+  XorMemberImage(h.parity_xor, device_->PeekHeader(src_paddr),
+                 device_->PeekPageData(src_paddr), device_->config().page_size_bytes);
+}
+
+Status LogManager::EmitParityIfDue(int head, uint64_t issue_ns) {
+  if (parity_stripe_ == 0) {
+    return OkStatus();
+  }
+  Head& h = HeadFor(head);
+  const uint64_t pages_per_segment = device_->config().pages_per_segment;
+  while (h.open_segment.has_value()) {
+    const uint64_t seg = *h.open_segment;
+    const uint64_t next = device_->NextFreePage(seg);
+    if (next >= pages_per_segment ||
+        !IsParitySlot(next, parity_stripe_, pages_per_segment)) {
+      return OkStatus();
+    }
+    if (h.parity_xor.empty()) {
+      ResetParity(h);
+    }
+    const uint64_t start = StripeStartIndex(next, parity_stripe_);
+    PageHeader header;
+    header.type = RecordType::kParity;
+    header.lba = device_->FirstPageOf(seg) + start;
+    header.trim_count =
+        h.parity_poisoned ? 0 : static_cast<uint32_t>(next - start);
+    header.payload_len = static_cast<uint32_t>(h.parity_xor.size());
+    // A poisoned stripe writes an all-zero image under trim_count = 0: a parity page
+    // that verifies (the log stays scannable) but that rebuild refuses to use.
+    const std::vector<uint8_t> zeros =
+        h.parity_poisoned ? std::vector<uint8_t>(h.parity_xor.size(), 0)
+                          : std::vector<uint8_t>{};
+    const std::span<const uint8_t> image =
+        h.parity_poisoned ? std::span<const uint8_t>(zeros)
+                          : std::span<const uint8_t>(h.parity_xor);
+    uint64_t paddr = 0;
+    StatusOr<NandOp> op = device_->ProgramPage(seg, header, image, issue_ns, &paddr);
+    if (!op.ok()) {
+      if (op.status().code() == StatusCode::kDataLoss) {
+        // The parity program retired the block. Positional parity cannot be re-driven
+        // into another segment, so the members stay durable but uncovered; abandon
+        // the segment and let the cleaner migrate them off later.
+        IOSNAP_LOG(kWarning) << "log: parity program failed in segment " << seg
+                             << "; stripe left unprotected: " << op.status();
+        AbandonOpenSegment(head);
+        return OkStatus();
+      }
+      return op.status();
+    }
+    ++stats_.parity_pages_written;
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEventType::kParityWrite, issue_ns, op->finish_ns, seg, paddr,
+                     header.trim_count);
+    }
+    ResetParity(h);
+    if (device_->NextFreePage(seg) >= pages_per_segment) {
+      segments_[seg].state = SegmentState::kClosed;
+      h.open_segment.reset();
+    }
+  }
+  return OkStatus();
 }
 
 LogManager::Head& LogManager::HeadFor(int head) { return heads_[head]; }
@@ -60,6 +160,7 @@ void LogManager::AbandonOpenSegment(int head) {
   }
   segments_[*h.open_segment].state = SegmentState::kClosed;
   h.open_segment.reset();
+  ResetParity(h);
 }
 
 StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
@@ -77,6 +178,13 @@ StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
     if (!h.open_segment.has_value()) {
       ASSIGN_OR_RETURN(uint64_t seg, AcquireSegment(head));
       h.open_segment = seg;
+      ResetParity(h);
+    }
+    // A reopened partial segment may sit exactly on a parity slot: cover the pending
+    // stripe before the member lands.
+    RETURN_IF_ERROR(EmitParityIfDue(head, issue_ns));
+    if (!h.open_segment.has_value()) {
+      continue;  // Parity emission closed or abandoned the segment; take a fresh one.
     }
 
     const uint64_t seg = *h.open_segment;
@@ -93,6 +201,7 @@ StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
       return op.status();
     }
     result.op = *op;
+    AccumulateParity(h, header, data);
 
     SegmentInfo& info = segments_[seg];
     info.min_seq = std::min(info.min_seq, header.seq);
@@ -100,7 +209,15 @@ StatusOr<AppendResult> LogManager::Append(int head, const PageHeader& header,
       info.min_data_seq = std::min(info.min_data_seq, header.seq);
       ++info.epoch_pages[header.epoch];
     }
-    if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+    // The member is durable, so the op is acked no matter what happens to the
+    // trailing parity emission: a failure here (say the device went offline mid
+    // parity program) leaves the stripe uncovered until a later append retries the
+    // slot — protection degradation, never a failed-but-durable user write.
+    if (const Status parity = EmitParityIfDue(head, issue_ns); !parity.ok()) {
+      IOSNAP_LOG(kWarning) << "log: trailing parity emission failed: " << parity;
+    }
+    if (h.open_segment.has_value() &&
+        device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
       info.state = SegmentState::kClosed;
       h.open_segment.reset();
     }
@@ -124,6 +241,11 @@ StatusOr<AppendResult> LogManager::AppendCopyback(int head, uint64_t src_paddr,
     if (!h.open_segment.has_value()) {
       ASSIGN_OR_RETURN(uint64_t seg, AcquireSegment(head));
       h.open_segment = seg;
+      ResetParity(h);
+    }
+    RETURN_IF_ERROR(EmitParityIfDue(head, issue_ns));
+    if (!h.open_segment.has_value()) {
+      continue;  // Parity emission closed or abandoned the segment; take a fresh one.
     }
 
     const uint64_t seg = *h.open_segment;
@@ -143,6 +265,9 @@ StatusOr<AppendResult> LogManager::AppendCopyback(int head, uint64_t src_paddr,
       return op.status();
     }
     result.op = *op;
+    // The destination's stored bytes came verbatim from the source; tap the source
+    // for the accumulator (the on-die XOR engine sits on the same internal path).
+    AccumulateParityStored(h, src_paddr);
 
     SegmentInfo& info = segments_[seg];
     info.min_seq = std::min(info.min_seq, header.seq);
@@ -150,7 +275,13 @@ StatusOr<AppendResult> LogManager::AppendCopyback(int head, uint64_t src_paddr,
       info.min_data_seq = std::min(info.min_data_seq, header.seq);
       ++info.epoch_pages[header.epoch];
     }
-    if (device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
+    // As in Append: the relocated page is durable, so the trailing parity emission
+    // must not fail the relocation it rode in on.
+    if (const Status parity = EmitParityIfDue(head, issue_ns); !parity.ok()) {
+      IOSNAP_LOG(kWarning) << "log: trailing parity emission failed: " << parity;
+    }
+    if (h.open_segment.has_value() &&
+        device_->NextFreePage(seg) >= device_->config().pages_per_segment) {
       info.state = SegmentState::kClosed;
       h.open_segment.reset();
     }
@@ -198,9 +329,22 @@ Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests
     if (!h.open_segment.has_value()) {
       ASSIGN_OR_RETURN(uint64_t acquired, AcquireSegment(head));
       h.open_segment = acquired;
+      ResetParity(h);
+    }
+    RETURN_IF_ERROR(EmitParityIfDue(head, issue_ns));
+    if (!h.open_segment.has_value()) {
+      continue;  // Parity emission closed or abandoned the segment; take a fresh one.
     }
     const uint64_t seg = *h.open_segment;
-    const uint64_t room = pages_per_segment - device_->NextFreePage(seg);
+    const uint64_t next_free = device_->NextFreePage(seg);
+    uint64_t room = pages_per_segment - next_free;
+    if (parity_stripe_ > 0) {
+      // Stop the run at the next parity slot so the stripe's parity page interleaves
+      // at its positional slot (EmitParityIfDue writes it on the next pass).
+      room = std::min(room,
+                      ParitySlotFor(next_free, parity_stripe_, pages_per_segment) -
+                          next_free);
+    }
     const size_t run_len = std::min<uint64_t>(requests.size() - next, room);
 
     run.clear();
@@ -223,6 +367,7 @@ Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests
         info.min_data_seq = std::min(info.min_data_seq, header.seq);
         ++info.epoch_pages[header.epoch];
       }
+      AccumulateParity(h, header, requests[next + i].data);
       results_out->push_back(AppendResult{run_paddrs[i], run_ops[i]});
     }
     next += done;
@@ -237,7 +382,14 @@ Status LogManager::AppendBatch(int head, std::span<const AppendRequest> requests
       }
       return run_status;
     }
-    if (device_->NextFreePage(seg) >= pages_per_segment) {
+    // Cover a just-completed stripe immediately (not lazily at the next append): a
+    // crash between the run and its parity page must cost at most one stripe's cover.
+    // The run itself is durable, so an emission failure must not fail the batch here;
+    // if requests remain, the next pass's leading emission surfaces the fault anyway.
+    if (const Status parity = EmitParityIfDue(head, issue_ns); !parity.ok()) {
+      IOSNAP_LOG(kWarning) << "log: trailing parity emission failed: " << parity;
+    }
+    if (h.open_segment.has_value() && device_->NextFreePage(seg) >= pages_per_segment) {
       info.state = SegmentState::kClosed;
       h.open_segment.reset();
     }
@@ -363,6 +515,30 @@ void LogManager::RebuildFromDevice() {
       info.state = SegmentState::kClosed;
       info.use_order = ++use_counter_;
     }
+  }
+
+  if (parity_stripe_ == 0) {
+    return;
+  }
+  // Restore the reopened head's parity accumulator from the partial stripe already on
+  // media. An unreadable member poisons it: the XOR could never reproduce a
+  // verifiable image, so the stripe's parity page will honestly declare 0 members.
+  Head& h = heads_[kActiveHead];
+  ResetParity(h);
+  if (!h.open_segment.has_value()) {
+    return;
+  }
+  const uint64_t seg = *h.open_segment;
+  const uint64_t next = device_->NextFreePage(seg);
+  for (uint64_t i = StripeStartIndex(next, parity_stripe_); i < next; ++i) {
+    const uint64_t paddr = device_->FirstPageOf(seg) + i;
+    const NandDevice::PageInspection insp = device_->InspectPage(paddr);
+    if (!insp.programmed || !insp.crc_ok) {
+      h.parity_poisoned = true;
+      break;
+    }
+    XorMemberImage(h.parity_xor, insp.header, device_->PeekPageData(paddr),
+                   device_->config().page_size_bytes);
   }
 }
 

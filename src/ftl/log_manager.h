@@ -33,6 +33,7 @@ enum class SegmentState : uint8_t { kFree, kOpen, kClosed, kRetired };
 struct LogStats {
   uint64_t append_reroutes = 0;   // Appends re-driven to a fresh segment after program failure.
   uint64_t segments_retired = 0;  // Segments permanently retired after erase failure/wear-out.
+  uint64_t parity_pages_written = 0;  // XOR parity pages emitted at stripe boundaries.
 };
 
 struct SegmentInfo {
@@ -65,7 +66,13 @@ class LogManager {
 
   // `gc_reserve_segments`: segments the user head may never consume, so the cleaner always
   // has room to copy into (classic log-structured deadlock avoidance).
-  LogManager(NandDevice* device, uint64_t gc_reserve_segments);
+  // `parity_stripe` > 0 enables intra-segment XOR parity (src/nand/parity.h): every
+  // head keeps a running XOR over its open segment's appended pages and writes one
+  // parity page whenever the next free slot is a parity slot (every parity_stripe
+  // member pages, plus the segment's final page). 0 writes no parity pages and is
+  // bit-identical to the pre-parity log.
+  LogManager(NandDevice* device, uint64_t gc_reserve_segments,
+             uint64_t parity_stripe = 0);
 
   // Appends one record through `head`. Fails with kResourceExhausted when the head is
   // not allowed to take another segment — the signal that cleaning must run. (Free
@@ -156,9 +163,18 @@ class LogManager {
   void RebuildFromDevice();
   void RestoreAccounting(uint64_t segment, uint32_t epoch, uint64_t seq);
 
+  uint64_t parity_stripe() const { return parity_stripe_; }
+
  private:
   struct Head {
     std::optional<uint64_t> open_segment;
+    // Running XOR of the open segment's member images since the last parity slot
+    // (src/nand/parity.h). Sized lazily; unused when parity_stripe is 0.
+    std::vector<uint8_t> parity_xor;
+    // True when the accumulator cannot be trusted (a reopened partial stripe held an
+    // unreadable member): the stripe's parity page is written with trim_count = 0 so
+    // rebuild honestly refuses it.
+    bool parity_poisoned = false;
   };
 
   // Bound on fresh segments tried per append when programs keep failing. Each failure
@@ -175,8 +191,28 @@ class LogManager {
   // to again; the cleaner will later copy its live records off and retire it.
   void AbandonOpenSegment(int head);
 
+  // --- Parity (all no-ops when parity_stripe_ == 0) ---
+
+  // Clears the running XOR (start of a fresh stripe or segment).
+  void ResetParity(Head& h);
+  // XORs the member image the device is about to store for (header, data) into the
+  // accumulator: the stored-payload decision and CRC stamp are recomputed host-side
+  // with the same rules the device applies, so the accumulator reflects programmed
+  // *intent* — parity is taken in the controller's buffer, before any cell-level
+  // corruption, which is exactly what lets a later rebuild reproduce clean bytes.
+  void AccumulateParity(Head& h, const PageHeader& header, std::span<const uint8_t> data);
+  // Copyback variant: the host never sees the payload, so the accumulator taps the
+  // source page's stored bytes (the modeled on-die XOR engine).
+  void AccumulateParityStored(Head& h, uint64_t src_paddr);
+  // Writes parity pages while the head's next free slot is a parity slot (at most two
+  // in a row: a regular slot adjacent to the segment-final slot). A parity program
+  // failure abandons the segment — positional parity cannot be re-driven elsewhere —
+  // leaving the tail stripe unprotected but the members durable.
+  Status EmitParityIfDue(int head, uint64_t issue_ns);
+
   NandDevice* device_;
   uint64_t gc_reserve_segments_;
+  uint64_t parity_stripe_;
   std::vector<SegmentInfo> segments_;
   std::deque<uint64_t> free_segments_;
   std::map<int, Head> heads_;

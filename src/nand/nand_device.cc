@@ -4,25 +4,11 @@
 
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
+#include "src/nand/parity.h"
 
 namespace iosnap {
 
 namespace {
-
-// Little-endian store helpers for the fixed header-field serialization the CRC runs
-// over. The layout (type, lba, epoch, seq, snap_id, trim_count, payload_len) is
-// independent of host struct padding, so checksums are stable across builds.
-void PutLe32(uint8_t* dst, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    dst[i] = static_cast<uint8_t>(v >> (8 * i));
-  }
-}
-
-void PutLe64(uint8_t* dst, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    dst[i] = static_cast<uint8_t>(v >> (8 * i));
-  }
-}
 
 // kind codes for kFaultInjected trace events.
 constexpr uint64_t kFaultKindProgram = 0;
@@ -35,14 +21,8 @@ constexpr uint64_t kFaultKindRetention = 5;
 }  // namespace
 
 uint32_t ComputePageCrc(const PageHeader& header, std::span<const uint8_t> data) {
-  uint8_t buf[33];
-  buf[0] = static_cast<uint8_t>(header.type);
-  PutLe64(buf + 1, header.lba);
-  PutLe32(buf + 9, header.epoch);
-  PutLe64(buf + 13, header.seq);
-  PutLe32(buf + 21, header.snap_id);
-  PutLe32(buf + 25, header.trim_count);
-  PutLe32(buf + 29, header.payload_len);
+  uint8_t buf[kPageHeaderCrcFieldBytes];
+  SerializePageHeaderFields(header, buf);
   return Crc32Extend(Crc32(std::span<const uint8_t>(buf, sizeof(buf))), data);
 }
 
@@ -72,6 +52,8 @@ const char* RecordTypeName(RecordType type) {
       return "checkpoint";
     case RecordType::kPad:
       return "pad";
+    case RecordType::kParity:
+      return "parity";
   }
   return "?";
 }
@@ -152,7 +134,7 @@ StatusOr<NandOp> NandDevice::ProgramPage(uint64_t segment, const PageHeader& hea
   if (seg.next_page >= config_.pages_per_segment) {
     return ResourceExhausted("program: segment " + std::to_string(segment) + " is full");
   }
-  if (!data.empty() && data.size() > config_.page_size_bytes) {
+  if (!data.empty() && data.size() > MaxPayloadBytes(header.type)) {
     return InvalidArgument("program: payload larger than a page");
   }
   return ProgramCommit(segment, header, data, issue_ns, paddr_out);
@@ -184,13 +166,10 @@ StatusOr<NandOp> NandDevice::ProgramCommit(uint64_t segment, const PageHeader& h
   page.programmed = true;
   page.programmed_at_ns = issue_ns;
   page.header = header;
-  // Metadata payloads (checkpoints, summaries, snapshot names) are always retained:
-  // header-only benchmarking mode must still support restarts and note consolidation.
-  if ((config_.store_data || header.type == RecordType::kCheckpoint ||
-       header.type == RecordType::kTreeSummary ||
-       header.type == RecordType::kTrimSummary ||
-       header.type == RecordType::kSnapCreate) &&
-      !data.empty()) {
+  // Metadata payloads (checkpoints, summaries, snapshot names, parity images) are
+  // always retained: header-only benchmarking mode must still support restarts, note
+  // consolidation, and stripe rebuilds.
+  if ((config_.store_data || PayloadAlwaysStored(header.type)) && !data.empty()) {
     page.data.assign(data.begin(), data.end());
   } else {
     page.data.clear();
@@ -243,7 +222,8 @@ Status NandDevice::ProgramBatch(uint64_t segment, std::span<const ProgramRequest
                              std::to_string(segment));
   }
   for (const ProgramRequest& request : requests) {
-    if (!request.data.empty() && request.data.size() > config_.page_size_bytes) {
+    if (!request.data.empty() &&
+        request.data.size() > MaxPayloadBytes(request.header.type)) {
       return InvalidArgument("program-batch: payload larger than a page");
     }
   }
@@ -808,6 +788,17 @@ const PageHeader& NandDevice::PeekHeader(uint64_t paddr) const {
   IOSNAP_CHECK(paddr < config_.TotalPages());
   IOSNAP_CHECK(pages_[paddr].programmed);
   return pages_[paddr].header;
+}
+
+std::span<const uint8_t> NandDevice::PeekPageData(uint64_t paddr) const {
+  IOSNAP_CHECK(paddr < config_.TotalPages());
+  IOSNAP_CHECK(pages_[paddr].programmed);
+  return pages_[paddr].data;
+}
+
+uint64_t NandDevice::MaxPayloadBytes(RecordType type) const {
+  return config_.page_size_bytes +
+         (type == RecordType::kParity ? kParityImagePrefixBytes : 0);
 }
 
 uint64_t NandDevice::ProgrammedPages(uint64_t segment) const {

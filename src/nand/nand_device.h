@@ -185,6 +185,12 @@ class NandDevice {
   bool IsProgrammed(uint64_t paddr) const;
   // Header of a programmed page without charging device time. CHECK-fails on free pages.
   const PageHeader& PeekHeader(uint64_t paddr) const;
+  // Stored payload bytes of a programmed page, untimed and fault-free. Models the
+  // on-die data path parity accumulation taps during copyback (the bytes never cross
+  // the transfer bus) and backs fsck's offline stripe reconstruction. CHECK-fails on
+  // free pages. May return corrupted bytes — callers that need integrity must check
+  // PageCrcIntact first.
+  std::span<const uint8_t> PeekPageData(uint64_t paddr) const;
   // Number of programmed pages in a segment.
   uint64_t ProgrammedPages(uint64_t segment) const;
   // Next page index to be programmed in a segment (== pages_per_segment when full).
@@ -340,6 +346,9 @@ class NandDevice {
   void MarkBad(uint64_t segment);
   void FlipStoredBit(uint64_t paddr);
   bool PageCrcOk(const PageState& page) const;
+  // Payload-size ceiling per record type: parity pages carry the member-image prefix
+  // on top of a full page of XORed payload bytes.
+  uint64_t MaxPayloadBytes(RecordType type) const;
 
   NandConfig config_;
   FaultInjector fault_;

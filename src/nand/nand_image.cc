@@ -145,7 +145,9 @@ StatusOr<std::unique_ptr<NandDevice>> NandDevice::Deserialize(
       if (offset + len > bytes.size()) {
         return DataLoss("nand-image: truncated page payload");
       }
-      if (len > config.page_size_bytes) {
+      // Parity pages legitimately exceed the page size: their payload is the XOR
+      // member image (header-prefix + payload), so bound by the per-type limit.
+      if (len > device->MaxPayloadBytes(page.header.type)) {
         return DataLoss("nand-image: payload larger than a page");
       }
       page.data.assign(bytes.begin() + offset, bytes.begin() + offset + len);

@@ -8,6 +8,7 @@
 #ifndef SRC_NAND_PAGE_HEADER_H_
 #define SRC_NAND_PAGE_HEADER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
@@ -34,9 +35,23 @@ enum class RecordType : uint8_t {
   kCheckpoint,      // Clean-shutdown checkpoint payload page. snap_id = group id,
                     // lba = page index within the group, trim_count = group page count.
   kPad,             // Filler written to close out a segment.
+  kParity,          // Intra-segment XOR parity page (src/nand/parity.h). lba = paddr of
+                    // the stripe's first member slot, trim_count = member count (0 when
+                    // the accumulator was poisoned by an unreadable reopen), payload =
+                    // the XOR image over the members' stored bytes. Never carries user
+                    // identity: recovery and activation skip it like kPad.
 };
 
 const char* RecordTypeName(RecordType type);
+
+// Record types whose payload is stored verbatim even when NandConfig::store_data is
+// false: their bytes *are* the record (checkpoints, summaries, parity images), not a
+// shadow of host data the simulator can elide.
+inline constexpr bool PayloadAlwaysStored(RecordType type) {
+  return type == RecordType::kCheckpoint || type == RecordType::kTreeSummary ||
+         type == RecordType::kTrimSummary || type == RecordType::kSnapCreate ||
+         type == RecordType::kParity;
+}
 
 // Fixed-size header stored in each page's OOB area.
 struct PageHeader {
@@ -61,6 +76,36 @@ struct PageHeader {
 
 // Serialized OOB footprint charged by the device model (bytes per page of header traffic).
 inline constexpr uint64_t kPageHeaderBytes = 44;
+
+// Bytes of the fixed little-endian serialization of the header's logical fields
+// (everything except `crc`): type(1) + lba(8) + epoch(4) + seq(8) + snap_id(4) +
+// trim_count(4) + payload_len(4).
+inline constexpr size_t kPageHeaderCrcFieldBytes = 33;
+
+// Serializes the CRC-covered header fields into `out` in the fixed layout above. Both
+// ComputePageCrc and the parity member image (src/nand/parity.h) are defined over this
+// one serialization, so a header XOR-recovered from parity re-verifies against the
+// same CRC the device stamped.
+inline void SerializePageHeaderFields(const PageHeader& header,
+                                      uint8_t out[kPageHeaderCrcFieldBytes]) {
+  const auto le32 = [](uint8_t* dst, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      dst[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  };
+  const auto le64 = [](uint8_t* dst, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      dst[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  };
+  out[0] = static_cast<uint8_t>(header.type);
+  le64(out + 1, header.lba);
+  le32(out + 9, header.epoch);
+  le64(out + 13, header.seq);
+  le32(out + 21, header.snap_id);
+  le32(out + 25, header.trim_count);
+  le32(out + 29, header.payload_len);
+}
 
 // CRC-32 over the header's logical fields (everything except `crc` itself)
 // extended with the payload bytes as stored on the page.

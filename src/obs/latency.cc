@@ -10,7 +10,7 @@ namespace iosnap {
 namespace {
 
 const char* const kSpanNames[kNumLatencySpans] = {
-    "queue_wait", "gc_wait", "bus", "cell", "map", "cow", "host_other",
+    "queue_wait", "gc_wait", "bus", "cell", "map", "cow", "host_other", "rebuild",
 };
 
 const char* const kKindNames[kNumLatencyOpKinds] = {"write", "read", "trim", "gc_copy"};
@@ -94,7 +94,7 @@ std::string LatencyAttributor::ToCsv() const {
   out.reserve(size() * 96 + 256);
   out +=
       "seq,kind,lba,issue_ns,complete_ns,total_ns,queue_wait_ns,gc_wait_ns,bus_ns,"
-      "cell_ns,map_ns,cow_ns,host_other_ns\n";
+      "cell_ns,map_ns,cow_ns,host_other_ns,rebuild_ns\n";
   for (const SpanRecord& r : Records()) {
     AppendU64(&out, r.seq);
     out += ",";

@@ -15,6 +15,11 @@
 //   map         — host-side forward-map time (ShardedMap/B+tree lookup + update).
 //   cow         — host-side validity-bitmap copy-on-write time.
 //   host_other  — remaining host CPU charge (trim notes, bitmap flips, ...).
+//   rebuild     — time spent XOR-reconstructing an unreadable page from its parity
+//                 stripe (surviving-member reads + the corrective re-append). Zero
+//                 unless FtlConfig::parity_stripe > 0 and the op hit an
+//                 uncorrectable page; when set it replaces the failed op's device
+//                 spans (the synthetic NandOp carries none).
 //
 // Exactness guarantee: the spans are computed from the same arithmetic that produced
 // the op's completion time — the device fills the first four inside Occupy(), the FTL
@@ -48,6 +53,7 @@ enum class LatencySpan : uint8_t {
   kMap,
   kCow,
   kHostOther,
+  kRebuild,
 
   kNumSpans,  // Sentinel; keep last.
 };
@@ -159,7 +165,7 @@ class LatencyAttributor {
 
   // CSV with one row per retained record:
   //   seq,kind,lba,issue_ns,complete_ns,total_ns,queue_wait_ns,gc_wait_ns,bus_ns,
-  //   cell_ns,map_ns,cow_ns,host_other_ns
+  //   cell_ns,map_ns,cow_ns,host_other_ns,rebuild_ns
   std::string ToCsv() const;
   // Writes ToCsv() to `path`. Returns false on I/O failure.
   bool WriteCsvFile(const std::string& path) const;

@@ -18,10 +18,10 @@
 namespace iosnap {
 
 // Number of fields each binding registers; keep in sync with the structs (test-checked).
-inline constexpr size_t kFtlStatsMetricCount = 37;
+inline constexpr size_t kFtlStatsMetricCount = 41;
 inline constexpr size_t kNandStatsMetricCount = 16;
 inline constexpr size_t kValidityStatsMetricCount = 7;
-inline constexpr size_t kLogStatsMetricCount = 2;
+inline constexpr size_t kLogStatsMetricCount = 3;
 inline constexpr size_t kIoQueueStatsMetricCount = 9;
 
 inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
@@ -58,6 +58,10 @@ inline void RegisterFtlStats(MetricsRegistry* registry, const FtlStats& s,
   add("total_pages_programmed", &s.total_pages_programmed);
   add("user_read_errors", &s.user_read_errors);
   add("gc_pages_lost", &s.gc_pages_lost);
+  add("pages_rebuilt", &s.pages_rebuilt);
+  add("pages_rebuild_failed", &s.pages_rebuild_failed);
+  add("pages_lost_forever", &s.pages_lost_forever);
+  add("pages_superseded", &s.pages_superseded);
   add("patrol_sweeps", &s.patrol_sweeps);
   add("patrol_pages_scanned", &s.patrol_pages_scanned);
   add("patrol_pages_rewritten", &s.patrol_pages_rewritten);
@@ -124,6 +128,7 @@ inline void RegisterLogStats(MetricsRegistry* registry, const LogStats& s,
   };
   add("append_reroutes", &s.append_reroutes);
   add("segments_retired", &s.segments_retired);
+  add("parity_pages_written", &s.parity_pages_written);
 }
 
 // `inflight_ops` registers as a gauge (it rises and falls); the rest as counters.

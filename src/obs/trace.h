@@ -75,6 +75,10 @@ enum class TraceEventType : uint8_t {
   // Degraded read-only mode transitions.
   kDegradedEnter,    // args: free_segments, segments_retired
   kDegradedExit,     // args: free_segments, segments_retired
+  // Parity stripes & rebuild (src/nand/parity.h).
+  kParityWrite,      // args: segment, paddr, members (0 = poisoned accumulator)
+  kPageRebuilt,      // args: lba, old_paddr, new_paddr
+  kRebuildFailed,    // args: lba, paddr (unrebuildable: double fault / parity off-media)
 
   kNumTypes,  // Sentinel; keep last.
 };

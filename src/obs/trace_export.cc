@@ -94,6 +94,12 @@ constexpr TraceEventInfo kEventInfo[kNumTraceEventTypes] = {
      {"free_segments", "segments_retired", nullptr}},
     {TraceEventType::kDegradedExit, "degraded_exit", "lifecycle", kTrackLifecycle,
      {"free_segments", "segments_retired", nullptr}},
+    {TraceEventType::kParityWrite, "parity_write", "device", kTrackDevice,
+     {"segment", "paddr", "members"}},
+    {TraceEventType::kPageRebuilt, "page_rebuilt", "device", kTrackDevice,
+     {"lba", "old_paddr", "new_paddr"}},
+    {TraceEventType::kRebuildFailed, "rebuild_failed", "device", kTrackDevice,
+     {"lba", "paddr", nullptr}},
 };
 
 // Compile-time proof that every enumerator has a well-formed table entry: self-id

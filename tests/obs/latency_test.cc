@@ -32,7 +32,7 @@ TEST(LatencySpanTest, NamesCoverEverySpanAndKind) {
     names.push_back(LatencySpanName(static_cast<LatencySpan>(i)));
   }
   EXPECT_EQ(names, (std::vector<std::string>{"queue_wait", "gc_wait", "bus", "cell",
-                                             "map", "cow", "host_other"}));
+                                             "map", "cow", "host_other", "rebuild"}));
   EXPECT_STREQ(LatencyOpKindName(LatencyOpKind::kWrite), "write");
   EXPECT_STREQ(LatencyOpKindName(LatencyOpKind::kRead), "read");
   EXPECT_STREQ(LatencyOpKindName(LatencyOpKind::kTrim), "trim");
@@ -101,9 +101,9 @@ TEST(LatencyAttributorTest, CsvRowsCarryExactSums) {
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line,
             "seq,kind,lba,issue_ns,complete_ns,total_ns,queue_wait_ns,gc_wait_ns,"
-            "bus_ns,cell_ns,map_ns,cow_ns,host_other_ns");
+            "bus_ns,cell_ns,map_ns,cow_ns,host_other_ns,rebuild_ns");
   ASSERT_TRUE(std::getline(in, line));
-  EXPECT_EQ(line, "0,trim,42,500,577,77,10,5,3,50,7,0,2");
+  EXPECT_EQ(line, "0,trim,42,500,577,77,10,5,3,50,7,0,2,0");
   EXPECT_FALSE(std::getline(in, line));
 }
 

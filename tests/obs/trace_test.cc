@@ -270,6 +270,14 @@ TEST(TraceExportTest, MediaReliabilityEventNamesArePinned) {
                "degraded_exit");
 }
 
+// Same pin for the parity/rebuild events added with parity-protected segments.
+TEST(TraceExportTest, ParityRebuildEventNamesArePinned) {
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kParityWrite).name, "parity_write");
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kPageRebuilt).name, "page_rebuilt");
+  EXPECT_STREQ(TraceEventInfoFor(TraceEventType::kRebuildFailed).name,
+               "rebuild_failed");
+}
+
 TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(CsvEscape("plain"), "plain");
   EXPECT_EQ(CsvEscape("has space"), "has space");

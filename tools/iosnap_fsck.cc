@@ -45,6 +45,11 @@ Usage: iosnap_fsck --image=PATH [--repair]
                       media back to PATH, and re-check.
   --overprovision=F   Overprovisioning fraction the image was created with
                       (default 0.25). Only used by --repair to size the LBA space.
+  --parity_stripe=N   XOR-parity stripe width the image was written with. Corrupt
+                      data pages a stripe reconstruction can recover are triaged as
+                      rebuilt (repairable) instead of lost, and --repair rebuilds
+                      them instead of dropping them. Default 0 infers the width from
+                      the parity pages found on the media.
   --help              Show this message.
 
 Exit codes: 0 = clean, 1 = inconsistencies found, 2 = usage or I/O error.
@@ -54,6 +59,7 @@ const std::vector<std::string> kKnownFlags = {
     "image",
     "repair",
     "overprovision",
+    "parity_stripe",
     "help",
 };
 
@@ -89,11 +95,15 @@ Status CloseOutPartialSegments(NandDevice* device) {
 // the repaired device. The FtlConfig only needs the image's NAND geometry plus the
 // LBA-space split; patrol/degraded knobs are irrelevant to ScrubAllBlocking.
 StatusOr<std::unique_ptr<NandDevice>> RepairDevice(std::unique_ptr<NandDevice> device,
-                                                   double overprovision) {
+                                                   double overprovision,
+                                                   uint64_t parity_stripe) {
   RETURN_IF_ERROR(CloseOutPartialSegments(device.get()));
   FtlConfig config;
   config.nand = device->config();
   config.overprovision = overprovision;
+  // With the stripe width known the sweep rebuilds unreadable pages from parity
+  // before falling back to dropping them.
+  config.parity_stripe = parity_stripe;
   ASSIGN_OR_RETURN(std::unique_ptr<Ftl> ftl, Ftl::Open(config, std::move(device), 0));
   RETURN_IF_ERROR(ftl->ScrubAllBlocking(0).status());
   return ftl->ReleaseDevice();
@@ -127,7 +137,9 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
-  StatusOr<FsckReport> report = FsckDevice(device->get());
+  const uint64_t parity_stripe =
+      static_cast<uint64_t>(flags.GetInt("parity_stripe", 0));
+  StatusOr<FsckReport> report = FsckDevice(device->get(), parity_stripe);
   if (!report.ok()) {
     std::fprintf(stderr, "iosnap_fsck: check failed: %s\n",
                  report.status().ToString().c_str());
@@ -143,7 +155,8 @@ int Run(int argc, char** argv) {
 
   std::printf("\nrepair: running full patrol sweep over %s\n", image.c_str());
   StatusOr<std::unique_ptr<NandDevice>> repaired =
-      RepairDevice(std::move(*device), flags.GetDouble("overprovision", 0.25));
+      RepairDevice(std::move(*device), flags.GetDouble("overprovision", 0.25),
+                   report->parity_stripe);
   if (!repaired.ok()) {
     std::fprintf(stderr, "iosnap_fsck: repair failed: %s\n",
                  repaired.status().ToString().c_str());
@@ -155,7 +168,7 @@ int Run(int argc, char** argv) {
                  image.c_str(), saved.ToString().c_str());
     return 2;
   }
-  StatusOr<FsckReport> recheck = FsckDevice(repaired->get());
+  StatusOr<FsckReport> recheck = FsckDevice(repaired->get(), report->parity_stripe);
   if (!recheck.ok()) {
     std::fprintf(stderr, "iosnap_fsck: post-repair check failed: %s\n",
                  recheck.status().ToString().c_str());

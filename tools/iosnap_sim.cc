@@ -50,6 +50,11 @@ Device:
   --overprovision=F      reserved physical fraction           (default 0.25)
   --chunk_bits=N         validity chunk granularity           (default 8192)
   --policy=NAME          greedy | costbenefit | colocate      (default greedy)
+  --parity_stripe=N      XOR-parity stripe width: one parity page per N appended
+                         pages; unreadable pages are rebuilt from the stripe
+                         instead of dropped                   (default 0 = off)
+  --wear_leveling_threshold=N  recycle a cold segment once its erase count falls
+                         N behind the most-worn segment       (default 0 = off)
   --vanilla              disable the snapshot machinery
   --vanilla_gc_rate      use the snapshot-unaware GC pacing estimate
 
@@ -83,6 +88,8 @@ Fault injection (all rates in failures per million ops; 0 = disabled):
   --fault_read_ppm=N     transient read failure rate           (default 0)
   --fault_corrupt_ppm=N  silent bit-corruption rate            (default 0)
   --crash_after_op=N     device goes offline after the Nth op  (default 0 = never)
+  --read_retry_limit=N   total attempts per page read before a transient failure
+                         surfaces to the caller                (default 3)
 
 Media reliability (wear model rates 0 = disabled):
   --read_disturb_ppm_per_k_reads=N  per-read corruption rate scaled by the segment's
@@ -128,8 +135,9 @@ const std::vector<std::string> kKnownFlags = {
     "snapshot_every",
     "snapshots",
     "keep_snapshots", "activate_last", "crash_and_recover", "checkpoint", "timeline",
+    "parity_stripe", "wear_leveling_threshold",
     "fault_seed", "fault_program_ppm", "fault_erase_ppm", "fault_read_ppm",
-    "fault_corrupt_ppm", "crash_after_op",
+    "fault_corrupt_ppm", "crash_after_op", "read_retry_limit",
     "read_disturb_ppm_per_k_reads", "retention_ppm_per_sec",
     "patrol", "patrol_pages_per_step", "patrol_sleep_ms", "patrol_refresh_reads",
     "patrol_refresh_age_ms",
@@ -210,6 +218,20 @@ void PrintStats(const Ftl& ftl, const RunResult& result) {
                 (unsigned long long)s.patrol_pages_rewritten,
                 (unsigned long long)s.patrol_pages_dropped,
                 (unsigned long long)s.patrol_segments_evacuated);
+  }
+  const LogStats& l = ftl.log_manager().stats();
+  if (l.parity_pages_written + s.pages_rebuilt + s.pages_rebuild_failed +
+          s.pages_lost_forever + s.pages_superseded >
+      0) {
+    std::printf("--- parity & rebuild -------------------------------------\n");
+    std::printf("parity pages written    %12llu\n",
+                (unsigned long long)l.parity_pages_written);
+    std::printf("rebuilt / failed        %llu / %llu\n",
+                (unsigned long long)s.pages_rebuilt,
+                (unsigned long long)s.pages_rebuild_failed);
+    std::printf("lost forever/superseded %llu / %llu\n",
+                (unsigned long long)s.pages_lost_forever,
+                (unsigned long long)s.pages_superseded);
   }
   if (s.degraded_entries + s.degraded_writes_rejected > 0 || ftl.degraded()) {
     std::printf("--- degraded mode ----------------------------------------\n");
@@ -340,6 +362,10 @@ int main(int argc, char** argv) {
   config.degraded_free_floor = (uint64_t)flags.GetInt("degraded_free_floor", 0);
   config.degraded_retired_floor = (uint64_t)flags.GetInt("degraded_retired_floor", 0);
   config.degraded_exit_free = (uint64_t)flags.GetInt("degraded_exit_free", 0);
+  config.parity_stripe = (uint64_t)flags.GetInt("parity_stripe", 0);
+  config.wear_leveling_threshold =
+      (uint64_t)flags.GetInt("wear_leveling_threshold", 0);
+  config.read_retry_limit = (uint32_t)flags.GetInt("read_retry_limit", 3);
   const bool faults_armed = config.nand.fault.AnyFaultConfigured();
 
   const std::string policy = flags.GetString("policy", "greedy");
